@@ -1,0 +1,32 @@
+//! Construction throughput of the layered and traced CDAGs (E5 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastmm_cdag::layered::{build_dec, build_h, SchemeShape};
+use fastmm_cdag::trace::trace_multiply;
+use fastmm_matrix::scheme::strassen;
+
+fn bench_cdag(c: &mut Criterion) {
+    let shape = SchemeShape::from_scheme(&strassen());
+    let mut group = c.benchmark_group("cdag");
+    group.sample_size(10);
+    for &k in &[3usize, 4, 5] {
+        group.bench_with_input(BenchmarkId::new("build_dec", k), &k, |b, &k| {
+            b.iter(|| build_dec(&shape, k))
+        });
+    }
+    for &k in &[2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("build_h", k), &k, |b, &k| {
+            b.iter(|| build_h(&shape, k))
+        });
+    }
+    let scheme = strassen();
+    for &n in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("trace", n), &n, |b, &n| {
+            b.iter(|| trace_multiply(&scheme, n, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cdag);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Wall-clock benchmarks of the multiplication kernels — the classical vs
+//! Strassen crossover that motivates the paper's communication analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastmm_matrix::classical::{multiply_blocked, multiply_ikj, multiply_oblivious};
+use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::recursive::{multiply_strassen, multiply_winograd};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let a = Matrix::<f64>::random(n, n, &mut rng);
+        let b = Matrix::<f64>::random(n, n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("ikj", n), &n, |bch, _| {
+            bch.iter(|| multiply_ikj(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bch, _| {
+            bch.iter(|| multiply_blocked(&a, &b, 32))
+        });
+        group.bench_with_input(BenchmarkId::new("oblivious", n), &n, |bch, _| {
+            bch.iter(|| multiply_oblivious(&a, &b, 32))
+        });
+        group.bench_with_input(BenchmarkId::new("strassen_c32", n), &n, |bch, _| {
+            bch.iter(|| multiply_strassen(&a, &b, 32))
+        });
+        group.bench_with_input(BenchmarkId::new("winograd_c32", n), &n, |bch, _| {
+            bch.iter(|| multiply_winograd(&a, &b, 32))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

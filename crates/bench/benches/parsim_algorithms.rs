@@ -1,0 +1,40 @@
+//! Distributed-simulator end-to-end throughput (E7/E8 substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fastmm_matrix::dense::Matrix;
+use fastmm_parsim::cannon::cannon;
+use fastmm_parsim::caps::{caps, CapsPlan};
+use fastmm_parsim::grid3d::{multiply_25d, multiply_3d};
+use fastmm_parsim::machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_parsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parsim");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Matrix::<f64>::random(84, 84, &mut rng);
+    let b = Matrix::<f64>::random(84, 84, &mut rng);
+    group.bench_function("cannon_p16_n84", |bch| {
+        bch.iter(|| cannon(MachineConfig::new(16), &a, &b))
+    });
+    group.bench_function("3d_p64_n84", |bch| {
+        bch.iter(|| multiply_3d(MachineConfig::new(64), &a, &b))
+    });
+    let a96 = Matrix::<f64>::random(96, 96, &mut rng);
+    let b96 = Matrix::<f64>::random(96, 96, &mut rng);
+    group.bench_function("25d_p32c2_n96", |bch| {
+        bch.iter(|| multiply_25d(MachineConfig::new(32), 2, &a96, &b96))
+    });
+    let n = 56;
+    let ac = Matrix::<f64>::random(n, n, &mut rng);
+    let bc = Matrix::<f64>::random(n, n, &mut rng);
+    let plan = CapsPlan::new(7, n, 0).unwrap();
+    group.bench_function("caps_p7_n56", |bch| {
+        bch.iter(|| caps(MachineConfig::new(7), &plan, &ac, &bc))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsim);
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! Run every experiment in sequence (EXPERIMENTS.md snapshot source).
+fn main() {
+    println!("{}", fastmm_bench::e1_thm11_sequential());
+    println!("{}", fastmm_bench::e2_thm13_strassen_like());
+    println!("{}", fastmm_bench::e3_lemma43_expansion(5));
+    println!("{}", fastmm_bench::e3_certificate_drilldown(3));
+    println!("{}", fastmm_bench::e4_cor44_small_set());
+    println!("{}", fastmm_bench::e5_fig2_structure());
+    println!("{}", fastmm_bench::e6_partition_argument());
+    println!("{}", fastmm_bench::e7_table1());
+    println!("{}", fastmm_bench::e8_caps_optimality());
+}

@@ -1,0 +1,4 @@
+//! E8: regenerate the CAPS-vs-Corollary-1.2 optimality table.
+fn main() {
+    print!("{}", fastmm_bench::e8_caps_optimality());
+}

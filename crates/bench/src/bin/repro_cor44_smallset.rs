@@ -1,0 +1,4 @@
+//! E4: regenerate the Corollary 4.4 small-set expansion table.
+fn main() {
+    print!("{}", fastmm_bench::e4_cor44_small_set());
+}

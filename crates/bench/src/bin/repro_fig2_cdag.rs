@@ -1,0 +1,4 @@
+//! E5: regenerate the Figure 2 CDAG structure report and DOT drawings.
+fn main() {
+    print!("{}", fastmm_bench::e5_fig2_structure());
+}

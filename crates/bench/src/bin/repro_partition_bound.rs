@@ -1,0 +1,4 @@
+//! E6: regenerate the partition-argument (Eq. 6) vs measured-I/O table.
+fn main() {
+    print!("{}", fastmm_bench::e6_partition_argument());
+}

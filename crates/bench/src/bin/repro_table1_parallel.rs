@@ -1,0 +1,4 @@
+//! E7: regenerate Table I (parallel memory regimes), formulas and measured.
+fn main() {
+    print!("{}", fastmm_bench::e7_table1());
+}

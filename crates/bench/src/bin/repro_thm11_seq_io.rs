@@ -1,0 +1,4 @@
+//! E1: regenerate the Theorem 1.1 tightness table.
+fn main() {
+    print!("{}", fastmm_bench::e1_thm11_sequential());
+}

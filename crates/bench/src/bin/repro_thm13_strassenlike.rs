@@ -1,0 +1,4 @@
+//! E2: regenerate the Theorem 1.3 table for other Strassen-like exponents.
+fn main() {
+    print!("{}", fastmm_bench::e2_thm13_strassen_like());
+}

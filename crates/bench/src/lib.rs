@@ -1,0 +1,12 @@
+//! # fastmm-bench — experiment harness regenerating every table and figure
+//!
+//! One module per experiment family (see DESIGN.md §4 for the experiment
+//! index). Each produces plain-text tables comparing *paper formula* vs
+//! *measured* quantities; the `repro_*` binaries print them, and
+//! EXPERIMENTS.md records a snapshot. Shapes (who wins, scaling ratios,
+//! crossovers) are the reproduction target — absolute constants depend on
+//! the simulated machine.
+
+pub mod experiments;
+
+pub use experiments::*;

@@ -1,0 +1,155 @@
+//! A fixed-size bit set over vertex ids, used to represent the subsets `S`
+//! of the partition/expansion arguments.
+
+/// Fixed-capacity bit set.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitSet({} of {})", self.ones, self.len)
+    }
+}
+
+impl BitSet {
+    /// Empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        BitSet { words: vec![0; len.div_ceil(64)], len, ones: 0 }
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Number of elements currently in the set.
+    pub fn count(&self) -> usize {
+        self.ones
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        let i = i as usize;
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Insert; returns true if newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: u32) -> bool {
+        let idx = i as usize;
+        debug_assert!(idx < self.len);
+        let w = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.ones += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove; returns true if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: u32) -> bool {
+        let idx = i as usize;
+        debug_assert!(idx < self.len);
+        let w = &mut self.words[idx / 64];
+        let mask = 1u64 << (idx % 64);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.ones -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Flip membership of `i`.
+    pub fn toggle(&mut self, i: u32) {
+        if self.contains(i) {
+            self.remove(i);
+        } else {
+            self.insert(i);
+        }
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.ones = 0;
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some((wi * 64) as u32 + tz)
+                }
+            })
+        })
+    }
+
+    /// Build from an iterator of elements.
+    pub fn from_iter(len: usize, items: impl IntoIterator<Item = u32>) -> Self {
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_count() {
+        let mut s = BitSet::new(200);
+        assert_eq!(s.count(), 0);
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.insert(130));
+        assert_eq!(s.count(), 2);
+        assert!(s.contains(3));
+        assert!(s.contains(130));
+        assert!(!s.contains(64));
+        assert!(s.remove(3));
+        assert!(!s.remove(3));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn iteration_in_order() {
+        let s = BitSet::from_iter(300, [5u32, 100, 299, 64, 63]);
+        let v: Vec<u32> = s.iter().collect();
+        assert_eq!(v, vec![5, 63, 64, 100, 299]);
+    }
+
+    #[test]
+    fn toggle_and_clear() {
+        let mut s = BitSet::new(10);
+        s.toggle(7);
+        assert!(s.contains(7));
+        s.toggle(7);
+        assert!(!s.contains(7));
+        s.insert(1);
+        s.insert(2);
+        s.clear();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.iter().count(), 0);
+    }
+}

@@ -1,0 +1,650 @@
+//! The layered top-down construction of `Enc_k A`, `Enc_k B`, `Dec_k C` and
+//! the full Strassen-like CDAG `H_k` (paper Section 4.1.1).
+//!
+//! For a base scheme `⟨n₀; r⟩` with `t = n₀²`:
+//!
+//! * `Dec_k C` is a layered graph with levels `l_1 … l_{k+1}` of sizes
+//!   `|l_i| = t^{k-i+1} · r^{i-1}` (Fact 4.6 with `t=4, r=7`); edges only
+//!   connect consecutive levels and group into copies of the base graph
+//!   `Dec_1 C` ("G₁ components").
+//! * `Enc_k A` is its mirror image built from the `U` coefficients, with the
+//!   paper-noted subtlety that `Enc₁A` has vertices which are both input and
+//!   output (e.g. `A₁₁` feeding `M₃` directly), so `Enc_{lg n}A` has
+//!   out-degrees `Θ(lg n)` while `Dec_{lg n}C` has constant degree
+//!   (Fact 4.2).
+//! * `H_k` composes `Enc_k A`, `Enc_k B`, the `r^k` element-wise
+//!   multiplications, and `Dec_k C`.
+//!
+//! Vertex indices inside a level use the mixed-radix convention
+//! `m = region · r^j + inner` (level `j` counted from the output side for
+//! `Dec`), which makes the recursion tree `T_k` of Figure 3 a family of
+//! contiguous ranges — see [`crate::tree`].
+
+use crate::graph::{Cdag, VKind};
+use fastmm_matrix::scheme::BilinearScheme;
+
+/// The support structure of a scheme, as needed for CDAG construction.
+#[derive(Clone, Debug)]
+pub struct SchemeShape {
+    /// Scheme name (for diagnostics).
+    pub name: String,
+    /// `t = n₀²` (outputs of `Dec₁C`, inputs per `Enc₁` component).
+    pub t: usize,
+    /// `r = m(n₀)` (inputs of `Dec₁C`, outputs per `Enc₁` component).
+    pub r: usize,
+    /// For each product `l`, the A-blocks with nonzero `U` coefficient.
+    pub u_support: Vec<Vec<usize>>,
+    /// For each product `l`, the B-blocks with nonzero `V` coefficient.
+    pub v_support: Vec<Vec<usize>>,
+    /// For each output `q`, the products with nonzero `W` coefficient.
+    pub w_support: Vec<Vec<usize>>,
+    /// For each product `l`, `Some(q)` if the left operand is exactly block
+    /// `q` (unit coefficient singleton) — an input=output vertex of `Enc₁A`.
+    pub u_alias: Vec<Option<usize>>,
+    /// Same for the right operand.
+    pub v_alias: Vec<Option<usize>>,
+}
+
+impl SchemeShape {
+    /// Extract the shape of a concrete bilinear scheme.
+    pub fn from_scheme(s: &BilinearScheme) -> Self {
+        let t = s.n0 * s.n0;
+        let u_support: Vec<Vec<usize>> = (0..s.r).map(|l| s.u.row_support(l)).collect();
+        let v_support: Vec<Vec<usize>> = (0..s.r).map(|l| s.v.row_support(l)).collect();
+        let w_support: Vec<Vec<usize>> = (0..t).map(|q| s.w.row_support(q)).collect();
+        let unit_singleton = |support: &Vec<usize>, coeffs: &fastmm_matrix::scheme::Coeffs, l: usize| {
+            if support.len() == 1 && coeffs.get(l, support[0]) == 1 {
+                Some(support[0])
+            } else {
+                None
+            }
+        };
+        let u_alias = (0..s.r).map(|l| unit_singleton(&u_support[l], &s.u, l)).collect();
+        let v_alias = (0..s.r).map(|l| unit_singleton(&v_support[l], &s.v, l)).collect();
+        SchemeShape {
+            name: s.name.clone(),
+            t,
+            r: s.r,
+            u_support,
+            v_support,
+            w_support,
+            u_alias,
+            v_alias,
+        }
+    }
+
+    /// Number of `Dec₁C` edges (one per nonzero of `W`).
+    pub fn dec1_edges(&self) -> usize {
+        self.w_support.iter().map(Vec::len).sum()
+    }
+}
+
+/// `t^{k-j} · r^j` as usize (level sizes); panics on overflow.
+fn level_size(t: usize, r: usize, k: usize, j: usize) -> usize {
+    t.checked_pow((k - j) as u32)
+        .and_then(|a| a.checked_mul(r.pow(j as u32)))
+        .expect("level size overflow")
+}
+
+/// The layered decode graph `Dec_k C`.
+///
+/// Level `j ∈ 0..=k` (counted from the **output** side, so `j = 0` is the
+/// paper's `l_1` and `j = k` is `l_{k+1}`, the product inputs) occupies the
+/// contiguous id range returned by [`DecGraph::level_range`].
+pub struct DecGraph {
+    /// The underlying CDAG. Edges are directed from level `j+1` to level `j`
+    /// (products flow toward outputs).
+    pub graph: Cdag,
+    /// Recursion depth `k`.
+    pub k: usize,
+    /// `t = n₀²`.
+    pub t: usize,
+    /// `r = m(n₀)`.
+    pub r: usize,
+    offsets: Vec<u32>,
+}
+
+impl DecGraph {
+    /// Number of levels (`k + 1`).
+    pub fn n_levels(&self) -> usize {
+        self.k + 1
+    }
+
+    /// Size of level `j`.
+    pub fn level_size(&self, j: usize) -> usize {
+        level_size(self.t, self.r, self.k, j)
+    }
+
+    /// Contiguous id range of level `j`.
+    pub fn level_range(&self, j: usize) -> std::ops::Range<u32> {
+        self.offsets[j]..self.offsets[j + 1]
+    }
+
+    /// Id of the vertex at `(level j, index m)`.
+    #[inline]
+    pub fn vertex(&self, j: usize, m: usize) -> u32 {
+        debug_assert!(m < self.level_size(j));
+        self.offsets[j] + m as u32
+    }
+
+    /// Inverse of [`DecGraph::vertex`]: which `(level, index)` an id is.
+    pub fn locate(&self, v: u32) -> (usize, usize) {
+        let j = match self.offsets.binary_search(&v) {
+            Ok(j) if j <= self.k => j,
+            Ok(j) => j - 1,
+            Err(j) => j - 1,
+        };
+        (j, (v - self.offsets[j]) as usize)
+    }
+
+    /// Total number of `G₁` (i.e. `Dec₁C`) components between levels `j+1`
+    /// and `j`: `t^{k-j-1} · r^j`.
+    pub fn component_count(&self, j: usize) -> usize {
+        assert!(j < self.k);
+        level_size(self.t, self.r, self.k - 1, j)
+    }
+
+    /// The component `(j, o, c)`: its `r` input vertices live at level `j+1`
+    /// and its `t` output vertices at level `j`.
+    pub fn component(&self, j: usize, o: usize, c: usize) -> DecComponent<'_> {
+        debug_assert!(o < self.t.pow((self.k - j - 1) as u32));
+        debug_assert!(c < self.r.pow(j as u32));
+        DecComponent { dec: self, j, o, c }
+    }
+
+    /// Iterate over all components between levels `j+1` and `j`.
+    pub fn components_at(&self, j: usize) -> impl Iterator<Item = DecComponent<'_>> {
+        let n_o = self.t.pow((self.k - j - 1) as u32);
+        let n_c = self.r.pow(j as u32);
+        (0..n_o).flat_map(move |o| (0..n_c).map(move |c| self.component(j, o, c)))
+    }
+
+    /// Fact 4.6: `3/7 ≤ |l_{k+1}| / |V| ≤ (3/7)·1/(1-(4/7)^{k+2})` in the
+    /// Strassen case; returns `(|top level| / |V|, |bottom level| / |V|)`.
+    pub fn level_fractions(&self) -> (f64, f64) {
+        let v = self.graph.n_vertices() as f64;
+        (self.level_size(self.k) as f64 / v, self.level_size(0) as f64 / v)
+    }
+
+    /// Decompose into edge-disjoint copies of `Dec_kk C` (Claim 2.1 /
+    /// Corollary 4.4). Requires `kk` to divide `k`. Returns, per copy, the
+    /// global vertex ids listed copy-level by copy-level (outputs first).
+    pub fn decompose(&self, kk: usize) -> Vec<Vec<u32>> {
+        assert!(kk >= 1 && self.k % kk == 0, "kk must divide k");
+        let (t, r) = (self.t, self.r);
+        let mut copies = Vec::new();
+        for s in 0..self.k / kk {
+            let a0 = s * kk; // stripe spans global levels a0 ..= a0+kk
+            let n_hat_o = t.pow((self.k - a0 - kk) as u32);
+            let n_hat_c = r.pow(a0 as u32);
+            for o_hat in 0..n_hat_o {
+                for c_hat in 0..n_hat_c {
+                    let mut verts = Vec::new();
+                    for jj in 0..=kk {
+                        let n_rho = t.pow((kk - jj) as u32);
+                        let n_gamma = r.pow(jj as u32);
+                        for rho in 0..n_rho {
+                            for gamma in 0..n_gamma {
+                                let region = o_hat * n_rho + rho;
+                                let inner = gamma * r.pow(a0 as u32) + c_hat;
+                                let m = region * r.pow((a0 + jj) as u32) + inner;
+                                verts.push(self.vertex(a0 + jj, m));
+                            }
+                        }
+                    }
+                    copies.push(verts);
+                }
+            }
+        }
+        copies
+    }
+}
+
+/// A single `Dec₁C` component inside a [`DecGraph`].
+pub struct DecComponent<'a> {
+    dec: &'a DecGraph,
+    j: usize,
+    o: usize,
+    c: usize,
+}
+
+impl DecComponent<'_> {
+    /// Global id of input slot `l ∈ 0..r` (at level `j+1`).
+    pub fn input(&self, l: usize) -> u32 {
+        let r = self.dec.r;
+        let rj = r.pow(self.j as u32);
+        self.dec.vertex(self.j + 1, self.o * rj * r + l * rj + self.c)
+    }
+
+    /// Global id of output slot `q ∈ 0..t` (at level `j`).
+    pub fn output(&self, q: usize) -> u32 {
+        let rj = self.dec.r.pow(self.j as u32);
+        self.dec.vertex(self.j, (self.o * self.dec.t + q) * rj + self.c)
+    }
+
+    /// All vertices of the component (inputs then outputs).
+    pub fn vertices(&self) -> Vec<u32> {
+        (0..self.dec.r)
+            .map(|l| self.input(l))
+            .chain((0..self.dec.t).map(|q| self.output(q)))
+            .collect()
+    }
+}
+
+/// Build `Dec_k C` for a scheme shape. Every output row of `W` must have at
+/// least two nonzeros (true for all shipped schemes), so no aliasing occurs.
+pub fn build_dec(shape: &SchemeShape, k: usize) -> DecGraph {
+    assert!(k >= 1);
+    assert!(
+        shape.w_support.iter().all(|s| s.len() >= 2),
+        "decode rows must combine at least two products"
+    );
+    let (t, r) = (shape.t, shape.r);
+    let mut offsets = Vec::with_capacity(k + 2);
+    let mut acc = 0u32;
+    for j in 0..=k {
+        offsets.push(acc);
+        acc += level_size(t, r, k, j) as u32;
+    }
+    offsets.push(acc);
+    let vertex = |j: usize, m: usize| offsets[j] + m as u32;
+    let mut graph = Cdag::new();
+    for j in 0..=k {
+        let kind = if j == k { VKind::Mul } else { VKind::Add };
+        for _ in 0..level_size(t, r, k, j) {
+            graph.add_vertex(kind);
+        }
+    }
+    for j in 0..k {
+        let n_o = t.pow((k - j - 1) as u32);
+        let n_c = r.pow(j as u32);
+        let rj = r.pow(j as u32);
+        for o in 0..n_o {
+            for c in 0..n_c {
+                for (q, prods) in shape.w_support.iter().enumerate() {
+                    let out = vertex(j, (o * t + q) * rj + c);
+                    for &l in prods {
+                        let inp = vertex(j + 1, o * rj * r + l * rj + c);
+                        graph.add_edge(inp, out);
+                    }
+                }
+            }
+        }
+    }
+    graph.inputs = (offsets[k]..offsets[k + 1]).collect();
+    graph.outputs = (offsets[0]..offsets[1]).collect();
+    DecGraph { graph, k, t, r, offsets }
+}
+
+/// Which operand an encode graph encodes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EncSide {
+    /// Encode the left operand `A` (coefficients `U`).
+    A,
+    /// Encode the right operand `B` (coefficients `V`).
+    B,
+}
+
+/// The layered encode graph `Enc_k A` or `Enc_k B`.
+///
+/// Unlike [`DecGraph`], levels may *alias*: a product whose operand is a bare
+/// block reuses the input vertex (the input=output vertices of Section 4.1),
+/// so per-level id arrays are stored explicitly.
+pub struct EncGraph {
+    /// The underlying CDAG; edges directed from level `j` to level `j+1`.
+    pub graph: Cdag,
+    /// Recursion depth `k`.
+    pub k: usize,
+    /// `t = n₀²`.
+    pub t: usize,
+    /// `r = m(n₀)`.
+    pub r: usize,
+    /// `levels[j][m]` = vertex id; `levels[0]` are the `t^k` inputs and
+    /// `levels[k]` the `r^k` encoded operands.
+    pub levels: Vec<Vec<u32>>,
+}
+
+impl EncGraph {
+    /// Size of level `j` (`t^{k-j} r^j`, mirroring the decode graph).
+    pub fn level_size(&self, j: usize) -> usize {
+        self.levels[j].len()
+    }
+
+    /// Number of *distinct* vertices (aliased levels share ids).
+    pub fn n_vertices(&self) -> usize {
+        self.graph.n_vertices()
+    }
+}
+
+/// Build `Enc_k A` (or `B`) for a scheme shape.
+pub fn build_enc(shape: &SchemeShape, side: EncSide, k: usize) -> EncGraph {
+    assert!(k >= 1);
+    let (t, r) = (shape.t, shape.r);
+    let (support, alias) = match side {
+        EncSide::A => (&shape.u_support, &shape.u_alias),
+        EncSide::B => (&shape.v_support, &shape.v_alias),
+    };
+    let mut graph = Cdag::new();
+    let mut levels: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
+    let inputs: Vec<u32> = (0..level_size(t, r, k, 0)).map(|_| graph.add_vertex(VKind::Input)).collect();
+    levels.push(inputs.clone());
+    for j in 0..k {
+        let within = t.pow((k - j - 1) as u32); // positions p per region
+        let n_regions = r.pow(j as u32);
+        let mut next = vec![u32::MAX; level_size(t, r, k, j + 1)];
+        for g in 0..n_regions {
+            for p in 0..within {
+                for (l, qs) in support.iter().enumerate() {
+                    let out_idx = (g * r + l) * within + p;
+                    if let Some(q) = alias[l] {
+                        // input=output vertex: the operand is the block itself
+                        next[out_idx] = levels[j][g * (within * t) + q * within + p];
+                    } else {
+                        let v = graph.add_vertex(VKind::Add);
+                        for &q in qs {
+                            graph.add_edge(levels[j][g * (within * t) + q * within + p], v);
+                        }
+                        next[out_idx] = v;
+                    }
+                }
+            }
+        }
+        debug_assert!(next.iter().all(|&v| v != u32::MAX));
+        levels.push(next);
+    }
+    graph.inputs = levels[0].clone();
+    graph.outputs = levels[k].clone();
+    EncGraph { graph, k, t, r, levels }
+}
+
+/// The full Strassen-like CDAG `H_k`: `Enc_k A`, `Enc_k B`, the `r^k`
+/// element-wise products, and `Dec_k C`.
+pub struct HGraph {
+    /// The composed CDAG.
+    pub graph: Cdag,
+    /// Recursion depth.
+    pub k: usize,
+    /// Id offset at which the decode part starts (decode vertex `v` of the
+    /// standalone [`DecGraph`] has id `dec_offset + v` here).
+    pub dec_offset: u32,
+    /// Standalone decode graph (for level arithmetic; its ids are local).
+    pub dec: DecGraph,
+    /// Ids of the `r^k` multiplication vertices.
+    pub mults: Vec<u32>,
+    /// Ids of the `A`-input vertices.
+    pub a_inputs: Vec<u32>,
+    /// Ids of the `B`-input vertices.
+    pub b_inputs: Vec<u32>,
+}
+
+/// Build `H_k` for a scheme shape.
+///
+/// The decode part is placed after both encode parts, so the fraction of
+/// vertices lying in `Dec_k C` (the paper's `α ≥ 1/3`, used by Lemma 3.3)
+/// can be read off directly.
+pub fn build_h(shape: &SchemeShape, k: usize) -> HGraph {
+    let enc_a = build_enc(shape, EncSide::A, k);
+    let enc_b = build_enc(shape, EncSide::B, k);
+    let dec = build_dec(shape, k);
+
+    let mut graph = Cdag::new();
+    // Copy enc_a.
+    for v in 0..enc_a.graph.n_vertices() as u32 {
+        graph.add_vertex(enc_a.graph.kind(v));
+    }
+    let off_b = graph.n_vertices() as u32;
+    for v in 0..enc_b.graph.n_vertices() as u32 {
+        graph.add_vertex(enc_b.graph.kind(v));
+    }
+    let off_dec = graph.n_vertices() as u32;
+    for v in 0..dec.graph.n_vertices() as u32 {
+        graph.add_vertex(dec.graph.kind(v));
+    }
+    for &(u, v) in enc_a.graph.edges() {
+        graph.add_edge(u, v);
+    }
+    for &(u, v) in enc_b.graph.edges() {
+        graph.add_edge(off_b + u, off_b + v);
+    }
+    for &(u, v) in dec.graph.edges() {
+        graph.add_edge(off_dec + u, off_dec + v);
+    }
+    // Wire encoded operand m (of both sides) into multiplication vertex m,
+    // which is decode level-k vertex m.
+    let mults: Vec<u32> = dec.level_range(k).map(|v| off_dec + v).collect();
+    for (m, &mv) in mults.iter().enumerate() {
+        graph.add_edge(enc_a.levels[k][m], mv);
+        graph.add_edge(off_b + enc_b.levels[k][m], mv);
+    }
+    graph.inputs = enc_a
+        .levels[0]
+        .iter()
+        .copied()
+        .chain(enc_b.levels[0].iter().map(|&v| off_b + v))
+        .collect();
+    graph.outputs = dec.level_range(0).map(|v| off_dec + v).collect();
+    let a_inputs = enc_a.levels[0].clone();
+    let b_inputs = enc_b.levels[0].iter().map(|&v| off_b + v).collect();
+    HGraph { graph, k, dec_offset: off_dec, dec, mults, a_inputs, b_inputs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_matrix::scheme::{classical_scheme, strassen, winograd};
+
+    fn strassen_shape() -> SchemeShape {
+        SchemeShape::from_scheme(&strassen())
+    }
+
+    #[test]
+    fn dec1_is_the_paper_graph() {
+        let dec = build_dec(&strassen_shape(), 1);
+        // 7 product inputs + 4 outputs = 11 vertices, 12 edges (nnz of W).
+        assert_eq!(dec.graph.n_vertices(), 11);
+        assert_eq!(dec.graph.n_edges(), 12);
+        assert!(dec.graph.is_connected(), "Dec1C of Strassen is connected (§5.1.1)");
+    }
+
+    #[test]
+    fn dec1_winograd_connected() {
+        let dec = build_dec(&SchemeShape::from_scheme(&winograd()), 1);
+        assert!(dec.graph.is_connected());
+    }
+
+    #[test]
+    fn dec1_classical_disconnected() {
+        // The paper: the cubic algorithm is NOT Strassen-like because Dec1C
+        // splits into one component per output.
+        let dec = build_dec(&SchemeShape::from_scheme(&classical_scheme(2)), 1);
+        assert_eq!(dec.graph.connected_components(), 4);
+    }
+
+    #[test]
+    fn dec_level_sizes_match_fact_4_6() {
+        let k = 4;
+        let dec = build_dec(&strassen_shape(), k);
+        for j in 0..=k {
+            assert_eq!(dec.level_size(j), 4usize.pow((k - j) as u32) * 7usize.pow(j as u32));
+        }
+        let total: usize = (0..=k).map(|j| dec.level_size(j)).sum();
+        assert_eq!(dec.graph.n_vertices(), total);
+        // Fact 4.6 (with the exponent corrected to k+1: the geometric sum
+        // Σ_{j=0}^{k} (4/7)^j gives |l_{k+1}|/|V| = (3/7)/(1-(4/7)^{k+1});
+        // the paper prints k+2, which is slightly too tight).
+        let (top, _) = dec.level_fractions();
+        assert!(top >= 3.0 / 7.0 - 1e-9);
+        let exact = (3.0 / 7.0) / (1.0 - (4.0f64 / 7.0).powi(k as i32 + 1));
+        assert!((top - exact).abs() < 1e-9, "top={top} exact={exact}");
+    }
+
+    #[test]
+    fn dec_degrees_bounded_fact_4_2() {
+        // After expanding high in-degree vertices, all degrees <= 6 for
+        // Strassen's DecC (Fact 4.2).
+        let dec = build_dec(&strassen_shape(), 3);
+        let expanded = dec.graph.expand_high_in_degree();
+        let max_deg = expanded.max_degree();
+        assert!(max_deg <= 6, "max degree {max_deg} > 6");
+    }
+
+    #[test]
+    fn dec_edge_count_formula() {
+        // edges = nnz(W) * sum of component counts
+        let shape = strassen_shape();
+        for k in 1..=4 {
+            let dec = build_dec(&shape, k);
+            let comps: usize = (0..k).map(|j| dec.component_count(j)).sum();
+            assert_eq!(dec.graph.n_edges(), comps * shape.dec1_edges());
+        }
+    }
+
+    #[test]
+    fn components_partition_edges() {
+        let dec = build_dec(&strassen_shape(), 2);
+        // every edge belongs to exactly one component's (input,output) pairs
+        let mut seen = std::collections::HashSet::new();
+        for j in 0..dec.k {
+            for comp in dec.components_at(j) {
+                for l in 0..dec.r {
+                    for q in 0..dec.t {
+                        let (u, v) = (comp.input(l), comp.output(q));
+                        seen.insert((u, v));
+                    }
+                }
+            }
+        }
+        for &(u, v) in dec.graph.edges() {
+            assert!(seen.contains(&(u, v)), "edge ({u},{v}) outside all components");
+        }
+    }
+
+    #[test]
+    fn component_vertices_are_consistent() {
+        let dec = build_dec(&strassen_shape(), 3);
+        let comp = dec.component(1, 2, 3);
+        let vs = comp.vertices();
+        assert_eq!(vs.len(), 7 + 4);
+        for &v in &vs[..7] {
+            let (lev, _) = dec.locate(v);
+            assert_eq!(lev, 2);
+        }
+        for &v in &vs[7..] {
+            let (lev, _) = dec.locate(v);
+            assert_eq!(lev, 1);
+        }
+    }
+
+    #[test]
+    fn locate_roundtrips() {
+        let dec = build_dec(&strassen_shape(), 3);
+        for j in 0..=3 {
+            for m in [0usize, 1, dec.level_size(j) - 1] {
+                let v = dec.vertex(j, m);
+                assert_eq!(dec.locate(v), (j, m));
+            }
+        }
+    }
+
+    #[test]
+    fn decompose_covers_edges_disjointly() {
+        let dec = build_dec(&strassen_shape(), 4);
+        let copies = dec.decompose(2);
+        // per-stripe copy counts: stripe 0: t^2 * r^0 = 16; stripe 1: r^2 = 49
+        assert_eq!(copies.len(), 16 + 49);
+        let small = build_dec(&strassen_shape(), 2);
+        for c in &copies {
+            assert_eq!(c.len(), small.graph.n_vertices());
+        }
+        // Edge-disjointness: count edges with both endpoints in a copy and
+        // adjacent levels; they must sum to the total edge count.
+        use std::collections::HashSet;
+        let mut edge_set: HashSet<(u32, u32)> = dec.graph.edges().iter().copied().collect();
+        let mut covered = 0usize;
+        for c in &copies {
+            let verts: HashSet<u32> = c.iter().copied().collect();
+            let mut local = 0;
+            for &(u, v) in dec.graph.edges() {
+                if verts.contains(&u) && verts.contains(&v) && edge_set.remove(&(u, v)) {
+                    local += 1;
+                }
+            }
+            assert_eq!(local, small.graph.n_edges(), "copy must be a full Dec_2");
+            covered += local;
+        }
+        assert_eq!(covered, dec.graph.n_edges(), "decomposition must cover all edges");
+    }
+
+    #[test]
+    fn enc1_strassen_has_input_output_vertices() {
+        let enc = build_enc(&strassen_shape(), EncSide::A, 1);
+        // 4 inputs; products M3 = A11·…, M4 = A22·… reuse input vertices, so
+        // 5 fresh Add vertices: 9 distinct vertices total.
+        assert_eq!(enc.n_vertices(), 9);
+        assert_eq!(enc.level_size(0), 4);
+        assert_eq!(enc.level_size(1), 7);
+        let aliased = enc.levels[1].iter().filter(|v| enc.levels[0].contains(v)).count();
+        assert_eq!(aliased, 2, "A11 and A22 are used bare");
+    }
+
+    #[test]
+    fn enc_outdegree_grows_with_k() {
+        // Paper: Enc_{lg n}A has vertices of out-degree Θ(lg n).
+        let shape = strassen_shape();
+        let d2 = build_enc(&shape, EncSide::A, 2).graph.out_degrees().into_iter().max().unwrap();
+        let d4 = build_enc(&shape, EncSide::A, 4).graph.out_degrees().into_iter().max().unwrap();
+        assert!(d4 > d2, "out-degree must grow: {d2} vs {d4}");
+    }
+
+    #[test]
+    fn enc_levels_sizes() {
+        let enc = build_enc(&strassen_shape(), EncSide::B, 3);
+        assert_eq!(enc.level_size(0), 64);
+        assert_eq!(enc.level_size(1), 16 * 7);
+        assert_eq!(enc.level_size(2), 4 * 49);
+        assert_eq!(enc.level_size(3), 343);
+    }
+
+    #[test]
+    fn h1_composition_counts() {
+        let h = build_h(&strassen_shape(), 1);
+        // enc_a: 9, enc_b: 9, dec: 11 = 7 mult + 4 outputs -> total 29
+        assert_eq!(h.graph.n_vertices(), 29);
+        assert_eq!(h.mults.len(), 7);
+        assert_eq!(h.a_inputs.len(), 4);
+        assert_eq!(h.b_inputs.len(), 4);
+        assert_eq!(h.graph.outputs.len(), 4);
+        assert!(h.graph.is_connected());
+        // every mult has exactly 2 encode predecessors
+        let indeg = h.graph.in_degrees();
+        for &m in &h.mults {
+            assert_eq!(indeg[m as usize], 2);
+        }
+    }
+
+    #[test]
+    fn h_dec_fraction_at_least_one_third() {
+        // "at least one third of the vertices of H_{lg n} are in Dec_{lg n}C"
+        for k in 1..=4 {
+            let h = build_h(&strassen_shape(), k);
+            let frac = h.dec.graph.n_vertices() as f64 / h.graph.n_vertices() as f64;
+            assert!(frac >= 1.0 / 3.0, "k={k}: fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn h_is_acyclic_and_flows_input_to_output() {
+        let h = build_h(&strassen_shape(), 2);
+        let order = h.graph.topological_order();
+        assert_eq!(order.len(), h.graph.n_vertices());
+        // inputs have in-degree 0; outputs out-degree 0
+        let indeg = h.graph.in_degrees();
+        let outdeg = h.graph.out_degrees();
+        for &v in &h.graph.inputs {
+            assert_eq!(indeg[v as usize], 0);
+        }
+        for &v in &h.graph.outputs {
+            assert_eq!(outdeg[v as usize], 0);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # fastmm-cdag — computation DAGs of Strassen-like algorithms
+//!
+//! Builds and analyzes the computation graphs at the heart of *Ballard,
+//! Demmel, Holtz, Schwartz (SPAA'11)*:
+//!
+//! * [`graph`] — the CDAG representation (Section 3.1), degree/connectivity
+//!   utilities, binary-tree expansion of high in-degree vertices
+//!   (Comment 4.1), DOT export for the Figure 2 drawings;
+//! * [`layered`] — the top-down construction of `Enc_k A`, `Enc_k B`,
+//!   `Dec_k C`, and `H_k` (Section 4.1.1), `G₁` component enumeration, and
+//!   the edge-disjoint decomposition of Claim 2.1 / Corollary 4.4;
+//! * [`trace`] — a tracing executor recording the true CDAG of an actual
+//!   recursive run (including Winograd's shared subexpressions and classical
+//!   base cases below a cutoff);
+//! * [`tree`] — the recursion tree `T_k` of Figure 3 with the `ρ_u`
+//!   machinery from the proof of Lemma 4.3;
+//! * [`bitset`] — compact vertex subsets for the expansion/partition
+//!   arguments.
+
+pub mod bitset;
+pub mod graph;
+pub mod layered;
+pub mod trace;
+pub mod tree;
+
+pub use bitset::BitSet;
+pub use graph::{Cdag, Csr, VKind};
+pub use layered::{build_dec, build_enc, build_h, DecGraph, EncGraph, EncSide, HGraph, SchemeShape};
+pub use trace::{trace_multiply, TracedCdag};
+pub use tree::{DecTree, TreeNode};

@@ -1,0 +1,242 @@
+//! Tracing executor: run a Strassen-like recursion *symbolically* and record
+//! the true computation DAG it performs.
+//!
+//! Where [`crate::layered`] constructs `H_k` top-down from the paper's
+//! recursive description, this module derives the CDAG bottom-up from the
+//! algorithm itself: matrices of vertex ids flow through the scheme's
+//! straight-line programs, so the resulting graph reflects the *actual
+//! variant executed* — Winograd's common-subexpression sharing, classical
+//! base cases below a cutoff, and the input=output operand reuse the paper
+//! discusses for `Enc₁`. Cross-checking the two constructions (vertex
+//! classes, product counts, output counts) is one of the strongest
+//! consistency tests in the repository.
+
+use crate::graph::{Cdag, VKind};
+use fastmm_matrix::scheme::{BilinearScheme, Slp};
+
+/// A square matrix of CDAG vertex ids.
+#[derive(Clone, Debug)]
+pub struct IdMat {
+    /// Side length.
+    pub n: usize,
+    /// Row-major ids.
+    pub ids: Vec<u32>,
+}
+
+impl IdMat {
+    fn block(&self, g: usize, bi: usize, bj: usize) -> IdMat {
+        let bs = self.n / g;
+        let mut ids = Vec::with_capacity(bs * bs);
+        for i in 0..bs {
+            for j in 0..bs {
+                ids.push(self.ids[(bi * bs + i) * self.n + (bj * bs + j)]);
+            }
+        }
+        IdMat { n: bs, ids }
+    }
+
+    fn assemble(g: usize, blocks: &[IdMat]) -> IdMat {
+        let bs = blocks[0].n;
+        let n = g * bs;
+        let mut ids = vec![0u32; n * n];
+        for (q, b) in blocks.iter().enumerate() {
+            let (bi, bj) = (q / g, q % g);
+            for i in 0..bs {
+                for j in 0..bs {
+                    ids[(bi * bs + i) * n + (bj * bs + j)] = b.ids[i * bs + j];
+                }
+            }
+        }
+        IdMat { n, ids }
+    }
+}
+
+/// The result of tracing a multiplication.
+pub struct TracedCdag {
+    /// The recorded CDAG.
+    pub graph: Cdag,
+    /// Ids of the entries of `A` (row-major).
+    pub a: IdMat,
+    /// Ids of the entries of `B`.
+    pub b: IdMat,
+    /// Ids of the entries of the product `C`.
+    pub c: IdMat,
+    /// Number of multiplication vertices recorded.
+    pub n_mults: usize,
+}
+
+struct Tracer {
+    g: Cdag,
+    n_mults: usize,
+}
+
+impl Tracer {
+    /// Apply an SLP element-wise over block id-matrices.
+    fn apply_slp(&mut self, slp: &Slp, inputs: &[IdMat]) -> Vec<IdMat> {
+        assert_eq!(inputs.len(), slp.n_inputs);
+        let bs = inputs[0].n;
+        let mut tape: Vec<IdMat> = inputs.to_vec();
+        for op in &slp.ops {
+            let mut ids = Vec::with_capacity(bs * bs);
+            for e in 0..bs * bs {
+                let v = self.g.add_vertex(VKind::Add);
+                if op.ca != 0 {
+                    self.g.add_edge(tape[op.a].ids[e], v);
+                }
+                if op.cb != 0 {
+                    self.g.add_edge(tape[op.b].ids[e], v);
+                }
+                ids.push(v);
+            }
+            tape.push(IdMat { n: bs, ids });
+        }
+        slp.outputs.iter().map(|&i| tape[i].clone()).collect()
+    }
+
+    /// Classical `i-k-j` trace: one Mul vertex per scalar product, an Add
+    /// chain per output accumulation.
+    fn classical(&mut self, a: &IdMat, b: &IdMat) -> IdMat {
+        let n = a.n;
+        let mut out = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                let mut acc: Option<u32> = None;
+                for l in 0..n {
+                    let m = self.g.add_vertex(VKind::Mul);
+                    self.n_mults += 1;
+                    self.g.add_edge(a.ids[i * n + l], m);
+                    self.g.add_edge(b.ids[l * n + j], m);
+                    acc = Some(match acc {
+                        None => m,
+                        Some(prev) => {
+                            let s = self.g.add_vertex(VKind::Add);
+                            self.g.add_edge(prev, s);
+                            self.g.add_edge(m, s);
+                            s
+                        }
+                    });
+                }
+                out.push(acc.expect("n >= 1"));
+            }
+        }
+        IdMat { n, ids: out }
+    }
+
+    fn recurse(&mut self, scheme: &BilinearScheme, a: &IdMat, b: &IdMat, cutoff: usize) -> IdMat {
+        let n = a.n;
+        let n0 = scheme.n0;
+        if n <= cutoff || n % n0 != 0 {
+            return self.classical(a, b);
+        }
+        let t = n0 * n0;
+        let a_blocks: Vec<IdMat> = (0..t).map(|q| a.block(n0, q / n0, q % n0)).collect();
+        let b_blocks: Vec<IdMat> = (0..t).map(|q| b.block(n0, q / n0, q % n0)).collect();
+        let ta = self.apply_slp(&scheme.enc_a, &a_blocks);
+        let tb = self.apply_slp(&scheme.enc_b, &b_blocks);
+        let products: Vec<IdMat> =
+            (0..scheme.r).map(|l| self.recurse(scheme, &ta[l], &tb[l], cutoff)).collect();
+        let c_blocks = self.apply_slp(&scheme.dec_c, &products);
+        IdMat::assemble(n0, &c_blocks)
+    }
+}
+
+/// Trace the scheme's recursion on `n x n` operands (`n` a power of `n₀`),
+/// recursing down to `cutoff` and running a classical trace below it.
+pub fn trace_multiply(scheme: &BilinearScheme, n: usize, cutoff: usize) -> TracedCdag {
+    let mut tr = Tracer { g: Cdag::new(), n_mults: 0 };
+    let a = IdMat {
+        n,
+        ids: (0..n * n).map(|_| tr.g.add_vertex(VKind::Input)).collect(),
+    };
+    let b = IdMat {
+        n,
+        ids: (0..n * n).map(|_| tr.g.add_vertex(VKind::Input)).collect(),
+    };
+    let c = tr.recurse(scheme, &a, &b, cutoff.max(1));
+    tr.g.inputs = a.ids.iter().chain(&b.ids).copied().collect();
+    tr.g.outputs = c.ids.clone();
+    let (_, _, n_mults) = tr.g.kind_counts();
+    TracedCdag { graph: tr.g, a, b, c, n_mults }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_matrix::recursive::scheme_op_count;
+    use fastmm_matrix::scheme::{classical_scheme, strassen, winograd};
+
+    #[test]
+    fn strassen_trace_mult_count_is_7_pow_k() {
+        for k in 1..=4usize {
+            let n = 1 << k;
+            let t = trace_multiply(&strassen(), n, 1);
+            assert_eq!(t.n_mults, 7usize.pow(k as u32), "n={n}");
+        }
+    }
+
+    #[test]
+    fn classical_trace_mult_count_is_cubic() {
+        let t = trace_multiply(&classical_scheme(2), 8, 8);
+        assert_eq!(t.n_mults, 512);
+    }
+
+    #[test]
+    fn trace_add_count_matches_op_count() {
+        // Adds recorded in the CDAG must equal the analytic SLP-based count
+        // (including the classical base-case adds).
+        for (scheme, n, cutoff) in
+            [(strassen(), 8usize, 1usize), (winograd(), 8, 1), (strassen(), 16, 4)]
+        {
+            let t = trace_multiply(&scheme, n, cutoff);
+            let (_, adds, muls) = t.graph.kind_counts();
+            let expect = scheme_op_count(&scheme, n, cutoff);
+            assert_eq!(muls as u128, expect.mults, "{} n={n}", scheme.name);
+            assert_eq!(adds as u128, expect.adds, "{} n={n}", scheme.name);
+        }
+    }
+
+    #[test]
+    fn trace_is_acyclic_with_correct_io() {
+        let t = trace_multiply(&strassen(), 4, 1);
+        let order = t.graph.topological_order();
+        assert_eq!(order.len(), t.graph.n_vertices());
+        assert_eq!(t.graph.inputs.len(), 32); // 2 * 4 * 4
+        assert_eq!(t.graph.outputs.len(), 16);
+        let indeg = t.graph.in_degrees();
+        // binary operations only
+        assert!(indeg.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn winograd_trace_is_smaller_than_strassen() {
+        let ws = trace_multiply(&winograd(), 16, 1).graph.n_vertices();
+        let ss = trace_multiply(&strassen(), 16, 1).graph.n_vertices();
+        assert!(ws < ss, "winograd {ws} vs strassen {ss}");
+    }
+
+    #[test]
+    fn outputs_depend_on_inputs() {
+        // every output must be reachable from at least one input
+        let t = trace_multiply(&strassen(), 4, 1);
+        let csr = crate::graph::Csr::from_directed(t.graph.n_vertices(), t.graph.edges());
+        let mut reach = vec![false; t.graph.n_vertices()];
+        let mut stack: Vec<u32> = t.graph.inputs.clone();
+        while let Some(u) = stack.pop() {
+            if reach[u as usize] {
+                continue;
+            }
+            reach[u as usize] = true;
+            stack.extend(csr.neighbors(u));
+        }
+        for &o in &t.graph.outputs {
+            assert!(reach[o as usize], "output {o} unreachable");
+        }
+    }
+
+    #[test]
+    fn cutoff_reduces_vertices() {
+        let fine = trace_multiply(&strassen(), 16, 1).graph.n_vertices();
+        let coarse = trace_multiply(&strassen(), 16, 8).graph.n_vertices();
+        assert!(coarse > 0 && coarse != fine);
+    }
+}

@@ -1,0 +1,227 @@
+//! The recursion tree `T_k` of a decode graph (paper Figure 3) and the
+//! subset-density machinery `ρ_u` used in the proof of Lemma 4.3.
+//!
+//! `T_k` has height `k+1`; its root corresponds to the largest level
+//! `l_{k+1}` of `G_k = Dec_k C`, each internal node has `t` (= 4 for
+//! Strassen) children, and the node at depth `dep` with region index `o`
+//! corresponds to the vertices of level `k - dep` (output-side counting)
+//! whose region prefix is `o` — a contiguous id range thanks to the
+//! mixed-radix vertex indexing of [`crate::layered`].
+
+use crate::bitset::BitSet;
+use crate::layered::DecGraph;
+
+/// A node of the recursion tree: depth from the root and region index.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Distance from the root (root = 0, leaves = k).
+    pub depth: usize,
+    /// Region index `o ∈ [t^depth]`.
+    pub region: usize,
+}
+
+/// The recursion tree over a [`DecGraph`].
+pub struct DecTree<'a> {
+    dec: &'a DecGraph,
+}
+
+impl<'a> DecTree<'a> {
+    /// View the tree of a decode graph.
+    pub fn new(dec: &'a DecGraph) -> Self {
+        DecTree { dec }
+    }
+
+    /// The root (corresponds to the whole product level `l_{k+1}`).
+    pub fn root(&self) -> TreeNode {
+        TreeNode { depth: 0, region: 0 }
+    }
+
+    /// `t` children of an internal node.
+    pub fn children(&self, u: TreeNode) -> Vec<TreeNode> {
+        assert!(u.depth < self.dec.k, "leaves have no children");
+        (0..self.dec.t)
+            .map(|q| TreeNode { depth: u.depth + 1, region: u.region * self.dec.t + q })
+            .collect()
+    }
+
+    /// Parent of a non-root node.
+    pub fn parent(&self, u: TreeNode) -> TreeNode {
+        assert!(u.depth > 0, "root has no parent");
+        TreeNode { depth: u.depth - 1, region: u.region / self.dec.t }
+    }
+
+    /// Number of nodes at depth `dep` (`t^dep`).
+    pub fn width(&self, dep: usize) -> usize {
+        self.dec.t.pow(dep as u32)
+    }
+
+    /// The vertex set `V_u ⊆ V(G_k)` of node `u`: a contiguous id range of
+    /// size `r^{k - depth}` inside level `k - depth`.
+    pub fn vertex_range(&self, u: TreeNode) -> std::ops::Range<u32> {
+        let level = self.dec.k - u.depth;
+        let span = self.dec.r.pow(level as u32);
+        let start = self.dec.vertex(level, u.region * span);
+        start..start + span as u32
+    }
+
+    /// `|V_u|`.
+    pub fn set_size(&self, u: TreeNode) -> usize {
+        self.dec.r.pow((self.dec.k - u.depth) as u32)
+    }
+
+    /// `ρ_u = |S ∩ V_u| / |V_u|` for a vertex subset `S`.
+    pub fn rho(&self, s: &BitSet, u: TreeNode) -> f64 {
+        let range = self.vertex_range(u);
+        let hits = range.clone().filter(|&v| s.contains(v)).count();
+        hits as f64 / (range.len() as f64)
+    }
+
+    /// All `ρ_u` at a given depth, computed in one sweep over the level.
+    pub fn rho_at_depth(&self, s: &BitSet, dep: usize) -> Vec<f64> {
+        let level = self.dec.k - dep;
+        let span = self.dec.r.pow(level as u32);
+        let width = self.width(dep);
+        let mut counts = vec![0usize; width];
+        for (idx, v) in self.dec.level_range(level).enumerate() {
+            if s.contains(v) {
+                counts[idx / span] += 1;
+            }
+        }
+        counts.into_iter().map(|c| c as f64 / span as f64).collect()
+    }
+
+    /// The tree-heterogeneity sum `Σ_{u} |ρ_u − ρ_{p(u)}| · |V_u|` over all
+    /// non-root nodes — the quantity Claim 4.10 charges cut edges against.
+    pub fn heterogeneity(&self, s: &BitSet) -> f64 {
+        let mut total = 0.0;
+        let mut parent_rho = self.rho_at_depth(s, 0);
+        for dep in 1..=self.dec.k {
+            let rho = self.rho_at_depth(s, dep);
+            let set = self.set_size(TreeNode { depth: dep, region: 0 }) as f64;
+            for (o, &ru) in rho.iter().enumerate() {
+                total += (ru - parent_rho[o / self.dec.t]).abs() * set;
+            }
+            parent_rho = rho;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layered::{build_dec, SchemeShape};
+    use fastmm_matrix::scheme::strassen;
+
+    fn dec(k: usize) -> DecGraph {
+        build_dec(&SchemeShape::from_scheme(&strassen()), k)
+    }
+
+    #[test]
+    fn tree_shape() {
+        let d = dec(3);
+        let t = DecTree::new(&d);
+        assert_eq!(t.width(0), 1);
+        assert_eq!(t.width(1), 4);
+        assert_eq!(t.width(3), 64);
+        assert_eq!(t.set_size(t.root()), 343);
+        let kids = t.children(t.root());
+        assert_eq!(kids.len(), 4);
+        for kid in kids {
+            assert_eq!(t.set_size(kid), 49);
+            assert_eq!(t.parent(kid), t.root());
+        }
+    }
+
+    #[test]
+    fn vertex_ranges_partition_levels() {
+        let d = dec(3);
+        let t = DecTree::new(&d);
+        for dep in 0..=3usize {
+            let level = 3 - dep;
+            let mut covered = 0usize;
+            let mut prev_end = d.level_range(level).start;
+            for o in 0..t.width(dep) {
+                let range = t.vertex_range(TreeNode { depth: dep, region: o });
+                assert_eq!(range.start, prev_end, "ranges must be contiguous");
+                prev_end = range.end;
+                covered += range.len();
+            }
+            assert_eq!(covered, d.level_size(level));
+        }
+    }
+
+    #[test]
+    fn rho_root_is_fraction_of_top_level() {
+        let d = dec(2);
+        let t = DecTree::new(&d);
+        let mut s = BitSet::new(d.graph.n_vertices());
+        // put half of the product level into S
+        let top: Vec<u32> = d.level_range(2).collect();
+        for &v in &top[..top.len() / 2] {
+            s.insert(v);
+        }
+        let rho = t.rho(&s, t.root());
+        assert!((rho - (top.len() / 2) as f64 / top.len() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rho_at_depth_matches_pointwise() {
+        let d = dec(3);
+        let t = DecTree::new(&d);
+        let mut s = BitSet::new(d.graph.n_vertices());
+        // arbitrary but deterministic subset
+        for v in d.level_range(2).step_by(3) {
+            s.insert(v);
+        }
+        for v in d.level_range(3).step_by(5) {
+            s.insert(v);
+        }
+        for dep in 0..=3usize {
+            let bulk = t.rho_at_depth(&s, dep);
+            for o in 0..t.width(dep) {
+                let single = t.rho(&s, TreeNode { depth: dep, region: o });
+                assert!((bulk[o] - single).abs() < 1e-12, "dep={dep} o={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_rho_is_zero_or_one() {
+        let d = dec(2);
+        let t = DecTree::new(&d);
+        let mut s = BitSet::new(d.graph.n_vertices());
+        s.insert(d.vertex(0, 0));
+        s.insert(d.vertex(0, 5));
+        let leaf_rho = t.rho_at_depth(&s, 2);
+        assert_eq!(leaf_rho.len(), 16);
+        for r in leaf_rho {
+            assert!(r == 0.0 || r == 1.0);
+        }
+    }
+
+    #[test]
+    fn heterogeneity_zero_for_empty_and_full() {
+        let d = dec(2);
+        let t = DecTree::new(&d);
+        let empty = BitSet::new(d.graph.n_vertices());
+        assert_eq!(t.heterogeneity(&empty), 0.0);
+        let full = BitSet::from_iter(
+            d.graph.n_vertices(),
+            0..d.graph.n_vertices() as u32,
+        );
+        assert_eq!(t.heterogeneity(&full), 0.0);
+    }
+
+    #[test]
+    fn heterogeneity_positive_for_skewed_set() {
+        let d = dec(2);
+        let t = DecTree::new(&d);
+        // S = one subtree's worth of level-0 vertices: leaves disagree with root
+        let mut s = BitSet::new(d.graph.n_vertices());
+        for v in d.level_range(0).take(4) {
+            s.insert(v);
+        }
+        assert!(t.heterogeneity(&s) > 0.0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # fastmm-core — communication bounds for fast matrix multiplication
+//!
+//! The primary contribution of *Ballard, Demmel, Holtz, Schwartz, "Graph
+//! Expansion and Communication Costs of Fast Matrix Multiplication"
+//! (SPAA'11)*, as an executable library:
+//!
+//! * [`bounds`] — Theorems 1.1/1.3, Corollaries 1.2/1.4, the latency bounds
+//!   of footnote 8, and the Table I memory-regime rows, in closed form;
+//! * [`registry`] — `(n₀, m(n₀))` parameters of concrete and abstract
+//!   Strassen-like schemes;
+//! * [`pipeline`] — the expansion ⇒ I/O machinery of Lemma 3.3 / Claim 3.2
+//!   evaluated numerically against expansion certificates.
+//!
+//! The substrate crates are re-exported so downstream users need a single
+//! dependency:
+//!
+//! ```
+//! use fastmm_core::prelude::*;
+//!
+//! let a = Matrix::<i64>::identity(8);
+//! let b = Matrix::<i64>::identity(8);
+//! let c = multiply_strassen(&a, &b, 2);
+//! assert_eq!(c, Matrix::identity(8));
+//!
+//! let bound = seq_bandwidth_lower_bound(STRASSEN, 1024, 4096);
+//! assert!(bound > 0.0);
+//! ```
+
+pub mod bounds;
+pub mod pipeline;
+pub mod registry;
+
+pub use fastmm_cdag as cdag;
+pub use fastmm_expansion as expansion;
+pub use fastmm_matrix as matrix;
+pub use fastmm_memsim as memsim;
+pub use fastmm_parsim as parsim;
+pub use fastmm_pebble as pebble;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use crate::bounds::{
+        par_bandwidth_lower_bound, par_latency_lower_bound, seq_bandwidth_lower_bound,
+        seq_bandwidth_upper_bound, seq_latency_lower_bound, table1_closed_form,
+        table1_lower_bound, MemoryRegime,
+    };
+    pub use crate::pipeline::{dec_vertices, expansion_io_bound, ExpansionIoBound};
+    pub use crate::registry::{
+        all_params, SchemeParams, CLASSICAL, LADERMAN, STRASSEN, STRASSEN_SQUARED,
+    };
+    pub use fastmm_matrix::classical::{multiply_blocked, multiply_ikj, multiply_naive};
+    pub use fastmm_matrix::recursive::{
+        multiply_non_stationary, multiply_scheme, multiply_scheme_padded, multiply_strassen,
+        multiply_winograd,
+        scheme_op_count,
+    };
+    pub use fastmm_matrix::scheme::{classical_scheme, strassen, winograd, BilinearScheme};
+    pub use fastmm_matrix::{Fp, MatMut, MatRef, Matrix, Scalar};
+}

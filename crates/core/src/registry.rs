@@ -1,0 +1,82 @@
+//! Scheme parameters for the bound formulas.
+//!
+//! Theorem 1.3 needs only the pair `(n₀, m(n₀))` of a Strassen-like base
+//! case, not its coefficients, so abstract entries (e.g. Laderman's
+//! `⟨3; 23⟩`, whose coefficient triple we deliberately do not ship — see
+//! DESIGN.md) coexist with the executable schemes of `fastmm-matrix`.
+
+use fastmm_matrix::scheme::BilinearScheme;
+
+/// `(n₀, m(n₀))` of a (possibly abstract) Strassen-like base case.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SchemeParams {
+    /// Display name.
+    pub name: &'static str,
+    /// Base dimension `n₀`.
+    pub n0: usize,
+    /// Multiplication count `m(n₀)`.
+    pub r: usize,
+}
+
+impl SchemeParams {
+    /// Construct parameters.
+    pub const fn new(name: &'static str, n0: usize, r: usize) -> Self {
+        SchemeParams { name, n0, r }
+    }
+
+    /// `ω₀ = log_{n₀} r`.
+    pub fn omega0(&self) -> f64 {
+        (self.r as f64).ln() / (self.n0 as f64).ln()
+    }
+
+    /// Extract parameters from an executable scheme.
+    pub fn of_scheme(s: &BilinearScheme) -> SchemeParams {
+        // leak the name so the struct stays Copy; schemes are few and static
+        let name: &'static str = Box::leak(s.name.clone().into_boxed_str());
+        SchemeParams { name, n0: s.n0, r: s.r }
+    }
+}
+
+/// Classical `⟨2; 8⟩` (`ω₀ = 3`).
+pub const CLASSICAL: SchemeParams = SchemeParams::new("classical", 2, 8);
+/// Strassen / Winograd `⟨2; 7⟩` (`ω₀ = lg 7 ≈ 2.807`).
+pub const STRASSEN: SchemeParams = SchemeParams::new("strassen", 2, 7);
+/// Laderman `⟨3; 23⟩` (`ω₀ = log₃ 23 ≈ 2.854`), bound formulas only.
+pub const LADERMAN: SchemeParams = SchemeParams::new("laderman<3;23>", 3, 23);
+/// Strassen tensor square `⟨4; 49⟩` (same `ω₀` as Strassen).
+pub const STRASSEN_SQUARED: SchemeParams = SchemeParams::new("strassen⊗strassen", 4, 49);
+
+/// All parameter entries used by the experiment harness.
+pub fn all_params() -> Vec<SchemeParams> {
+    vec![CLASSICAL, STRASSEN, LADERMAN, STRASSEN_SQUARED]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_matrix::scheme::{strassen, winograd};
+
+    #[test]
+    fn omega0_reference_values() {
+        assert!((CLASSICAL.omega0() - 3.0).abs() < 1e-12);
+        assert!((STRASSEN.omega0() - 7f64.log2()).abs() < 1e-12);
+        assert!((STRASSEN_SQUARED.omega0() - 7f64.log2()).abs() < 1e-12);
+        assert!((LADERMAN.omega0() - 23f64.ln() / 3f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn of_scheme_matches_constants() {
+        let s = SchemeParams::of_scheme(&strassen());
+        assert_eq!((s.n0, s.r), (STRASSEN.n0, STRASSEN.r));
+        let w = SchemeParams::of_scheme(&winograd());
+        assert_eq!((w.n0, w.r), (2, 7));
+    }
+
+    #[test]
+    fn registry_is_sorted_by_omega_interval() {
+        for p in all_params() {
+            let o = p.omega0();
+            assert!((2.0..=3.0).contains(&o), "{}: {o}", p.name);
+        }
+    }
+}

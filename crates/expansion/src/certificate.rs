@@ -1,0 +1,286 @@
+//! Replay of the Main Lemma's combinatorial machinery (Lemma 4.3,
+//! Claims 4.7–4.10) on concrete vertex subsets of a decode graph.
+//!
+//! Given any `S ⊆ V(Dec_k C)`, the proof of Lemma 4.3 lower-bounds
+//! `|E(S, V∖S)|` in two ways:
+//!
+//! * **Level homogeneity** (Claims 4.7/4.8): between consecutive levels,
+//!   at least `|σ_{j+1} − σ_j| · #components(j)` base components are *mixed*
+//!   (contain both `S` and non-`S` vertices), and every mixed, connected
+//!   component contributes at least one cut edge.
+//! * **Tree heterogeneity** (Claims 4.9/4.10, Figure 3): the densities
+//!   `ρ_u` along the recursion tree must drift from the root density to the
+//!   0/1 leaf densities, and each unit of drift forces mixed components.
+//!
+//! [`lemma43_certificate`] computes every quantity in the proof *exactly* on
+//! the given set, so tests (and the E3 experiment) can check each inequality
+//! of the published proof on real data.
+
+use fastmm_cdag::bitset::BitSet;
+use fastmm_cdag::layered::DecGraph;
+use fastmm_cdag::tree::DecTree;
+
+/// All quantities of the Lemma 4.3 proof evaluated on a concrete set `S`.
+#[derive(Clone, Debug)]
+pub struct Lemma43Certificate {
+    /// `σ = |S|/|V|`.
+    pub sigma: f64,
+    /// Per-level densities `σ_j = |S ∩ level_j| / |level_j|` (level 0 = the
+    /// paper's `l_1`, outputs).
+    pub level_sigma: Vec<f64>,
+    /// Exact `|E(S, V∖S)|`.
+    pub cut_edges: usize,
+    /// Exact number of mixed base components.
+    pub mixed_components: usize,
+    /// Claim 4.7 aggregate: `Σ_j |σ_{j+1} − σ_j| · #components(j)`.
+    pub level_bound: f64,
+    /// Per-node tree bound: `Σ_u max_i |ρ_{u_i} − ρ_u| · #components(u)`.
+    pub tree_bound: f64,
+    /// `Σ_{leaves v} |ρ_v − ρ_root|` (Fact 4.9 form).
+    pub leaf_deviation: f64,
+    /// Paper-style leaf bound `leaf_deviation / t` (valid: see module docs).
+    pub leaf_bound: f64,
+}
+
+impl Lemma43Certificate {
+    /// The strongest of the proof's lower bounds on the cut.
+    pub fn guaranteed_cut(&self) -> f64 {
+        self.level_bound.max(self.tree_bound).max(self.leaf_bound)
+    }
+}
+
+/// Evaluate the Lemma 4.3 machinery on subset `s` of `dec`'s vertices.
+pub fn lemma43_certificate(dec: &DecGraph, s: &BitSet) -> Lemma43Certificate {
+    assert_eq!(s.universe(), dec.graph.n_vertices());
+    let n = dec.graph.n_vertices() as f64;
+    let sigma = s.count() as f64 / n;
+
+    let level_sigma: Vec<f64> = (0..=dec.k)
+        .map(|j| {
+            let range = dec.level_range(j);
+            let hits = range.clone().filter(|&v| s.contains(v)).count();
+            hits as f64 / range.len() as f64
+        })
+        .collect();
+
+    let mut cut_edges = 0usize;
+    for &(u, v) in dec.graph.edges() {
+        if s.contains(u) != s.contains(v) {
+            cut_edges += 1;
+        }
+    }
+
+    let mut mixed_components = 0usize;
+    for j in 0..dec.k {
+        for comp in dec.components_at(j) {
+            let mut any_in = false;
+            let mut any_out = false;
+            for l in 0..dec.r {
+                if s.contains(comp.input(l)) {
+                    any_in = true;
+                } else {
+                    any_out = true;
+                }
+            }
+            for q in 0..dec.t {
+                if s.contains(comp.output(q)) {
+                    any_in = true;
+                } else {
+                    any_out = true;
+                }
+            }
+            if any_in && any_out {
+                mixed_components += 1;
+            }
+        }
+    }
+
+    let level_bound: f64 = (0..dec.k)
+        .map(|j| (level_sigma[j + 1] - level_sigma[j]).abs() * dec.component_count(j) as f64)
+        .sum();
+
+    let tree = DecTree::new(dec);
+    let mut tree_bound = 0.0;
+    let mut parent_rho = tree.rho_at_depth(s, 0);
+    for dep in 1..=dec.k {
+        let rho = tree.rho_at_depth(s, dep);
+        // pool size: #components between a node at depth dep-1 and its
+        // children = r^{k - dep}
+        let pool = dec.r.pow((dec.k - dep) as u32) as f64;
+        for (parent, _) in parent_rho.iter().enumerate() {
+            let max_dev = (0..dec.t)
+                .map(|q| (rho[parent * dec.t + q] - parent_rho[parent]).abs())
+                .fold(0.0, f64::max);
+            tree_bound += max_dev * pool;
+        }
+        parent_rho = rho;
+    }
+
+    let rho_root = level_sigma[dec.k];
+    let l1 = dec.level_size(0) as f64;
+    let in_l1 = level_sigma[0] * l1;
+    let leaf_deviation = in_l1 * (1.0 - rho_root) + (l1 - in_l1) * rho_root;
+    let leaf_bound = leaf_deviation / dec.t as f64;
+
+    Lemma43Certificate {
+        sigma,
+        level_sigma,
+        cut_edges,
+        mixed_components,
+        level_bound,
+        tree_bound,
+        leaf_deviation,
+        leaf_bound,
+    }
+}
+
+/// The explicit constant-bearing lower bound on `h(Dec_k C)` that the proof
+/// of Lemma 4.3 guarantees:
+/// `h ≥ (|l_1| / |V|) / (c_case · d)` with `c_case = max(10·t, t/0.405) = 40`
+/// for Strassen — i.e. `h(Dec_k C) ≥ (3/(7·40·d)) · (4/7)^k`-ish, the
+/// `Ω((t/r)^k)` of the Main Lemma with all constants spelled out.
+pub fn lemma43_min_expansion(dec: &DecGraph, d: u32) -> f64 {
+    let l1_frac = dec.level_size(0) as f64 / dec.graph.n_vertices() as f64;
+    // Case 1 (some level deviates by ≥ σ/10): cut ≥ |l1|·σ/(10·t).
+    let case1 = 1.0 / (10.0 * dec.t as f64);
+    // Case 2 (all levels within σ/10 of σ, σ ≤ 1/2):
+    // leaf_deviation ≥ |l1|·((1−σ₁)ρ_r + σ₁(1−ρ_r)) ≥ |l1|·0.405·σ,
+    // cut ≥ leaf_deviation / t.
+    let case2 = 0.405 / dec.t as f64;
+    let c = case1.min(case2);
+    l1_frac * c / d as f64
+}
+
+/// Claim 2.1 / Corollary 4.4 transfer: if `G` decomposes into edge-disjoint
+/// copies of `G'` (`d'`-regularized, `|V'|` vertices) with `h(G') ≥ h_small`,
+/// then sets of size at most `|V'|/2` in `G` have expansion at least
+/// `h_small · d'/d`. Returns `(s, h_s lower bound)`.
+pub fn small_set_expansion_bound(
+    v_small: usize,
+    h_small: f64,
+    d_small: u32,
+    d_big: u32,
+) -> (usize, f64) {
+    (v_small / 2, h_small * d_small as f64 / d_big as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_cdag::layered::{build_dec, SchemeShape};
+    use fastmm_matrix::scheme::strassen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dec(k: usize) -> DecGraph {
+        build_dec(&SchemeShape::from_scheme(&strassen()), k)
+    }
+
+    fn random_subset(n: usize, frac: f64, seed: u64) -> BitSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = BitSet::new(n);
+        for v in 0..n as u32 {
+            if rng.gen::<f64>() < frac {
+                s.insert(v);
+            }
+        }
+        if s.count() == 0 {
+            s.insert(0);
+        }
+        s
+    }
+
+    #[test]
+    fn proof_inequalities_hold_on_random_sets() {
+        // Every bound in the certificate must be a genuine lower bound on
+        // mixed components, and mixed components a lower bound on cut edges.
+        for k in 1..=3usize {
+            let d = dec(k);
+            for seed in 0..8u64 {
+                let frac = 0.1 + 0.05 * seed as f64;
+                let s = random_subset(d.graph.n_vertices(), frac, seed);
+                let cert = lemma43_certificate(&d, &s);
+                assert!(
+                    cert.mixed_components <= cert.cut_edges,
+                    "k={k} seed={seed}: mixed {} > cut {}",
+                    cert.mixed_components,
+                    cert.cut_edges
+                );
+                let m = cert.mixed_components as f64 + 1e-9;
+                assert!(cert.level_bound <= m, "k={k} seed={seed}: level bound");
+                assert!(cert.tree_bound <= m, "k={k} seed={seed}: tree bound");
+                assert!(cert.leaf_bound <= m, "k={k} seed={seed}: leaf bound");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_levels_give_zero_bounds() {
+        let d = dec(2);
+        let mut s = BitSet::new(d.graph.n_vertices());
+        s.insert(0);
+        s.remove(0);
+        s.insert(d.vertex(0, 0));
+        let cert = lemma43_certificate(&d, &s);
+        assert!(cert.cut_edges > 0);
+        assert!(cert.sigma > 0.0);
+    }
+
+    #[test]
+    fn full_set_has_zero_cut() {
+        let d = dec(2);
+        let s = BitSet::from_iter(d.graph.n_vertices(), 0..d.graph.n_vertices() as u32);
+        let cert = lemma43_certificate(&d, &s);
+        assert_eq!(cert.cut_edges, 0);
+        assert_eq!(cert.mixed_components, 0);
+        assert!(cert.guaranteed_cut() < 1e-9);
+    }
+
+    #[test]
+    fn half_top_level_set_is_detected() {
+        let d = dec(3);
+        let top: Vec<u32> = d.level_range(3).collect();
+        let s = BitSet::from_iter(d.graph.n_vertices(), top[..top.len() / 2].iter().copied());
+        let cert = lemma43_certificate(&d, &s);
+        // only the top level is populated: σ_3 = 1/2 ± ε, σ_0..2 = 0
+        assert!((cert.level_sigma[3] - 0.5).abs() < 0.01);
+        assert!(cert.level_sigma[0] == 0.0);
+        assert!(cert.level_bound > 0.0);
+        assert!(cert.cut_edges >= cert.guaranteed_cut() as usize);
+    }
+
+    #[test]
+    fn min_expansion_guarantee_scales_like_4_7() {
+        let d2 = dec(2);
+        let d4 = dec(4);
+        let g2 = lemma43_min_expansion(&d2, 6);
+        let g4 = lemma43_min_expansion(&d4, 6);
+        // ratio over two extra levels ≈ (4/7)^2
+        let ratio = g4 / g2;
+        let expect = (4.0f64 / 7.0).powi(2);
+        assert!((ratio / expect - 1.0).abs() < 0.2, "ratio {ratio} vs {expect}");
+    }
+
+    #[test]
+    fn guarantee_is_below_known_cuts() {
+        // any explicit cut's expansion must dominate the proof's guarantee
+        let d = dec(2);
+        let guarantee = lemma43_min_expansion(&d, d.graph.max_degree());
+        let s = random_subset(d.graph.n_vertices(), 0.3, 99);
+        if s.count() <= d.graph.n_vertices() / 2 {
+            let cert = lemma43_certificate(&d, &s);
+            let h = cert.cut_edges as f64
+                / (d.graph.max_degree() as f64 * s.count() as f64);
+            assert!(h >= guarantee, "h {h} vs guarantee {guarantee}");
+        }
+    }
+
+    #[test]
+    fn small_set_transfer_formula() {
+        let (s, h) = small_set_expansion_bound(93, 0.1, 6, 6);
+        assert_eq!(s, 46);
+        assert!((h - 0.1).abs() < 1e-12);
+        let (_, h2) = small_set_expansion_bound(93, 0.1, 6, 12);
+        assert!((h2 - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,152 @@
+//! Exact edge expansion by exhaustive subset enumeration.
+//!
+//! Feasible only for small graphs (the base graphs `Dec₁C`, `Enc₁A`, `H₁` of
+//! Figure 2 — up to ~30 vertices in release builds). Definitions follow
+//! Section 2 of the paper: the graph is conceptually made `d`-regular by
+//! adding loops (which never contribute cut edges), so
+//! `h(G) = min_{|U| ≤ |V|/2} |E(U, V∖U)| / (d·|U|)` with `d` the maximum
+//! degree.
+
+use fastmm_cdag::graph::Csr;
+
+/// An exact expansion result: the minimizing set (as a bitmask over vertex
+/// ids) and its cut.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExactCut {
+    /// Bitmask of the minimizing subset `U`.
+    pub mask: u64,
+    /// `|U|`.
+    pub size: u32,
+    /// `|E(U, V∖U)|`.
+    pub cut_edges: u32,
+    /// `h = cut / (d · |U|)`.
+    pub expansion: f64,
+}
+
+/// Adjacency bitmasks for a graph with at most 64 vertices.
+fn adjacency_masks(csr: &Csr) -> Vec<u64> {
+    let n = csr.n_vertices();
+    assert!(n <= 64, "exact expansion limited to 64 vertices");
+    (0..n as u32)
+        .map(|v| {
+            let mut m = 0u64;
+            for &w in csr.neighbors(v) {
+                m |= 1u64 << w;
+            }
+            m
+        })
+        .collect()
+}
+
+/// Number of edges crossing between `mask` and its complement.
+fn cut_of(adj: &[u64], mask: u64) -> u32 {
+    let mut cut = 0u32;
+    let mut bits = mask;
+    while bits != 0 {
+        let v = bits.trailing_zeros() as usize;
+        bits &= bits - 1;
+        cut += (adj[v] & !mask).count_ones();
+    }
+    cut
+}
+
+/// Exact edge expansion over all sets of size at most `max_size`
+/// (pass `n/2` for the standard definition, smaller for `h_s`).
+///
+/// `d` is the regularized degree (usually [`fastmm_cdag::Cdag::max_degree`]).
+/// Complexity `O(2^n · n)`; asserts `n ≤ 30` to keep runs sane.
+pub fn exact_expansion(csr: &Csr, d: u32, max_size: usize) -> ExactCut {
+    let n = csr.n_vertices();
+    assert!(n >= 2, "expansion undefined for < 2 vertices");
+    assert!(n <= 30, "exhaustive enumeration capped at 30 vertices (got {n})");
+    assert!(max_size >= 1);
+    let adj = adjacency_masks(csr);
+    let mut best = ExactCut { mask: 1, size: 1, cut_edges: u32::MAX, expansion: f64::INFINITY };
+    for mask in 1u64..(1u64 << n) {
+        let size = mask.count_ones();
+        if size as usize > max_size {
+            continue;
+        }
+        let cut = cut_of(&adj, mask);
+        let h = cut as f64 / (d as f64 * size as f64);
+        if h < best.expansion {
+            best = ExactCut { mask, size, cut_edges: cut, expansion: h };
+        }
+    }
+    best
+}
+
+/// Exact `h(G)` with the canonical `|U| ≤ |V|/2` constraint.
+pub fn exact_h(csr: &Csr, d: u32) -> ExactCut {
+    exact_expansion(csr, d, csr.n_vertices() / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn csr_of(n: usize, edges: &[(u32, u32)]) -> Csr {
+        Csr::from_undirected(n, edges)
+    }
+
+    #[test]
+    fn complete_graph_k4() {
+        // K4, d = 3: any |U|=1 has cut 3 -> h=1; |U|=2 has cut 4 -> 4/6.
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let c = csr_of(4, &edges);
+        let best = exact_h(&c, 3);
+        assert_eq!(best.size, 2);
+        assert_eq!(best.cut_edges, 4);
+        assert!((best.expansion - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_c6() {
+        // 6-cycle, d = 2: best is a contiguous arc of 3: cut 2, h = 2/(2*3) = 1/3.
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)];
+        let c = csr_of(6, &edges);
+        let best = exact_h(&c, 2);
+        assert_eq!(best.size, 3);
+        assert_eq!(best.cut_edges, 2);
+        assert!((best.expansion - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_pendant_cut() {
+        // path of 4: pendant vertex cut = 1, d = 2, |U|=1 -> 0.5;
+        // but the half {0,1} has cut 1, size 2 -> 0.25.
+        let edges = [(0, 1), (1, 2), (2, 3)];
+        let c = csr_of(4, &edges);
+        let best = exact_h(&c, 2);
+        assert_eq!(best.cut_edges, 1);
+        assert_eq!(best.size, 2);
+        assert!((best.expansion - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_expansion() {
+        let edges = [(0, 1), (2, 3)];
+        let c = csr_of(4, &edges);
+        let best = exact_h(&c, 1);
+        assert_eq!(best.cut_edges, 0);
+        assert_eq!(best.expansion, 0.0);
+    }
+
+    #[test]
+    fn small_set_constraint_respected() {
+        let edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)];
+        let c = csr_of(6, &edges);
+        let best = exact_expansion(&c, 2, 1);
+        assert_eq!(best.size, 1);
+        assert_eq!(best.cut_edges, 2);
+    }
+
+    #[test]
+    fn star_center_vs_leaf() {
+        // star K1,4: d = 4. leaf alone: cut 1, h = 1/4. two leaves: 2/(4*2)=1/4.
+        let edges = [(0, 1), (0, 2), (0, 3), (0, 4)];
+        let c = csr_of(5, &edges);
+        let best = exact_h(&c, 4);
+        assert!((best.expansion - 0.25).abs() < 1e-12);
+    }
+}

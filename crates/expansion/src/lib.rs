@@ -1,0 +1,25 @@
+//! # fastmm-expansion — edge expansion estimation for computation graphs
+//!
+//! The analytic core of the paper is the edge expansion of the decode graph
+//! `Dec_k C` (Section 4). This crate estimates and certifies expansion three
+//! ways:
+//!
+//! * [`exact`] — exhaustive enumeration for the small base graphs (Figure 2
+//!   scale);
+//! * [`spectral`] — power-iteration `λ₂` with the discrete Cheeger bracket
+//!   `(1-λ₂)/2 ≤ h ≤ √(2(1-λ₂))`;
+//! * [`search`] — sparse-cut portfolio (spectral sweeps, greedy cone growth,
+//!   Fiduccia–Mattheyses refinement) producing certified cut upper bounds;
+//! * [`certificate`] — exact replay of the Lemma 4.3 proof machinery
+//!   (level homogeneity, recursion-tree heterogeneity) on concrete sets,
+//!   plus the Claim 2.1 small-set transfer of Corollary 4.4.
+
+pub mod certificate;
+pub mod exact;
+pub mod search;
+pub mod spectral;
+
+pub use certificate::{lemma43_certificate, lemma43_min_expansion, Lemma43Certificate};
+pub use exact::{exact_expansion, exact_h, ExactCut};
+pub use search::{evaluate_cut, find_best_cut, Cut, SearchOptions};
+pub use spectral::{spectral_bounds, SpectralBounds};

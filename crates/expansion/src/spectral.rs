@@ -1,0 +1,186 @@
+//! Spectral estimation of edge expansion.
+//!
+//! For the `d`-regularized graph (loops added to reach degree `d`, as in
+//! Section 2.0.2), the normalized adjacency operator is
+//! `(A x)(v) = (Σ_{u ~ v} x(u) + (d - deg v)·x(v)) / d`. Its top eigenvalue
+//! is 1 (all-ones vector); the second eigenvalue `λ₂` bounds edge expansion
+//! through the discrete Cheeger inequalities
+//! `(1 - λ₂)/2 ≤ h(G) ≤ √(2(1 - λ₂))`.
+//!
+//! `λ₂` is computed by power iteration on the PSD shift `(A + I)/2` with
+//! deflation against the all-ones eigenvector — the "spectral analysis"
+//! route the paper mentions alongside the combinatorial one (Section 1.5).
+
+use fastmm_cdag::graph::Csr;
+
+/// Result of the spectral analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct SpectralBounds {
+    /// Second eigenvalue of the normalized adjacency.
+    pub lambda2: f64,
+    /// Cheeger lower bound `(1 - λ₂)/2 ≤ h`.
+    pub cheeger_lower: f64,
+    /// Cheeger upper bound `h ≤ √(2(1 - λ₂))`.
+    pub cheeger_upper: f64,
+}
+
+/// `y = A_normalized · x` for the `d`-regularized graph.
+fn matvec(csr: &Csr, d: f64, degrees: &[u32], x: &[f64], y: &mut [f64]) {
+    for v in 0..csr.n_vertices() {
+        let mut acc = (d - degrees[v] as f64) * x[v];
+        for &u in csr.neighbors(v as u32) {
+            acc += x[u as usize];
+        }
+        y[v] = acc / d;
+    }
+}
+
+fn normalize(x: &mut [f64]) -> f64 {
+    let norm = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for v in x.iter_mut() {
+            *v /= norm;
+        }
+    }
+    norm
+}
+
+fn deflate_ones(x: &mut [f64]) {
+    let mean = x.iter().sum::<f64>() / x.len() as f64;
+    for v in x.iter_mut() {
+        *v -= mean;
+    }
+}
+
+/// Estimate `λ₂` and the Cheeger bracket. `iters` power iterations
+/// (a few hundred suffice for the layered decode graphs).
+///
+/// Also returns the final iterate (an approximate Fiedler-like vector) for
+/// use as a sweep-cut ordering.
+pub fn spectral_bounds(csr: &Csr, d: u32, iters: usize) -> (SpectralBounds, Vec<f64>) {
+    let n = csr.n_vertices();
+    assert!(n >= 2);
+    let degrees: Vec<u32> = (0..n as u32).map(|v| csr.neighbors(v).len() as u32).collect();
+    let df = d as f64;
+    // deterministic pseudo-random start, orthogonal to ones
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut h = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+            h ^= h >> 33;
+            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            h ^= h >> 33;
+            (h as f64 / u64::MAX as f64) - 0.5
+        })
+        .collect();
+    deflate_ones(&mut x);
+    normalize(&mut x);
+    let mut y = vec![0.0; n];
+    for _ in 0..iters {
+        matvec(csr, df, &degrees, &x, &mut y);
+        // iterate on (A + I)/2 to keep the spectrum in [0, 1]
+        for v in 0..n {
+            y[v] = 0.5 * (y[v] + x[v]);
+        }
+        deflate_ones(&mut y);
+        normalize(&mut y);
+        std::mem::swap(&mut x, &mut y);
+    }
+    // Rayleigh quotient of A on the converged vector.
+    matvec(csr, df, &degrees, &x, &mut y);
+    let num: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+    let den: f64 = x.iter().map(|a| a * a).sum();
+    let lambda2 = (num / den).clamp(-1.0, 1.0);
+    let gap = 1.0 - lambda2;
+    (
+        SpectralBounds {
+            lambda2,
+            cheeger_lower: gap / 2.0,
+            cheeger_upper: (2.0 * gap).sqrt(),
+        },
+        x,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_h;
+
+    fn cycle(n: usize) -> Csr {
+        let edges: Vec<(u32, u32)> =
+            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        Csr::from_undirected(n, &edges)
+    }
+
+    fn complete(n: usize) -> Csr {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in i + 1..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        Csr::from_undirected(n, &edges)
+    }
+
+    #[test]
+    fn cycle_lambda2_is_cos() {
+        // λ₂ of the n-cycle's normalized adjacency is cos(2π/n).
+        for n in [8usize, 16, 32] {
+            let (b, _) = spectral_bounds(&cycle(n), 2, 2000);
+            let expect = (2.0 * std::f64::consts::PI / n as f64).cos();
+            assert!((b.lambda2 - expect).abs() < 1e-6, "n={n}: {} vs {expect}", b.lambda2);
+        }
+    }
+
+    #[test]
+    fn complete_graph_lambda2() {
+        // K_n: λ₂ = -1/(n-1).
+        let (b, _) = spectral_bounds(&complete(8), 7, 2000);
+        assert!((b.lambda2 - (-1.0 / 7.0)).abs() < 1e-6, "{}", b.lambda2);
+    }
+
+    #[test]
+    fn cheeger_brackets_exact_h() {
+        for n in [6usize, 8, 10] {
+            let csr = cycle(n);
+            let exact = exact_h(&csr, 2);
+            let (b, _) = spectral_bounds(&csr, 2, 4000);
+            assert!(
+                b.cheeger_lower <= exact.expansion + 1e-9,
+                "n={n}: lower {} vs h {}",
+                b.cheeger_lower,
+                exact.expansion
+            );
+            assert!(
+                b.cheeger_upper >= exact.expansion - 1e-9,
+                "n={n}: upper {} vs h {}",
+                b.cheeger_upper,
+                exact.expansion
+            );
+        }
+    }
+
+    #[test]
+    fn disconnected_graph_has_lambda2_one() {
+        let edges = [(0u32, 1u32), (2, 3)];
+        let csr = Csr::from_undirected(4, &edges);
+        let (b, _) = spectral_bounds(&csr, 1, 500);
+        assert!(b.lambda2 > 1.0 - 1e-9, "{}", b.lambda2);
+        assert!(b.cheeger_lower.abs() < 1e-9);
+    }
+
+    #[test]
+    fn fiedler_vector_separates_barbell() {
+        // two triangles joined by one edge: sign of the Fiedler vector
+        // should separate the triangles
+        let edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        let csr = Csr::from_undirected(6, &edges);
+        let (_, fiedler) = spectral_bounds(&csr, 3, 3000);
+        let left = fiedler[0].signum();
+        assert_eq!(fiedler[1].signum(), left);
+        assert_eq!(fiedler[2].signum(), left);
+        assert_eq!(fiedler[3].signum(), -left);
+        assert_eq!(fiedler[4].signum(), -left);
+        assert_eq!(fiedler[5].signum(), -left);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests: expansion estimators and the Lemma 4.3
+//! certificate machinery on random subsets of real decode graphs.
+
+use fastmm_cdag::bitset::BitSet;
+use fastmm_cdag::layered::{build_dec, SchemeShape};
+use fastmm_expansion::certificate::lemma43_certificate;
+use fastmm_expansion::exact::{exact_expansion, exact_h};
+use fastmm_expansion::search::{evaluate_cut, greedy_grow, refine, sweep_cut};
+use fastmm_matrix::scheme::strassen;
+use proptest::prelude::*;
+
+fn dec2() -> fastmm_cdag::layered::DecGraph {
+    build_dec(&SchemeShape::from_scheme(&strassen()), 2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn certificate_bounds_hold_on_random_sets(bits in proptest::collection::vec(any::<bool>(), 93)) {
+        let dec = dec2();
+        let mut s = BitSet::new(93);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.insert(i as u32);
+            }
+        }
+        if s.count() == 0 {
+            s.insert(0);
+        }
+        let cert = lemma43_certificate(&dec, &s);
+        prop_assert!(cert.mixed_components <= cert.cut_edges);
+        let m = cert.mixed_components as f64 + 1e-9;
+        prop_assert!(cert.level_bound <= m);
+        prop_assert!(cert.tree_bound <= m);
+        prop_assert!(cert.leaf_bound <= m);
+    }
+
+    #[test]
+    fn evaluate_cut_is_symmetric_in_complement_edges(bits in proptest::collection::vec(any::<bool>(), 93)) {
+        // |E(U, V\U)| == |E(V\U, U)|
+        let dec = dec2();
+        let csr = dec.graph.undirected_csr();
+        let d = dec.graph.max_degree();
+        let mut s = BitSet::new(93);
+        let mut comp = BitSet::new(93);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.insert(i as u32);
+            } else {
+                comp.insert(i as u32);
+            }
+        }
+        prop_assume!(s.count() > 0 && comp.count() > 0);
+        let cut_s = evaluate_cut(&csr, d, s);
+        let cut_c = evaluate_cut(&csr, d, comp);
+        prop_assert_eq!(cut_s.cut_edges, cut_c.cut_edges);
+    }
+
+    #[test]
+    fn refine_never_worsens_expansion(bits in proptest::collection::vec(any::<bool>(), 93), passes in 1usize..4) {
+        let dec = dec2();
+        let csr = dec.graph.undirected_csr();
+        let d = dec.graph.max_degree();
+        let mut s = BitSet::new(93);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.insert(i as u32);
+            }
+        }
+        prop_assume!(s.count() >= 1 && s.count() <= 46);
+        let before = evaluate_cut(&csr, d, s);
+        let h0 = before.expansion;
+        let after = refine(&csr, d, before, 46, passes);
+        prop_assert!(after.expansion <= h0 + 1e-12);
+        prop_assert!(after.set.count() <= 46);
+    }
+
+    #[test]
+    fn heuristics_never_beat_exact_minimum(seed in 0u32..11) {
+        // on the 11-vertex Dec_1 the exact optimum is known; every
+        // heuristic result must be >= it
+        let dec = build_dec(&SchemeShape::from_scheme(&strassen()), 1);
+        let csr = dec.graph.undirected_csr();
+        let d = dec.graph.max_degree();
+        let exact = exact_h(&csr, d);
+        let grown = greedy_grow(&csr, d, seed % 11, 5);
+        prop_assert!(grown.expansion >= exact.expansion - 1e-12);
+        let order: Vec<u32> = (0..11).map(|i| (i + seed) % 11).collect();
+        let swept = sweep_cut(&csr, d, &order, 5);
+        prop_assert!(swept.expansion >= exact.expansion - 1e-12);
+    }
+
+    #[test]
+    fn exact_small_set_monotone_in_size_cap(cap in 1usize..6) {
+        // h_s is non-increasing in s
+        let dec = build_dec(&SchemeShape::from_scheme(&strassen()), 1);
+        let csr = dec.graph.undirected_csr();
+        let d = dec.graph.max_degree();
+        let h_small = exact_expansion(&csr, d, cap).expansion;
+        let h_bigger = exact_expansion(&csr, d, cap + 1).expansion;
+        prop_assert!(h_bigger <= h_small + 1e-12);
+    }
+}

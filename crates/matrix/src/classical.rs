@@ -1,0 +1,204 @@
+//! Classical Θ(n³) matrix multiplication kernels.
+//!
+//! These are both the correctness reference for the fast algorithms and the
+//! baselines the paper compares against: any algorithm that performs the
+//! `n³` scalar multiplications — "whether this is done recursively,
+//! iteratively, block-wise or any other way" (footnote 3) — has
+//! I/O-complexity `Θ(n³/√M)` by Hong–Kung / Irony–Toledo–Tiskin, reproduced
+//! here by the `ω₀ = 3` specialization of Theorem 1.3.
+
+use crate::dense::{MatMut, MatRef, Matrix};
+use crate::scalar::Scalar;
+
+/// Textbook `i-j-k` triple loop. `C = A * B`.
+pub fn multiply_naive<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c: Matrix<T> = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = T::zero();
+            for l in 0..k {
+                acc = acc.add(a[(i, l)].mul(b[(l, j)]));
+            }
+            c[(i, j)] = acc;
+        }
+    }
+    c
+}
+
+/// Cache-friendlier `i-k-j` loop order (streams rows of `B`).
+pub fn multiply_ikj<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c: Matrix<T> = Matrix::zeros(m, n);
+    for i in 0..m {
+        for l in 0..k {
+            let aval = a[(i, l)];
+            for j in 0..n {
+                c[(i, j)] = c[(i, j)].add(aval.mul(b[(l, j)]));
+            }
+        }
+    }
+    c
+}
+
+/// Blocked (tiled) classical multiplication with square tiles of side `tile`.
+///
+/// With `tile = Θ(√M)` this is the communication-optimal classical algorithm
+/// in the two-level model: it moves `Θ(n³/√M)` words, attaining the
+/// Hong–Kung lower bound.
+pub fn multiply_blocked<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, tile: usize) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert!(tile > 0, "tile must be positive");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c: Matrix<T> = Matrix::zeros(m, n);
+    for i0 in (0..m).step_by(tile) {
+        let imax = (i0 + tile).min(m);
+        for l0 in (0..k).step_by(tile) {
+            let lmax = (l0 + tile).min(k);
+            for j0 in (0..n).step_by(tile) {
+                let jmax = (j0 + tile).min(n);
+                for i in i0..imax {
+                    for l in l0..lmax {
+                        let aval = a[(i, l)];
+                        for j in j0..jmax {
+                            c[(i, j)] = c[(i, j)].add(aval.mul(b[(l, j)]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    c
+}
+
+/// `c += a * b` on views — the base-case kernel shared by the recursive
+/// engines.
+pub fn accumulate_product<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols());
+    for i in 0..a.rows() {
+        for l in 0..a.cols() {
+            let aval = a.get(i, l);
+            for j in 0..b.cols() {
+                let v = c.get(i, j).add(aval.mul(b.get(l, j)));
+                c.set(i, j, v);
+            }
+        }
+    }
+}
+
+/// Cache-oblivious recursive classical multiplication (Frigo et al. 1999):
+/// split the largest dimension in half until the problem is tiny, then run
+/// the straight-line kernel. `C += A * B`.
+pub fn multiply_recursive_oblivious<T: Scalar>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    leaf: usize,
+) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows());
+    if m <= leaf && k <= leaf && n <= leaf {
+        accumulate_product(a, b, c);
+        return;
+    }
+    if m >= k && m >= n {
+        let h = m / 2;
+        multiply_recursive_oblivious(a.block(0, 0, h, k), b, &mut c.block_mut(0, 0, h, n), leaf);
+        multiply_recursive_oblivious(
+            a.block(h, 0, m - h, k),
+            b,
+            &mut c.block_mut(h, 0, m - h, n),
+            leaf,
+        );
+    } else if k >= n {
+        let h = k / 2;
+        multiply_recursive_oblivious(a.block(0, 0, m, h), b.block(0, 0, h, n), c, leaf);
+        multiply_recursive_oblivious(a.block(0, h, m, k - h), b.block(h, 0, k - h, n), c, leaf);
+    } else {
+        let h = n / 2;
+        multiply_recursive_oblivious(a, b.block(0, 0, k, h), &mut c.block_mut(0, 0, m, h), leaf);
+        multiply_recursive_oblivious(
+            a,
+            b.block(0, h, k, n - h),
+            &mut c.block_mut(0, h, m, n - h),
+            leaf,
+        );
+    }
+}
+
+/// Convenience wrapper around [`multiply_recursive_oblivious`] allocating the
+/// output.
+pub fn multiply_oblivious<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, leaf: usize) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    multiply_recursive_oblivious(a.view(), b.view(), &mut c.view_mut(), leaf.max(1));
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (Matrix::random_int(n, n, 50, &mut rng), Matrix::random_int(n, n, 50, &mut rng))
+    }
+
+    #[test]
+    fn naive_identity() {
+        let a = Matrix::from_vec(2, 2, vec![1i64, 2, 3, 4]);
+        let i = Matrix::identity(2);
+        assert_eq!(multiply_naive(&a, &i), a);
+        assert_eq!(multiply_naive(&i, &a), a);
+    }
+
+    #[test]
+    fn naive_known_product() {
+        let a = Matrix::from_vec(2, 3, vec![1i64, 2, 3, 4, 5, 6]);
+        let b = Matrix::from_vec(3, 2, vec![7i64, 8, 9, 10, 11, 12]);
+        let c = multiply_naive(&a, &b);
+        assert_eq!(c.as_slice(), &[58, 64, 139, 154]);
+    }
+
+    #[test]
+    fn all_kernels_agree_square() {
+        for n in [1usize, 2, 3, 5, 8, 16, 17] {
+            let (a, b) = sample(n, n as u64);
+            let reference = multiply_naive(&a, &b);
+            assert_eq!(multiply_ikj(&a, &b), reference, "ikj n={n}");
+            assert_eq!(multiply_blocked(&a, &b, 4), reference, "blocked n={n}");
+            assert_eq!(multiply_oblivious(&a, &b, 4), reference, "oblivious n={n}");
+        }
+    }
+
+    #[test]
+    fn kernels_agree_rectangular() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let a = Matrix::random_int(5, 7, 20, &mut rng);
+        let b = Matrix::random_int(7, 3, 20, &mut rng);
+        let reference = multiply_naive(&a, &b);
+        assert_eq!(multiply_ikj(&a, &b), reference);
+        assert_eq!(multiply_blocked(&a, &b, 2), reference);
+        assert_eq!(multiply_oblivious(&a, &b, 2), reference);
+    }
+
+    #[test]
+    fn blocked_tile_bigger_than_matrix() {
+        let (a, b) = sample(6, 1);
+        assert_eq!(multiply_blocked(&a, &b, 64), multiply_naive(&a, &b));
+    }
+
+    #[test]
+    fn accumulate_product_accumulates() {
+        let a = Matrix::from_vec(2, 2, vec![1i64, 0, 0, 1]);
+        let b = Matrix::from_vec(2, 2, vec![5i64, 6, 7, 8]);
+        let mut c = Matrix::from_vec(2, 2, vec![1i64, 1, 1, 1]);
+        accumulate_product(a.view(), b.view(), &mut c.view_mut());
+        assert_eq!(c.as_slice(), &[6, 7, 8, 9]);
+    }
+}

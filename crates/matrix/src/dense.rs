@@ -1,0 +1,439 @@
+//! Row-major dense matrices and rectangular views.
+//!
+//! The recursion in Strassen-like algorithms works on quadrants (more
+//! generally `n0 x n0` block grids) of the operands, so the central types are
+//! the borrowed views [`MatRef`] / [`MatMut`], which describe a rectangular
+//! window of a parent allocation via an offset and a row stride. Owning
+//! [`Matrix`] is a thin wrapper that hands out full-size views.
+
+use crate::scalar::Scalar;
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// An owning, row-major dense matrix.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> std::fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<T: Scalar> Matrix<T> {
+    /// An `rows x cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![T::zero(); rows * cols] }
+    }
+
+    /// The `n x n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a row-major element vector. Panics if the length is wrong.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), rows * cols, "element count must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow the raw row-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutably borrow the raw row-major storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// A read-only view of the whole matrix.
+    #[inline]
+    pub fn view(&self) -> MatRef<'_, T> {
+        MatRef { data: &self.data, rows: self.rows, cols: self.cols, stride: self.cols, off: 0 }
+    }
+
+    /// A mutable view of the whole matrix.
+    #[inline]
+    pub fn view_mut(&mut self) -> MatMut<'_, T> {
+        MatMut {
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            off: 0,
+            data: &mut self.data,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a.add(b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a.sub(b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Scale every element by `c`.
+    pub fn scale(&self, c: T) -> Self {
+        let data = self.data.iter().map(|&a| a.mul(c)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Transpose into a new matrix.
+    pub fn transpose(&self) -> Self {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Maximum absolute difference interpreted through `to_f64`, for
+    /// float comparisons in tests and benches.
+    pub fn max_abs_diff(&self, other: &Self, to_f64: impl Fn(T) -> f64) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (to_f64(a) - to_f64(b)).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Matrix<f64> {
+    /// Uniform random matrix in `[-1, 1)`.
+    pub fn random(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let dist = Uniform::new(-1.0, 1.0);
+        Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+    }
+}
+
+impl Matrix<i64> {
+    /// Random small-integer matrix (entries in `[-bound, bound]`), handy for
+    /// exact cross-algorithm comparisons.
+    pub fn random_int(rows: usize, cols: usize, bound: i64, rng: &mut impl Rng) -> Self {
+        let dist = Uniform::new_inclusive(-bound, bound);
+        Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
+    }
+}
+
+impl crate::scalar::Fp {
+    /// Random field element.
+    pub fn random(rng: &mut impl Rng) -> Self {
+        crate::scalar::Fp::new(rng.gen::<u64>())
+    }
+}
+
+impl Matrix<crate::scalar::Fp> {
+    /// Uniform random matrix over the prime field.
+    pub fn random_fp(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        Matrix::from_fn(rows, cols, |_, _| crate::scalar::Fp::random(rng))
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// A read-only rectangular window into a row-major allocation.
+#[derive(Copy, Clone)]
+pub struct MatRef<'a, T> {
+    data: &'a [T],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    off: usize,
+}
+
+impl<'a, T: Scalar> MatRef<'a, T> {
+    /// Number of rows of the window.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the window.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)` of the window.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[self.off + i * self.stride + j]
+    }
+
+    /// Sub-window at offset `(r0, c0)` with shape `rows x cols`.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatRef<'a, T> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        MatRef {
+            data: self.data,
+            rows,
+            cols,
+            stride: self.stride,
+            off: self.off + r0 * self.stride + c0,
+        }
+    }
+
+    /// The `(bi, bj)` block of a `g x g` grid over a window whose dimensions
+    /// are divisible by `g`.
+    pub fn grid_block(&self, g: usize, bi: usize, bj: usize) -> MatRef<'a, T> {
+        assert!(self.rows % g == 0 && self.cols % g == 0, "dimensions not divisible by grid");
+        let (br, bc) = (self.rows / g, self.cols / g);
+        self.block(bi * br, bj * bc, br, bc)
+    }
+
+    /// Copy the window into an owned matrix.
+    pub fn to_matrix(&self) -> Matrix<T> {
+        Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
+    }
+}
+
+/// A mutable rectangular window into a row-major allocation.
+pub struct MatMut<'a, T> {
+    data: &'a mut [T],
+    rows: usize,
+    cols: usize,
+    stride: usize,
+    off: usize,
+}
+
+impl<'a, T: Scalar> MatMut<'a, T> {
+    /// Number of rows of the window.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the window.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[self.off + i * self.stride + j]
+    }
+
+    /// Overwrite element at `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[self.off + i * self.stride + j] = v;
+    }
+
+    /// Reborrow as read-only.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, T> {
+        MatRef { data: self.data, rows: self.rows, cols: self.cols, stride: self.stride, off: self.off }
+    }
+
+    /// Reborrow a mutable sub-window at `(r0, c0)` with shape `rows x cols`.
+    pub fn block_mut(&mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMut<'_, T> {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        MatMut {
+            rows,
+            cols,
+            stride: self.stride,
+            off: self.off + r0 * self.stride + c0,
+            data: self.data,
+        }
+    }
+
+    /// The `(bi, bj)` block of a `g x g` grid (dimensions must divide).
+    pub fn grid_block_mut(&mut self, g: usize, bi: usize, bj: usize) -> MatMut<'_, T> {
+        assert!(self.rows % g == 0 && self.cols % g == 0, "dimensions not divisible by grid");
+        let (br, bc) = (self.rows / g, self.cols / g);
+        self.block_mut(bi * br, bj * bc, br, bc)
+    }
+
+    /// Fill the window with zeros.
+    pub fn fill_zero(&mut self) {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.set(i, j, T::zero());
+            }
+        }
+    }
+
+    /// Copy `src` (same shape) into this window.
+    pub fn copy_from(&mut self, src: MatRef<'_, T>) {
+        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                self.set(i, j, src.get(i, j));
+            }
+        }
+    }
+
+    /// `self += c * src` for a small integer coefficient `c`.
+    pub fn accumulate_scaled(&mut self, src: MatRef<'_, T>, c: i64) {
+        assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
+        if c == 0 {
+            return;
+        }
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let v = self.get(i, j).add_scaled(src.get(i, j), c);
+                self.set(i, j, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_index() {
+        let m: Matrix<i64> = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as i64);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert_eq!(m[(2, 3)], 23);
+        assert_eq!(m.as_slice().len(), 12);
+    }
+
+    #[test]
+    fn identity_and_zero() {
+        let i: Matrix<i64> = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1);
+        assert_eq!(i[(0, 1)], 0);
+        let z: Matrix<i64> = Matrix::zeros(2, 2);
+        assert!(z.as_slice().iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn add_sub_scale_transpose() {
+        let a = Matrix::from_vec(2, 2, vec![1i64, 2, 3, 4]);
+        let b = Matrix::from_vec(2, 2, vec![5i64, 6, 7, 8]);
+        assert_eq!(a.add(&b).as_slice(), &[6, 8, 10, 12]);
+        assert_eq!(b.sub(&a).as_slice(), &[4, 4, 4, 4]);
+        assert_eq!(a.scale(3).as_slice(), &[3, 6, 9, 12]);
+        assert_eq!(a.transpose().as_slice(), &[1, 3, 2, 4]);
+    }
+
+    #[test]
+    fn views_window_correctly() {
+        let m: Matrix<i64> = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as i64);
+        let v = m.view();
+        let q = v.grid_block(2, 1, 0); // lower-left quadrant
+        assert_eq!(q.rows(), 2);
+        assert_eq!(q.get(0, 0), 8);
+        assert_eq!(q.get(1, 1), 13);
+        let inner = q.block(1, 0, 1, 2);
+        assert_eq!(inner.get(0, 0), 12);
+        assert_eq!(inner.get(0, 1), 13);
+    }
+
+    #[test]
+    fn mutable_views_write_through() {
+        let mut m: Matrix<i64> = Matrix::zeros(4, 4);
+        {
+            let mut v = m.view_mut();
+            let mut q = v.grid_block_mut(2, 0, 1); // upper-right quadrant
+            q.set(0, 0, 42);
+            q.set(1, 1, 7);
+        }
+        assert_eq!(m[(0, 2)], 42);
+        assert_eq!(m[(1, 3)], 7);
+        assert_eq!(m[(0, 0)], 0);
+    }
+
+    #[test]
+    fn accumulate_scaled_applies_coefficient() {
+        let src = Matrix::from_vec(2, 2, vec![1i64, 2, 3, 4]);
+        let mut dst = Matrix::from_vec(2, 2, vec![10i64, 10, 10, 10]);
+        dst.view_mut().accumulate_scaled(src.view(), -1);
+        assert_eq!(dst.as_slice(), &[9, 8, 7, 6]);
+        dst.view_mut().accumulate_scaled(src.view(), 2);
+        assert_eq!(dst.as_slice(), &[11, 12, 13, 14]);
+        dst.view_mut().accumulate_scaled(src.view(), 0);
+        assert_eq!(dst.as_slice(), &[11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn copy_from_and_to_matrix_roundtrip() {
+        let m: Matrix<i64> = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as i64);
+        let q = m.view().grid_block(2, 1, 1).to_matrix();
+        assert_eq!(q.as_slice(), &[10, 11, 14, 15]);
+        let mut out: Matrix<i64> = Matrix::zeros(2, 2);
+        out.view_mut().copy_from(q.view());
+        assert_eq!(out.as_slice(), &[10, 11, 14, 15]);
+    }
+
+    #[test]
+    #[should_panic(expected = "block out of range")]
+    fn out_of_range_block_panics() {
+        let m: Matrix<i64> = Matrix::zeros(4, 4);
+        let _ = m.view().block(2, 2, 3, 3);
+    }
+
+    #[test]
+    fn max_abs_diff_f64() {
+        let a = Matrix::from_vec(1, 2, vec![1.0f64, 2.0]);
+        let b = Matrix::from_vec(1, 2, vec![1.5f64, 1.0]);
+        assert!((a.max_abs_diff(&b, |x| x) - 1.0).abs() < 1e-12);
+    }
+}

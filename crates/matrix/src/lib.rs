@@ -1,0 +1,25 @@
+//! # fastmm-matrix — dense matrices and Strassen-like multiplication schemes
+//!
+//! Substrate crate for the reproduction of *Ballard, Demmel, Holtz, Schwartz,
+//! "Graph Expansion and Communication Costs of Fast Matrix Multiplication"
+//! (SPAA'11)*. It provides:
+//!
+//! * [`dense::Matrix`] — row-major dense matrices with block views, generic
+//!   over exact and inexact [`scalar::Scalar`] rings (including the prime
+//!   field [`scalar::Fp`] used for exact cross-algorithm validation);
+//! * [`classical`] — Θ(n³) reference kernels (naive, tiled, cache-oblivious);
+//! * [`scheme`] — the bilinear `⟨n₀; m(n₀)⟩` framework of the paper's
+//!   Section 5.1, with Brent-equation verification, straight-line programs
+//!   (Strassen's 18 vs Winograd's 15 additions), and tensor products;
+//! * [`recursive`] — the recursive Strassen-like engine and exact arithmetic
+//!   operation counts realizing `T(n) = m(n₀)·T(n/n₀) + O(n²) = Θ(n^{ω₀})`.
+
+pub mod classical;
+pub mod dense;
+pub mod recursive;
+pub mod scalar;
+pub mod scheme;
+
+pub use dense::{MatMut, MatRef, Matrix};
+pub use scalar::{Fp, Scalar};
+pub use scheme::{classical_scheme, strassen, winograd, BilinearScheme};

@@ -1,0 +1,369 @@
+//! Recursive "Strassen-like" matrix multiplication driven by a
+//! [`BilinearScheme`].
+//!
+//! Given two `n x n` matrices, the engine splits them into an `n₀ x n₀` grid
+//! of blocks, forms the `r` encoded operand pairs block-wise, recurses on
+//! each product, and decodes the outputs — exactly the recursive structure
+//! defined in Section 5.1 of the paper. Recursion stops at `cutoff`, below
+//! which a classical kernel runs (the practical "cut the recursion off and
+//! switch to the classical algorithm" hybrid of Section 5.2).
+
+use crate::classical::multiply_ikj;
+use crate::dense::Matrix;
+use crate::scalar::Scalar;
+use crate::scheme::BilinearScheme;
+
+/// Multiply `a * b` with `scheme`, recursing while the dimension is larger
+/// than `cutoff` and divisible by `n₀`. Requires square operands of equal
+/// size; for arbitrary sizes see [`multiply_scheme_padded`].
+pub fn multiply_scheme<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+) -> Matrix<T> {
+    assert_eq!(a.rows(), a.cols(), "square operands required");
+    assert_eq!(b.rows(), b.cols(), "square operands required");
+    assert_eq!(a.rows(), b.rows(), "operand sizes must agree");
+    multiply_rec(scheme, a, b, cutoff.max(1))
+}
+
+fn multiply_rec<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+) -> Matrix<T> {
+    let n = a.rows();
+    let n0 = scheme.n0;
+    if n <= cutoff || n % n0 != 0 {
+        return multiply_ikj(a, b);
+    }
+    let bs = n / n0;
+    let t = n0 * n0;
+    // Extract blocks once.
+    let a_blocks: Vec<Matrix<T>> =
+        (0..t).map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let b_blocks: Vec<Matrix<T>> =
+        (0..t).map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let mut c = Matrix::zeros(n, n);
+    for l in 0..scheme.r {
+        let mut ta = Matrix::zeros(bs, bs);
+        let mut tb = Matrix::zeros(bs, bs);
+        for q in 0..t {
+            ta.view_mut().accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
+            tb.view_mut().accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
+        }
+        let m = multiply_rec(scheme, &ta, &tb, cutoff);
+        for q in 0..t {
+            let wc = scheme.w.get(q, l);
+            if wc != 0 {
+                c.view_mut()
+                    .grid_block_mut(n0, q / n0, q % n0)
+                    .accumulate_scaled(m.view(), wc);
+            }
+        }
+    }
+    c
+}
+
+/// Smallest power of `base` that is `>= n`.
+pub fn next_power_of(n: usize, base: usize) -> usize {
+    assert!(base >= 2);
+    let mut p = 1usize;
+    while p < n {
+        p *= base;
+    }
+    p
+}
+
+/// Multiply arbitrary-size square matrices by zero-padding up to the next
+/// power of `n₀`, running the recursion, and cropping the result.
+pub fn multiply_scheme_padded<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+) -> Matrix<T> {
+    assert_eq!(a.rows(), a.cols());
+    assert_eq!(b.rows(), b.cols());
+    assert_eq!(a.rows(), b.rows());
+    let n = a.rows();
+    let np = next_power_of(n, scheme.n0);
+    if np == n {
+        return multiply_scheme(scheme, a, b, cutoff);
+    }
+    let pad = |m: &Matrix<T>| {
+        Matrix::from_fn(np, np, |i, j| if i < n && j < n { m[(i, j)] } else { T::zero() })
+    };
+    let c = multiply_scheme(scheme, &pad(a), &pad(b), cutoff);
+    Matrix::from_fn(n, n, |i, j| c[(i, j)])
+}
+
+/// Convenience: Strassen's algorithm.
+pub fn multiply_strassen<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, cutoff: usize) -> Matrix<T> {
+    multiply_scheme_padded(&crate::scheme::strassen(), a, b, cutoff)
+}
+
+/// Convenience: Winograd's variant.
+pub fn multiply_winograd<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, cutoff: usize) -> Matrix<T> {
+    multiply_scheme_padded(&crate::scheme::winograd(), a, b, cutoff)
+}
+
+/// Multiply with a *uniform, non-stationary* algorithm (paper Section 5.2):
+/// a different scheme may be used at each recursion level — e.g. Strassen at
+/// the top levels and the classical scheme below, the practical hybrid of
+/// Douglas et al. / Huss-Lederman et al. `levels[i]` is applied at depth
+/// `i`; when levels run out (or dimensions stop dividing), the classical
+/// kernel finishes.
+pub fn multiply_non_stationary<T: Scalar>(
+    levels: &[&BilinearScheme],
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    assert_eq!(a.rows(), a.cols(), "square operands required");
+    assert_eq!(b.rows(), b.cols(), "square operands required");
+    assert_eq!(a.rows(), b.rows(), "operand sizes must agree");
+    let n = a.rows();
+    let (Some(scheme), rest) = (levels.first(), levels.get(1..).unwrap_or(&[])) else {
+        return multiply_ikj(a, b);
+    };
+    let n0 = scheme.n0;
+    if n % n0 != 0 || n == 1 {
+        return multiply_ikj(a, b);
+    }
+    let bs = n / n0;
+    let t = n0 * n0;
+    let a_blocks: Vec<Matrix<T>> =
+        (0..t).map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let b_blocks: Vec<Matrix<T>> =
+        (0..t).map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let mut c = Matrix::zeros(n, n);
+    for l in 0..scheme.r {
+        let mut ta = Matrix::zeros(bs, bs);
+        let mut tb = Matrix::zeros(bs, bs);
+        for q in 0..t {
+            ta.view_mut().accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
+            tb.view_mut().accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
+        }
+        let m = multiply_non_stationary(rest, &ta, &tb);
+        for q in 0..t {
+            let wc = scheme.w.get(q, l);
+            if wc != 0 {
+                c.view_mut().grid_block_mut(n0, q / n0, q % n0).accumulate_scaled(m.view(), wc);
+            }
+        }
+    }
+    c
+}
+
+/// Exact arithmetic-operation counts of the recursive algorithm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpCount {
+    /// Scalar multiplications.
+    pub mults: u128,
+    /// Scalar additions/subtractions.
+    pub adds: u128,
+}
+
+impl OpCount {
+    /// Total flops.
+    pub fn total(&self) -> u128 {
+        self.mults + self.adds
+    }
+}
+
+/// Arithmetic count of running `scheme` recursively on `n x n` inputs down to
+/// `cutoff`, using the SLP addition counts (so Winograd's 15 vs Strassen's 18
+/// shows up), with a classical `2n³ - n²`-flop base case.
+///
+/// This realizes the recurrence `T(n) = m(n₀)·T(n/n₀) + O(n²)` of Section
+/// 5.1, whose solution is `Θ(n^{ω₀})`.
+pub fn scheme_op_count(scheme: &BilinearScheme, n: usize, cutoff: usize) -> OpCount {
+    if n <= cutoff || n % scheme.n0 != 0 {
+        let n = n as u128;
+        return OpCount { mults: n * n * n, adds: n * n * (n - 1) };
+    }
+    let bs = (n / scheme.n0) as u128;
+    let sub = scheme_op_count(scheme, n / scheme.n0, cutoff);
+    // Each SLP addition is a block-wise addition of bs x bs blocks; decoding
+    // also pays one block-accumulate per W nonzero beyond the first in each
+    // output row (already counted by the chain SLP length).
+    let adds_here = scheme.additions() as u128 * bs * bs;
+    OpCount {
+        mults: scheme.r as u128 * sub.mults,
+        adds: scheme.r as u128 * sub.adds + adds_here,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::multiply_naive;
+    use crate::scalar::Fp;
+    use crate::scheme::{all_schemes, classical_scheme, strassen, winograd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn strassen_matches_classical_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [2usize, 4, 8, 16, 32] {
+            let a = Matrix::random_int(n, n, 100, &mut rng);
+            let b = Matrix::random_int(n, n, 100, &mut rng);
+            assert_eq!(multiply_strassen(&a, &b, 1), multiply_naive(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn winograd_matches_classical_exact() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for n in [2usize, 4, 8, 16] {
+            let a = Matrix::random_int(n, n, 100, &mut rng);
+            let b = Matrix::random_int(n, n, 100, &mut rng);
+            assert_eq!(multiply_winograd(&a, &b, 1), multiply_naive(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn all_registry_schemes_multiply_correctly_over_fp() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for scheme in all_schemes() {
+            let n = scheme.n0 * scheme.n0; // two recursion levels
+            let a = Matrix::random_fp(n, n, &mut rng);
+            let b = Matrix::random_fp(n, n, &mut rng);
+            let got = multiply_scheme(&scheme, &a, &b, 1);
+            let want = multiply_naive(&a, &b);
+            assert_eq!(got, want, "scheme {}", scheme.name);
+        }
+    }
+
+    #[test]
+    fn padded_sizes_work() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for n in [3usize, 5, 6, 7, 9, 12] {
+            let a = Matrix::random_int(n, n, 30, &mut rng);
+            let b = Matrix::random_int(n, n, 30, &mut rng);
+            assert_eq!(multiply_strassen(&a, &b, 1), multiply_naive(&a, &b), "n={n}");
+        }
+    }
+
+    #[test]
+    fn cutoff_switches_to_classical() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let a = Matrix::random_int(16, 16, 10, &mut rng);
+        let b = Matrix::random_int(16, 16, 10, &mut rng);
+        for cutoff in [1usize, 2, 4, 8, 16, 100] {
+            assert_eq!(
+                multiply_strassen(&a, &b, cutoff),
+                multiply_naive(&a, &b),
+                "cutoff={cutoff}"
+            );
+        }
+    }
+
+    #[test]
+    fn op_count_strassen_mults_are_7_to_the_k() {
+        // full recursion to 1x1: mults = 7^lg n
+        let s = strassen();
+        for k in 1..=6u32 {
+            let n = 1usize << k;
+            let c = scheme_op_count(&s, n, 1);
+            assert_eq!(c.mults, 7u128.pow(k), "n={n}");
+        }
+    }
+
+    #[test]
+    fn op_count_classical_is_cubic() {
+        let c2 = classical_scheme(2);
+        for k in 1..=5u32 {
+            let n = 1usize << k;
+            let c = scheme_op_count(&c2, n, 1);
+            assert_eq!(c.mults, (n as u128).pow(3), "n={n}");
+        }
+    }
+
+    #[test]
+    fn winograd_uses_fewer_adds_than_strassen() {
+        let n = 64;
+        let s = scheme_op_count(&strassen(), n, 1);
+        let w = scheme_op_count(&winograd(), n, 1);
+        assert_eq!(s.mults, w.mults);
+        assert!(w.adds < s.adds, "winograd {} !< strassen {}", w.adds, s.adds);
+    }
+
+    #[test]
+    fn op_count_growth_matches_omega0() {
+        // T(2n)/T(n) -> r/ ... for mults exactly r per level
+        let s = strassen();
+        let c1 = scheme_op_count(&s, 64, 1);
+        let c2 = scheme_op_count(&s, 128, 1);
+        assert_eq!(c2.mults, 7 * c1.mults);
+        let ratio = c2.total() as f64 / c1.total() as f64;
+        assert!((ratio - 7.0).abs() < 0.5, "asymptotic ratio ≈ 7, got {ratio}");
+    }
+
+    #[test]
+    fn tensor_scheme_multiplies_fp() {
+        let ss = strassen().tensor(&strassen());
+        let mut rng = StdRng::seed_from_u64(12);
+        let a = Matrix::random_fp(16, 16, &mut rng);
+        let b = Matrix::random_fp(16, 16, &mut rng);
+        assert_eq!(multiply_scheme(&ss, &a, &b, 1), multiply_naive(&a, &b));
+        // one level of ⟨4;49⟩ equals two levels of ⟨2;7⟩
+        let direct = multiply_scheme(&strassen(), &a, &b, 1);
+        assert_eq!(multiply_scheme(&ss, &a, &b, 1), direct);
+    }
+
+    #[test]
+    fn non_stationary_mixes_schemes_correctly() {
+        // Strassen at the top level, Winograd at the second, classical base:
+        // the Section 5.2 class. Exact agreement with the reference.
+        let mut rng = StdRng::seed_from_u64(21);
+        let s = strassen();
+        let w = winograd();
+        let c3 = classical_scheme(3);
+        let a = Matrix::random_int(12, 12, 40, &mut rng);
+        let b = Matrix::random_int(12, 12, 40, &mut rng);
+        let want = multiply_naive(&a, &b);
+        assert_eq!(multiply_non_stationary(&[&s, &w], &a, &b), want, "2x2 then 2x2");
+        assert_eq!(multiply_non_stationary(&[&s, &c3], &a, &b), want, "2x2 then 3x3");
+        assert_eq!(multiply_non_stationary(&[&c3, &w], &a, &b), want, "3x3 then 2x2");
+        assert_eq!(multiply_non_stationary(&[], &a, &b), want, "no levels = classical");
+    }
+
+    #[test]
+    fn non_stationary_stops_when_dimension_resists() {
+        // 6x6 with a 2x2 scheme then a 2x2 scheme: second level sees 3x3,
+        // which is not divisible by 2 — falls back to classical, still exact.
+        let mut rng = StdRng::seed_from_u64(22);
+        let s = strassen();
+        let a = Matrix::random_int(6, 6, 40, &mut rng);
+        let b = Matrix::random_int(6, 6, 40, &mut rng);
+        assert_eq!(
+            multiply_non_stationary(&[&s, &s], &a, &b),
+            multiply_naive(&a, &b)
+        );
+    }
+
+    #[test]
+    fn next_power_of_works() {
+        assert_eq!(next_power_of(1, 2), 1);
+        assert_eq!(next_power_of(5, 2), 8);
+        assert_eq!(next_power_of(8, 2), 8);
+        assert_eq!(next_power_of(10, 3), 27);
+        assert_eq!(next_power_of(27, 3), 27);
+    }
+
+    #[test]
+    fn fp_float_agreement() {
+        // f64 Strassen result approximates the classical product.
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = Matrix::<f64>::random(32, 32, &mut rng);
+        let b = Matrix::<f64>::random(32, 32, &mut rng);
+        let exact = multiply_naive(&a, &b);
+        let fast = multiply_strassen(&a, &b, 4);
+        assert!(exact.max_abs_diff(&fast, |x| x) < 1e-10);
+        let _ = Fp::new(0); // keep Fp import exercised
+    }
+}

@@ -1,0 +1,631 @@
+//! Bilinear matrix multiplication schemes ("Strassen-like" base cases).
+//!
+//! A *scheme* `⟨n₀; r⟩` multiplies two `n₀ x n₀` matrices with `r` scalar
+//! multiplications. It is given by coefficient matrices `(U, V, W)`:
+//!
+//! * `U` is `r x n₀²`: product `l` multiplies the left operand
+//!   `T_l = Σ_q U[l][q] · A_q`,
+//! * `V` is `r x n₀²`: by the right operand `S_l = Σ_q V[l][q] · B_q`,
+//! * `W` is `n₀² x r`: output `C_q = Σ_l W[q][l] · M_l` where `M_l = T_l·S_l`.
+//!
+//! Used recursively on blocks, a scheme yields an `O(n^{ω₀})` algorithm with
+//! `ω₀ = log_{n₀} r` — the paper's "Strassen-like" class (Section 5.1). A
+//! triple computes matrix multiplication iff it satisfies the *Brent
+//! equations*, which [`BilinearScheme::verify_brent`] checks exhaustively;
+//! every scheme shipped here is verified in tests, and tensor products of
+//! verified schemes are verified again.
+//!
+//! Alongside the flat `(U, V, W)` form, a scheme carries three straight-line
+//! programs ([`Slp`]) for the encodings and the decoding. These capture
+//! common-subexpression reuse — the difference between Strassen's 18
+//! additions and Winograd's 15 (Winograd 1971) — and they are what the CDAG
+//! tracer executes, so computation graphs reflect the *actual* variant's
+//! structure, as the paper's Theorem 1.1 demands ("any known variant").
+
+use crate::scalar::Scalar;
+
+/// A small dense integer coefficient matrix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coeffs {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl Coeffs {
+    /// Build from a row-major vector.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<i64>) -> Self {
+        assert_eq!(data.len(), rows * cols);
+        Coeffs { rows, cols, data }
+    }
+
+    /// All-zero coefficient matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Coeffs { rows, cols, data: vec![0; rows * cols] }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Coefficient at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> i64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Set coefficient at `(i, j)`.
+    pub fn set(&mut self, i: usize, j: usize, v: i64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Indices of nonzero entries in row `i`.
+    pub fn row_support(&self, i: usize) -> Vec<usize> {
+        (0..self.cols).filter(|&j| self.get(i, j) != 0).collect()
+    }
+
+    /// Number of nonzero entries in row `i`.
+    pub fn row_nnz(&self, i: usize) -> usize {
+        (0..self.cols).filter(|&j| self.get(i, j) != 0).count()
+    }
+
+    /// Total number of nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0).count()
+    }
+}
+
+/// One operation of a straight-line program: `value = ca·tape[a] + cb·tape[b]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlpOp {
+    /// Index of the first operand on the tape.
+    pub a: usize,
+    /// Coefficient of the first operand.
+    pub ca: i64,
+    /// Index of the second operand on the tape.
+    pub b: usize,
+    /// Coefficient of the second operand.
+    pub cb: i64,
+}
+
+/// A straight-line program over a tape.
+///
+/// The tape starts with `n_inputs` input slots; each [`SlpOp`] appends one
+/// value. `outputs[k]` is the tape index holding the `k`-th output. An output
+/// may point directly at an input (e.g. Strassen's `M₃ = A₁₁·(B₁₂-B₂₂)` uses
+/// `A₁₁` unencoded), which is exactly the input=output vertex situation the
+/// paper notes for `Enc₁A`/`Enc₁B` in Section 4.1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Slp {
+    /// Number of input tape slots.
+    pub n_inputs: usize,
+    /// Linear operations, in execution order.
+    pub ops: Vec<SlpOp>,
+    /// Tape indices of the outputs.
+    pub outputs: Vec<usize>,
+}
+
+impl Slp {
+    /// Number of additions/subtractions performed (= number of ops).
+    pub fn additions(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Derive a left-to-right chain SLP computing, for each row `l` of
+    /// `coeffs`, the linear combination `Σ_q coeffs[l][q] · input_q`.
+    ///
+    /// Rows with a single nonzero unit coefficient output the input slot
+    /// itself (no op). Rows with a single non-unit coefficient synthesize a
+    /// scaling op (`c·x + 0·x`).
+    pub fn chain_from_rows(coeffs: &Coeffs) -> Slp {
+        let n_inputs = coeffs.cols();
+        let mut ops = Vec::new();
+        let mut outputs = Vec::with_capacity(coeffs.rows());
+        for l in 0..coeffs.rows() {
+            let support = coeffs.row_support(l);
+            match support.len() {
+                0 => panic!("scheme row {l} is identically zero"),
+                1 => {
+                    let q = support[0];
+                    let c = coeffs.get(l, q);
+                    if c == 1 {
+                        outputs.push(q);
+                    } else {
+                        ops.push(SlpOp { a: q, ca: c, b: q, cb: 0 });
+                        outputs.push(n_inputs + ops.len() - 1);
+                    }
+                }
+                _ => {
+                    let mut acc = {
+                        let (q0, q1) = (support[0], support[1]);
+                        ops.push(SlpOp {
+                            a: q0,
+                            ca: coeffs.get(l, q0),
+                            b: q1,
+                            cb: coeffs.get(l, q1),
+                        });
+                        n_inputs + ops.len() - 1
+                    };
+                    for &q in &support[2..] {
+                        ops.push(SlpOp { a: acc, ca: 1, b: q, cb: coeffs.get(l, q) });
+                        acc = n_inputs + ops.len() - 1;
+                    }
+                    outputs.push(acc);
+                }
+            }
+        }
+        Slp { n_inputs, ops, outputs }
+    }
+
+    /// Symbolically evaluate the SLP: returns, per output, its coefficient
+    /// vector over the inputs. Used to check hand-written SLPs against the
+    /// flat `(U, V, W)` form.
+    pub fn to_coeff_rows(&self) -> Coeffs {
+        let mut tape: Vec<Vec<i64>> = (0..self.n_inputs)
+            .map(|q| {
+                let mut row = vec![0i64; self.n_inputs];
+                row[q] = 1;
+                row
+            })
+            .collect();
+        for op in &self.ops {
+            let mut row = vec![0i64; self.n_inputs];
+            for q in 0..self.n_inputs {
+                row[q] = op.ca * tape[op.a][q] + op.cb * tape[op.b][q];
+            }
+            tape.push(row);
+        }
+        let mut out = Coeffs::zeros(self.outputs.len(), self.n_inputs);
+        for (k, &idx) in self.outputs.iter().enumerate() {
+            for q in 0..self.n_inputs {
+                out.set(k, q, tape[idx][q]);
+            }
+        }
+        out
+    }
+
+    /// Run the SLP over any ring, mapping each output.
+    pub fn eval<T: Scalar>(&self, inputs: &[T]) -> Vec<T> {
+        assert_eq!(inputs.len(), self.n_inputs);
+        let mut tape: Vec<T> = inputs.to_vec();
+        tape.reserve(self.ops.len());
+        for op in &self.ops {
+            let v = T::zero().add_scaled(tape[op.a], op.ca).add_scaled(tape[op.b], op.cb);
+            tape.push(v);
+        }
+        self.outputs.iter().map(|&i| tape[i]).collect()
+    }
+}
+
+/// A complete bilinear scheme with flat coefficients and SLPs.
+#[derive(Clone, Debug)]
+pub struct BilinearScheme {
+    /// Human-readable name (e.g. `"strassen"`).
+    pub name: String,
+    /// Base block dimension `n₀`.
+    pub n0: usize,
+    /// Number of multiplications `r = m(n₀)`.
+    pub r: usize,
+    /// Left-encoding coefficients, `r x n₀²`.
+    pub u: Coeffs,
+    /// Right-encoding coefficients, `r x n₀²`.
+    pub v: Coeffs,
+    /// Decoding coefficients, `n₀² x r`.
+    pub w: Coeffs,
+    /// Straight-line program computing the left encodings.
+    pub enc_a: Slp,
+    /// Straight-line program computing the right encodings.
+    pub enc_b: Slp,
+    /// Straight-line program computing the outputs from the products.
+    pub dec_c: Slp,
+}
+
+impl BilinearScheme {
+    /// Build a scheme from flat coefficients, deriving chain SLPs.
+    pub fn from_coeffs(name: &str, n0: usize, u: Coeffs, v: Coeffs, w: Coeffs) -> Self {
+        let t = n0 * n0;
+        let r = u.rows();
+        assert_eq!(v.rows(), r);
+        assert_eq!(u.cols(), t);
+        assert_eq!(v.cols(), t);
+        assert_eq!(w.rows(), t);
+        assert_eq!(w.cols(), r);
+        let enc_a = Slp::chain_from_rows(&u);
+        let enc_b = Slp::chain_from_rows(&v);
+        // Decoding combines rows of W (an n₀² x r matrix): treat each output
+        // as a row over r product inputs.
+        let dec_c = Slp::chain_from_rows(&w);
+        BilinearScheme { name: name.to_string(), n0, r, u, v, w, enc_a, enc_b, dec_c }
+    }
+
+    /// `ω₀ = log_{n₀} r`, the exponent of the arithmetic count.
+    pub fn omega0(&self) -> f64 {
+        (self.r as f64).ln() / (self.n0 as f64).ln()
+    }
+
+    /// Total additions per recursion step (encode A + encode B + decode),
+    /// per the scheme's SLPs. Strassen: 18; Winograd: 15.
+    pub fn additions(&self) -> usize {
+        self.enc_a.additions() + self.enc_b.additions() + self.dec_c.additions()
+    }
+
+    /// Verify the Brent equations: for all `i,k` (left block), `k',j` (right
+    /// block), `i',j'` (output block),
+    /// `Σ_l U[l][(i,k)]·V[l][(k',j)]·W[(i',j')][l] = [i=i'][j=j'][k=k']`.
+    ///
+    /// Returns `Ok(())` or the first violated equation.
+    pub fn verify_brent(&self) -> Result<(), String> {
+        let n0 = self.n0;
+        for i in 0..n0 {
+            for k in 0..n0 {
+                for k2 in 0..n0 {
+                    for j in 0..n0 {
+                        for i2 in 0..n0 {
+                            for j2 in 0..n0 {
+                                let mut sum = 0i64;
+                                for l in 0..self.r {
+                                    sum += self.u.get(l, i * n0 + k)
+                                        * self.v.get(l, k2 * n0 + j)
+                                        * self.w.get(i2 * n0 + j2, l);
+                                }
+                                let expect =
+                                    i64::from(i == i2 && j == j2 && k == k2);
+                                if sum != expect {
+                                    return Err(format!(
+                                        "Brent equation violated at A({i},{k}) B({k2},{j}) \
+                                         C({i2},{j2}): got {sum}, want {expect}"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify that the SLPs compute exactly the flat coefficients.
+    pub fn verify_slps(&self) -> Result<(), String> {
+        if self.enc_a.to_coeff_rows() != self.u {
+            return Err(format!("{}: enc_a SLP disagrees with U", self.name));
+        }
+        if self.enc_b.to_coeff_rows() != self.v {
+            return Err(format!("{}: enc_b SLP disagrees with V", self.name));
+        }
+        if self.dec_c.to_coeff_rows() != self.w {
+            return Err(format!("{}: dec_c SLP disagrees with W", self.name));
+        }
+        Ok(())
+    }
+
+    /// Tensor (Kronecker) product of two schemes: `⟨n₀ᵃ·n₀ᵇ; rᵃ·rᵇ⟩`.
+    ///
+    /// Applying `a ⊗ b` one level equals applying `a` then `b`; the paper's
+    /// "uniform, non-stationary" class (Section 5.2) mixes such levels.
+    pub fn tensor(&self, other: &BilinearScheme) -> BilinearScheme {
+        let (na, nb) = (self.n0, other.n0);
+        let n0 = na * nb;
+        let t = n0 * n0;
+        let r = self.r * other.r;
+        // Composite block index: row i = ia*nb + ib, col k = ka*nb + kb,
+        // flat q = i*n0 + k.
+        let q_of = |ia: usize, ib: usize, ka: usize, kb: usize| {
+            (ia * nb + ib) * n0 + (ka * nb + kb)
+        };
+        let mut u = Coeffs::zeros(r, t);
+        let mut v = Coeffs::zeros(r, t);
+        let mut w = Coeffs::zeros(t, r);
+        for la in 0..self.r {
+            for lb in 0..other.r {
+                let l = la * other.r + lb;
+                for ia in 0..na {
+                    for ka in 0..na {
+                        for ib in 0..nb {
+                            for kb in 0..nb {
+                                let q = q_of(ia, ib, ka, kb);
+                                u.set(
+                                    l,
+                                    q,
+                                    self.u.get(la, ia * na + ka) * other.u.get(lb, ib * nb + kb),
+                                );
+                                v.set(
+                                    l,
+                                    q,
+                                    self.v.get(la, ia * na + ka) * other.v.get(lb, ib * nb + kb),
+                                );
+                                w.set(
+                                    q,
+                                    l,
+                                    self.w.get(ia * na + ka, la) * other.w.get(ib * nb + kb, lb),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        BilinearScheme::from_coeffs(&format!("{}⊗{}", self.name, other.name), n0, u, v, w)
+    }
+}
+
+/// The classical `⟨n₀; n₀³⟩` scheme: product `(i,k,j)` multiplies `A_{ik}` by
+/// `B_{kj}` and accumulates into `C_{ij}`. Its `Dec₁C` graph is
+/// *disconnected* (one component per output), so it is **not**
+/// "Strassen-like" in the paper's technical sense (Section 5.1.1) — a fact
+/// the CDAG tests assert.
+pub fn classical_scheme(n0: usize) -> BilinearScheme {
+    let t = n0 * n0;
+    let r = n0 * n0 * n0;
+    let mut u = Coeffs::zeros(r, t);
+    let mut v = Coeffs::zeros(r, t);
+    let mut w = Coeffs::zeros(t, r);
+    for i in 0..n0 {
+        for k in 0..n0 {
+            for j in 0..n0 {
+                let l = (i * n0 + k) * n0 + j;
+                u.set(l, i * n0 + k, 1);
+                v.set(l, k * n0 + j, 1);
+                w.set(i * n0 + j, l, 1);
+            }
+        }
+    }
+    BilinearScheme::from_coeffs(&format!("classical{n0}"), n0, u, v, w)
+}
+
+/// Strassen's original `⟨2; 7⟩` scheme (Strassen 1969; Algorithm 1 in the
+/// paper's Appendix A). 18 additions.
+pub fn strassen() -> BilinearScheme {
+    // Block index q = 2*i + j: 0 = (1,1), 1 = (1,2), 2 = (2,1), 3 = (2,2).
+    let u = Coeffs::from_rows(
+        7,
+        4,
+        vec![
+            1, 0, 0, 1, // M1 = (A11 + A22) ...
+            0, 0, 1, 1, // M2 = (A21 + A22) ...
+            1, 0, 0, 0, // M3 = A11 ...
+            0, 0, 0, 1, // M4 = A22 ...
+            1, 1, 0, 0, // M5 = (A11 + A12) ...
+            -1, 0, 1, 0, // M6 = (A21 - A11) ...
+            0, 1, 0, -1, // M7 = (A12 - A22) ...
+        ],
+    );
+    let v = Coeffs::from_rows(
+        7,
+        4,
+        vec![
+            1, 0, 0, 1, // ... (B11 + B22)
+            1, 0, 0, 0, // ... B11
+            0, 1, 0, -1, // ... (B12 - B22)
+            -1, 0, 1, 0, // ... (B21 - B11)
+            0, 0, 0, 1, // ... B22
+            1, 1, 0, 0, // ... (B11 + B12)
+            0, 0, 1, 1, // ... (B21 + B22)
+        ],
+    );
+    let w = Coeffs::from_rows(
+        4,
+        7,
+        vec![
+            1, 0, 0, 1, -1, 0, 1, // C11 = M1 + M4 - M5 + M7
+            0, 0, 1, 0, 1, 0, 0, // C12 = M3 + M5
+            0, 1, 0, 1, 0, 0, 0, // C21 = M2 + M4
+            1, -1, 1, 0, 0, 1, 0, // C22 = M1 - M2 + M3 + M6
+        ],
+    );
+    BilinearScheme::from_coeffs("strassen", 2, u, v, w)
+}
+
+/// Winograd's variant of Strassen's algorithm (Winograd 1971): same `⟨2; 7⟩`
+/// bilinear rank, 15 additions via shared subexpressions. This is "the most
+/// used fast matrix multiplication algorithm in practice" per the paper.
+pub fn winograd() -> BilinearScheme {
+    let u = Coeffs::from_rows(
+        7,
+        4,
+        vec![
+            1, 0, 0, 0, // M1 = A11 ...
+            0, 1, 0, 0, // M2 = A12 ...
+            1, 1, -1, -1, // M3 = (A11 + A12 - A21 - A22) ...
+            0, 0, 0, 1, // M4 = A22 ...
+            0, 0, 1, 1, // M5 = (A21 + A22) ...
+            -1, 0, 1, 1, // M6 = (A21 + A22 - A11) ...
+            1, 0, -1, 0, // M7 = (A11 - A21) ...
+        ],
+    );
+    let v = Coeffs::from_rows(
+        7,
+        4,
+        vec![
+            1, 0, 0, 0, // ... B11
+            0, 0, 1, 0, // ... B21
+            0, 0, 0, 1, // ... B22
+            1, -1, -1, 1, // ... (B11 - B12 - B21 + B22)
+            -1, 1, 0, 0, // ... (B12 - B11)
+            1, -1, 0, 1, // ... (B11 - B12 + B22)
+            0, -1, 0, 1, // ... (B22 - B12)
+        ],
+    );
+    let w = Coeffs::from_rows(
+        4,
+        7,
+        vec![
+            1, 1, 0, 0, 0, 0, 0, // C11 = M1 + M2
+            1, 0, 1, 0, 1, 1, 0, // C12 = M1 + M6 + M5 + M3
+            1, 0, 0, -1, 0, 1, 1, // C21 = M1 + M6 + M7 - M4
+            1, 0, 0, 0, 1, 1, 1, // C22 = M1 + M6 + M7 + M5
+        ],
+    );
+    let mut s = BilinearScheme::from_coeffs("winograd", 2, u, v, w);
+    // Hand-written SLPs realizing the 15-addition schedule.
+    // Tape layout for enc_a: inputs 0..4 = A11, A12, A21, A22.
+    // ops: 4: S1 = A21 + A22; 5: S2 = S1 - A11; 6: S3 = A11 - A21;
+    //      7: S4 = A12 - S2.
+    s.enc_a = Slp {
+        n_inputs: 4,
+        ops: vec![
+            SlpOp { a: 2, ca: 1, b: 3, cb: 1 },  // 4: S1
+            SlpOp { a: 4, ca: 1, b: 0, cb: -1 }, // 5: S2
+            SlpOp { a: 0, ca: 1, b: 2, cb: -1 }, // 6: S3
+            SlpOp { a: 1, ca: 1, b: 5, cb: -1 }, // 7: S4
+        ],
+        // M1 = A11, M2 = A12, M3 = S4, M4 = A22, M5 = S1, M6 = S2, M7 = S3
+        outputs: vec![0, 1, 7, 3, 4, 5, 6],
+    };
+    // enc_b: inputs 0..4 = B11, B12, B21, B22.
+    // ops: 4: T1 = B12 - B11; 5: T2 = B22 - T1; 6: T3 = B22 - B12;
+    //      7: T4 = T2 - B21.
+    s.enc_b = Slp {
+        n_inputs: 4,
+        ops: vec![
+            SlpOp { a: 1, ca: 1, b: 0, cb: -1 }, // 4: T1
+            SlpOp { a: 3, ca: 1, b: 4, cb: -1 }, // 5: T2
+            SlpOp { a: 3, ca: 1, b: 1, cb: -1 }, // 6: T3
+            SlpOp { a: 5, ca: 1, b: 2, cb: -1 }, // 7: T4
+        ],
+        // M1 = B11, M2 = B21, M3 = B22, M4 = T4, M5 = T1, M6 = T2, M7 = T3
+        outputs: vec![0, 2, 3, 7, 4, 5, 6],
+    };
+    // dec_c: inputs 0..7 = M1..M7.
+    // ops: 7: C11 = M1 + M2; 8: U2 = M1 + M6; 9: U3 = U2 + M7;
+    //      10: U4 = U2 + M5; 11: C12 = U4 + M3; 12: C21 = U3 - M4;
+    //      13: C22 = U3 + M5.
+    s.dec_c = Slp {
+        n_inputs: 7,
+        ops: vec![
+            SlpOp { a: 0, ca: 1, b: 1, cb: 1 },   // 7: C11
+            SlpOp { a: 0, ca: 1, b: 5, cb: 1 },   // 8: U2
+            SlpOp { a: 8, ca: 1, b: 6, cb: 1 },   // 9: U3
+            SlpOp { a: 8, ca: 1, b: 4, cb: 1 },   // 10: U4
+            SlpOp { a: 10, ca: 1, b: 2, cb: 1 },  // 11: C12
+            SlpOp { a: 9, ca: 1, b: 3, cb: -1 },  // 12: C21
+            SlpOp { a: 9, ca: 1, b: 4, cb: 1 },   // 13: C22
+        ],
+        outputs: vec![7, 11, 12, 13],
+    };
+    s
+}
+
+/// Registry of the executable schemes shipped with this crate.
+pub fn all_schemes() -> Vec<BilinearScheme> {
+    vec![
+        classical_scheme(2),
+        classical_scheme(3),
+        strassen(),
+        winograd(),
+        strassen().tensor(&strassen()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strassen_satisfies_brent() {
+        strassen().verify_brent().unwrap();
+    }
+
+    #[test]
+    fn winograd_satisfies_brent() {
+        winograd().verify_brent().unwrap();
+    }
+
+    #[test]
+    fn classical_satisfies_brent() {
+        classical_scheme(2).verify_brent().unwrap();
+        classical_scheme(3).verify_brent().unwrap();
+        classical_scheme(4).verify_brent().unwrap();
+    }
+
+    #[test]
+    fn tensor_products_satisfy_brent() {
+        strassen().tensor(&strassen()).verify_brent().unwrap();
+        strassen().tensor(&classical_scheme(2)).verify_brent().unwrap();
+        winograd().tensor(&strassen()).verify_brent().unwrap();
+    }
+
+    #[test]
+    fn slps_match_flat_coefficients() {
+        for s in all_schemes() {
+            s.verify_slps().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn addition_counts_match_literature() {
+        assert_eq!(strassen().additions(), 18, "Strassen uses 18 additions");
+        assert_eq!(winograd().additions(), 15, "Winograd uses 15 additions");
+    }
+
+    #[test]
+    fn omega0_values() {
+        assert!((strassen().omega0() - 7f64.log2()).abs() < 1e-12);
+        assert!((classical_scheme(2).omega0() - 3.0).abs() < 1e-12);
+        assert!((classical_scheme(3).omega0() - 3.0).abs() < 1e-12);
+        let ss = strassen().tensor(&strassen());
+        assert!((ss.omega0() - 7f64.log2()).abs() < 1e-12, "tensor square keeps ω₀");
+    }
+
+    #[test]
+    fn tensor_dimensions() {
+        let ss = strassen().tensor(&strassen());
+        assert_eq!(ss.n0, 4);
+        assert_eq!(ss.r, 49);
+        let sc = strassen().tensor(&classical_scheme(2));
+        assert_eq!(sc.n0, 4);
+        assert_eq!(sc.r, 56);
+    }
+
+    #[test]
+    fn chain_slp_roundtrips_coefficients() {
+        let c = Coeffs::from_rows(3, 4, vec![1, -1, 0, 2, 0, 0, 1, 0, 1, 1, 1, 1]);
+        let slp = Slp::chain_from_rows(&c);
+        assert_eq!(slp.to_coeff_rows(), c);
+    }
+
+    #[test]
+    fn chain_slp_handles_scaled_singleton() {
+        let c = Coeffs::from_rows(1, 2, vec![0, -3]);
+        let slp = Slp::chain_from_rows(&c);
+        assert_eq!(slp.to_coeff_rows(), c);
+        assert_eq!(slp.eval(&[10i64, 7]), vec![-21]);
+    }
+
+    #[test]
+    fn slp_eval_matches_symbolic() {
+        let s = winograd();
+        let a = [3i64, -1, 4, 1];
+        let enc = s.enc_a.eval(&a);
+        let coeffs = s.enc_a.to_coeff_rows();
+        for l in 0..s.r {
+            let direct: i64 = (0..4).map(|q| coeffs.get(l, q) * a[q]).sum();
+            assert_eq!(enc[l], direct, "product {l}");
+        }
+    }
+
+    #[test]
+    fn brent_detects_corruption() {
+        let mut s = strassen();
+        s.w.set(0, 0, 0); // break C11
+        assert!(s.verify_brent().is_err());
+    }
+
+    #[test]
+    fn classical_nnz_structure() {
+        let c = classical_scheme(2);
+        assert_eq!(c.u.nnz(), 8);
+        assert_eq!(c.v.nnz(), 8);
+        assert_eq!(c.w.nnz(), 8);
+        // every W row (output) has exactly n0 products
+        for q in 0..4 {
+            assert_eq!(c.w.row_nnz(q), 2);
+        }
+    }
+}

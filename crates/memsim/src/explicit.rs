@@ -1,0 +1,286 @@
+//! Communication-counted matrix multiplication on the explicit two-level
+//! machine.
+//!
+//! Two families:
+//!
+//! * [`multiply_blocked_explicit`] — the classical tiled algorithm with tile
+//!   side `√(M/3)`: the optimal `Θ(n³/√M)` classical algorithm
+//!   (Hong–Kung / Irony–Toledo–Tiskin; the `ω₀ = 3` row of the paper's
+//!   bounds).
+//! * [`multiply_dfs_explicit`] — the depth-first recursive Strassen-like
+//!   algorithm of Section 1.4.1 (footnote 5): recurse until three blocks fit
+//!   in fast memory, do the block additions as streaming passes, realize
+//!   `IO(n) ≤ r·IO(n/n₀) + O(n²)` and hence
+//!   `IO(n) = O((n/√M)^{ω₀}·M)` — Equation (1).
+//!
+//! Both run on real data (results are verified against classical kernels in
+//! tests) while a [`TwoLevelMachine`] enforces the capacity invariant and
+//! counts every word moved.
+
+use crate::machine::{IoStats, TwoLevelMachine};
+use fastmm_matrix::classical::{multiply_ikj, multiply_naive};
+use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::scalar::Scalar;
+use fastmm_matrix::scheme::BilinearScheme;
+
+/// Result of an explicit run: the product, the I/O statistics, and the
+/// fast-memory high-water mark.
+pub struct ExplicitRun<T> {
+    /// The computed product.
+    pub c: Matrix<T>,
+    /// Words/messages moved.
+    pub io: IoStats,
+    /// Peak fast-memory residency (must be ≤ M; asserted during the run).
+    pub high_water: usize,
+}
+
+/// Tiled classical multiplication with all three tiles resident.
+///
+/// Tile side defaults to `⌊√(M/3)⌋` (the largest square tiles such that one
+/// tile of each of A, B, C fits in fast memory).
+pub fn multiply_blocked_explicit<T: Scalar>(
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    m: usize,
+) -> ExplicitRun<T> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.rows(), n);
+    assert_eq!(b.cols(), n);
+    let tile = ((m / 3) as f64).sqrt().floor() as usize;
+    let tile = tile.clamp(1, n);
+    let mut machine = TwoLevelMachine::new(m);
+    let mut c: Matrix<T> = Matrix::zeros(n, n);
+    for i0 in (0..n).step_by(tile) {
+        let ih = (i0 + tile).min(n) - i0;
+        for j0 in (0..n).step_by(tile) {
+            let jw = (j0 + tile).min(n) - j0;
+            // C tile accumulates in fast memory across the k loop; it starts
+            // at zero so it is allocated, not read.
+            machine.alloc(ih * jw);
+            let mut ctile: Matrix<T> = Matrix::zeros(ih, jw);
+            for k0 in (0..n).step_by(tile) {
+                let kw = (k0 + tile).min(n) - k0;
+                machine.load(ih * kw);
+                machine.load(kw * jw);
+                let at = a.view().block(i0, k0, ih, kw).to_matrix();
+                let bt = b.view().block(k0, j0, kw, jw).to_matrix();
+                let prod = multiply_naive(&at, &bt);
+                ctile = ctile.add(&prod);
+                machine.free(ih * kw);
+                machine.free(kw * jw);
+            }
+            c.view_mut().block_mut(i0, j0, ih, jw).copy_from(ctile.view());
+            machine.store(ih * jw);
+        }
+    }
+    ExplicitRun { c, io: machine.stats(), high_water: machine.high_water() }
+}
+
+/// Depth-first recursive Strassen-like multiplication with streaming block
+/// additions; the paper's upper-bound construction.
+pub fn multiply_dfs_explicit<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    m: usize,
+) -> ExplicitRun<T> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n);
+    assert_eq!(b.rows(), n);
+    assert_eq!(b.cols(), n);
+    let mut machine = TwoLevelMachine::new(m);
+    let c = dfs_rec(scheme, a, b, &mut machine);
+    ExplicitRun { c, io: machine.stats(), high_water: machine.high_water() }
+}
+
+fn dfs_rec<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    machine: &mut TwoLevelMachine,
+) -> Matrix<T> {
+    let n = a.rows();
+    let n0 = scheme.n0;
+    // Base case: both inputs and the output fit simultaneously.
+    if 3 * n * n <= machine.capacity() || n % n0 != 0 || n == 1 {
+        machine.load(n * n); // A
+        machine.load(n * n); // B
+        machine.alloc(n * n); // C accumulator materializes in fast memory
+        let c = multiply_ikj(a, b);
+        machine.free(2 * n * n);
+        machine.store(n * n); // C back to slow memory
+        return c;
+    }
+    let _bs = n / n0;
+    let t = n0 * n0;
+    let a_blocks: Vec<Matrix<T>> =
+        (0..t).map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let b_blocks: Vec<Matrix<T>> =
+        (0..t).map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    // Block additions run as the scheme's straight-line programs, each op a
+    // streaming pass over slow memory (O(1) fast memory). This is where
+    // Winograd's 15-addition schedule moves fewer words than Strassen's 18.
+    let ta = slp_eval_streamed(&scheme.enc_a, &a_blocks, machine);
+    let tb = slp_eval_streamed(&scheme.enc_b, &b_blocks, machine);
+    let products: Vec<Matrix<T>> =
+        (0..scheme.r).map(|l| dfs_rec(scheme, &ta[l], &tb[l], machine)).collect();
+    let c_blocks = slp_eval_streamed(&scheme.dec_c, &products, machine);
+    let mut c: Matrix<T> = Matrix::zeros(n, n);
+    for (q, blk) in c_blocks.iter().enumerate() {
+        c.view_mut().grid_block_mut(n0, q / n0, q % n0).copy_from(blk.view());
+    }
+    c
+}
+
+/// Evaluate an SLP over block operands, streaming each op through fast
+/// memory (read the operands, write the result).
+fn slp_eval_streamed<T: Scalar>(
+    slp: &fastmm_matrix::scheme::Slp,
+    inputs: &[Matrix<T>],
+    machine: &mut TwoLevelMachine,
+) -> Vec<Matrix<T>> {
+    let bs = inputs[0].rows();
+    let mut tape: Vec<Matrix<T>> = inputs.to_vec();
+    for op in &slp.ops {
+        let mut out: Matrix<T> = Matrix::zeros(bs, bs);
+        let mut reads = 0usize;
+        if op.ca != 0 {
+            let src = tape[op.a].clone();
+            out.view_mut().accumulate_scaled(src.view(), op.ca);
+            reads += bs * bs;
+        }
+        if op.cb != 0 {
+            let src = tape[op.b].clone();
+            out.view_mut().accumulate_scaled(src.view(), op.cb);
+            reads += bs * bs;
+        }
+        machine.stream(reads, bs * bs);
+        tape.push(out);
+    }
+    slp.outputs.iter().map(|&i| tape[i].clone()).collect()
+}
+
+/// Closed-form upper-bound recurrence (Equation 1): the word count of the
+/// DFS algorithm satisfies `IO(n) = r·IO(n/n₀) + 3·adds·(n/n₀)²` with base
+/// `IO(√(M/3)) = 3n² = Θ(M)`. Returns the analytically unrolled count for
+/// exact comparison against measured runs (each SLP op streams up to two
+/// operand reads plus one write of a `(n/n₀)²` block).
+pub fn dfs_io_recurrence(scheme: &BilinearScheme, n: usize, m: usize) -> f64 {
+    if 3 * n * n <= m || n % scheme.n0 != 0 || n == 1 {
+        return 3.0 * (n * n) as f64; // read A, B; write C
+    }
+    let bs = (n / scheme.n0) as f64;
+    let op_words = |slp: &fastmm_matrix::scheme::Slp| {
+        slp.ops
+            .iter()
+            .map(|op| {
+                let reads = (op.ca != 0) as usize + (op.cb != 0) as usize;
+                (reads + 1) as f64
+            })
+            .sum::<f64>()
+    };
+    let level =
+        (op_words(&scheme.enc_a) + op_words(&scheme.enc_b) + op_words(&scheme.dec_c)) * bs * bs;
+    level + scheme.r as f64 * dfs_io_recurrence(scheme, n / scheme.n0, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_matrix::scheme::{strassen, winograd};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (Matrix::random_int(n, n, 20, &mut rng), Matrix::random_int(n, n, 20, &mut rng))
+    }
+
+    #[test]
+    fn blocked_explicit_is_correct() {
+        let (a, b) = sample(24, 1);
+        let run = multiply_blocked_explicit(&a, &b, 3 * 8 * 8);
+        assert_eq!(run.c, multiply_naive(&a, &b));
+        assert!(run.high_water <= 3 * 8 * 8);
+    }
+
+    #[test]
+    fn dfs_explicit_is_correct() {
+        for (n, m) in [(16usize, 3 * 16), (32, 3 * 64), (64, 3 * 256)] {
+            let (a, b) = sample(n, n as u64);
+            let run = multiply_dfs_explicit(&strassen(), &a, &b, m);
+            assert_eq!(run.c, multiply_naive(&a, &b), "n={n} m={m}");
+            assert!(run.high_water <= m, "n={n} m={m}: {}", run.high_water);
+        }
+    }
+
+    #[test]
+    fn dfs_winograd_moves_fewer_words_than_strassen() {
+        let (a, b) = sample(32, 7);
+        let m = 3 * 16;
+        let s = multiply_dfs_explicit(&strassen(), &a, &b, m);
+        let w = multiply_dfs_explicit(&winograd(), &a, &b, m);
+        assert_eq!(s.c, w.c);
+        assert!(
+            w.io.total_words() < s.io.total_words(),
+            "winograd {} !< strassen {}",
+            w.io.total_words(),
+            s.io.total_words()
+        );
+    }
+
+    #[test]
+    fn blocked_io_scales_like_n3_over_sqrt_m() {
+        // doubling n with fixed M multiplies the words moved by ~8
+        let m = 3 * 8 * 8;
+        let (a1, b1) = sample(32, 2);
+        let (a2, b2) = sample(64, 3);
+        let io1 = multiply_blocked_explicit(&a1, &b1, m).io.total_words() as f64;
+        let io2 = multiply_blocked_explicit(&a2, &b2, m).io.total_words() as f64;
+        let ratio = io2 / io1;
+        assert!((ratio - 8.0).abs() < 1.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn dfs_io_scales_like_7x_per_doubling() {
+        // (2n/√M)^{lg 7}·M / (n/√M)^{lg 7}·M = 7
+        let m = 3 * 8 * 8;
+        let (a1, b1) = sample(64, 4);
+        let (a2, b2) = sample(128, 5);
+        let io1 = multiply_dfs_explicit(&strassen(), &a1, &b1, m).io.total_words() as f64;
+        let io2 = multiply_dfs_explicit(&strassen(), &a2, &b2, m).io.total_words() as f64;
+        let ratio = io2 / io1;
+        assert!((ratio - 7.0).abs() < 0.7, "ratio {ratio}");
+    }
+
+    #[test]
+    fn measured_matches_recurrence_exactly() {
+        let (a, b) = sample(32, 6);
+        for m in [3 * 16usize, 3 * 64] {
+            let run = multiply_dfs_explicit(&strassen(), &a, &b, m);
+            let predicted = dfs_io_recurrence(&strassen(), 32, m);
+            assert_eq!(run.io.total_words() as f64, predicted, "m={m}");
+        }
+    }
+
+    #[test]
+    fn whole_problem_in_cache_costs_3n2() {
+        let (a, b) = sample(16, 8);
+        let run = multiply_dfs_explicit(&strassen(), &a, &b, 3 * 256);
+        assert_eq!(run.io.total_words(), 3 * 256);
+        let runb = multiply_blocked_explicit(&a, &b, 3 * 256);
+        assert_eq!(runb.io.total_words(), 3 * 256);
+    }
+
+    #[test]
+    fn larger_m_reduces_dfs_io() {
+        let (a, b) = sample(64, 9);
+        let mut prev = u64::MAX;
+        for m in [48usize, 192, 768, 3072] {
+            let io = multiply_dfs_explicit(&strassen(), &a, &b, m).io.total_words();
+            assert!(io <= prev, "m={m}: {io} > {prev}");
+            prev = io;
+        }
+    }
+}

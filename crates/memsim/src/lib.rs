@@ -1,0 +1,22 @@
+//! # fastmm-memsim — the two-level memory hierarchy simulator
+//!
+//! The sequential machine of the paper's Section 1.1: unbounded slow memory,
+//! fast memory of `M` words, messages of up to `M` contiguous words costing
+//! `α + βn`. Three execution modes:
+//!
+//! * [`machine`] — explicitly managed fast memory with capacity enforcement
+//!   and exact word/message accounting;
+//! * [`explicit`] — the blocked classical and depth-first Strassen-like
+//!   algorithms run on real data against that machine (the upper-bound
+//!   constructions of Section 1.4.1 and the classical baseline);
+//! * [`lru`] + [`traced`] — a word-granularity LRU cache simulator for
+//!   cache-oblivious executions.
+
+pub mod explicit;
+pub mod lru;
+pub mod machine;
+pub mod traced;
+
+pub use explicit::{dfs_io_recurrence, multiply_blocked_explicit, multiply_dfs_explicit, ExplicitRun};
+pub use lru::LruCache;
+pub use machine::{IoStats, TwoLevelMachine};

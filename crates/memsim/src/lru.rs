@@ -1,0 +1,222 @@
+//! Word-granularity LRU cache simulator.
+//!
+//! Models the *cache-oblivious* execution mode: the algorithm touches
+//! addresses and an LRU fast memory of `M` words decides what stays. LRU is
+//! a stack algorithm, so misses are monotone non-increasing in `M` (the
+//! inclusion property) — a property test below exercises this. Dirty
+//! evictions and the final flush count as write-backs, matching the
+//! two-level model where modified words must return to slow memory.
+
+use std::collections::HashMap;
+
+/// Doubly-linked-list node in the arena.
+struct Node {
+    prev: u32,
+    next: u32,
+    addr: u64,
+    dirty: bool,
+}
+
+const NIL: u32 = u32::MAX;
+
+/// An LRU cache of `capacity` words with miss/write-back accounting.
+pub struct LruCache {
+    capacity: usize,
+    map: HashMap<u64, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (each miss = one word read from slow memory).
+    pub misses: u64,
+    /// Dirty evictions + flushed dirty words (words written to slow memory).
+    pub writebacks: u64,
+}
+
+impl LruCache {
+    /// New cache of `capacity` words.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            nodes: Vec::with_capacity(capacity + 1),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            accesses: 0,
+            misses: 0,
+            writebacks: 0,
+        }
+    }
+
+    fn detach(&mut self, idx: u32) {
+        let (prev, next) = (self.nodes[idx as usize].prev, self.nodes[idx as usize].next);
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Touch `addr`; returns `true` on hit. `write` marks the word dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> bool {
+        self.accesses += 1;
+        if let Some(&idx) = self.map.get(&addr) {
+            self.detach(idx);
+            self.push_front(idx);
+            if write {
+                self.nodes[idx as usize].dirty = true;
+            }
+            return true;
+        }
+        self.misses += 1;
+        if self.map.len() == self.capacity {
+            // evict LRU
+            let victim = self.tail;
+            self.detach(victim);
+            let v = &self.nodes[victim as usize];
+            if v.dirty {
+                self.writebacks += 1;
+            }
+            self.map.remove(&v.addr);
+            self.free.push(victim);
+        }
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = Node { prev: NIL, next: NIL, addr, dirty: write };
+            i
+        } else {
+            self.nodes.push(Node { prev: NIL, next: NIL, addr, dirty: write });
+            (self.nodes.len() - 1) as u32
+        };
+        self.map.insert(addr, idx);
+        self.push_front(idx);
+        false
+    }
+
+    /// Words currently resident.
+    pub fn resident(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Flush: write back all dirty resident words (end of run). Words stay
+    /// resident but clean.
+    pub fn flush(&mut self) {
+        let dirty = self.map.values().filter(|&&i| self.nodes[i as usize].dirty).count();
+        self.writebacks += dirty as u64;
+        for node in &mut self.nodes {
+            node.dirty = false;
+        }
+    }
+
+    /// Total words moved: misses (reads) + writebacks.
+    pub fn total_words_moved(&self) -> u64 {
+        self.misses + self.writebacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_basic() {
+        let mut c = LruCache::new(2);
+        assert!(!c.access(1, false));
+        assert!(!c.access(2, false));
+        assert!(c.access(1, false));
+        assert!(!c.access(3, false)); // evicts 2
+        assert!(c.access(1, false));
+        assert!(!c.access(2, false)); // 2 was evicted
+        assert_eq!(c.misses, 4);
+        assert_eq!(c.accesses, 6);
+    }
+
+    #[test]
+    fn lru_order_eviction() {
+        let mut c = LruCache::new(3);
+        c.access(1, false);
+        c.access(2, false);
+        c.access(3, false);
+        c.access(1, false); // 2 is now LRU
+        c.access(4, false); // evicts 2
+        assert!(c.access(1, false));
+        assert!(c.access(3, false));
+        assert!(!c.access(2, false));
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = LruCache::new(1);
+        c.access(1, true);
+        c.access(2, false); // evicts dirty 1
+        assert_eq!(c.writebacks, 1);
+        c.access(3, true); // evicts clean 2
+        assert_eq!(c.writebacks, 1);
+        c.flush(); // 3 is dirty
+        assert_eq!(c.writebacks, 2);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let mut c = LruCache::new(4);
+        c.access(1, true);
+        c.access(2, true);
+        c.flush();
+        let w = c.writebacks;
+        c.flush();
+        assert_eq!(c.writebacks, w);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_remisses() {
+        let mut c = LruCache::new(8);
+        for round in 0..10 {
+            for a in 0..8u64 {
+                let hit = c.access(a, false);
+                assert_eq!(hit, round > 0, "round {round} addr {a}");
+            }
+        }
+        assert_eq!(c.misses, 8);
+    }
+
+    #[test]
+    fn inclusion_property_on_random_trace() {
+        // LRU is a stack algorithm: misses monotone non-increasing in capacity
+        let mut state = 0x12345678u64;
+        let trace: Vec<u64> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) % 64
+            })
+            .collect();
+        let mut prev_misses = u64::MAX;
+        for cap in [4usize, 8, 16, 32, 64] {
+            let mut c = LruCache::new(cap);
+            for &a in &trace {
+                c.access(a, false);
+            }
+            assert!(c.misses <= prev_misses, "cap {cap}: {} > {prev_misses}", c.misses);
+            prev_misses = c.misses;
+        }
+    }
+}

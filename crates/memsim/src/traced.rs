@@ -1,0 +1,182 @@
+//! Cache-oblivious executions traced through the LRU simulator.
+//!
+//! The classical kernels are re-run here with every element access routed
+//! through a word-granularity [`LruCache`], with `A`, `B`, `C` laid out
+//! contiguously in a flat address space. This measures what an *oblivious*
+//! execution (no explicit data movement) costs under a real replacement
+//! policy — the regime of Frigo et al. cache-oblivious algorithms referenced
+//! in Sections 1.3 and 6.2 — and contrasts with the explicitly managed runs
+//! of [`crate::explicit`].
+
+use crate::lru::LruCache;
+
+/// Address-space layout for an `n x n` triple-matrix workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Layout {
+    /// Matrix dimension.
+    pub n: usize,
+}
+
+impl Layout {
+    /// A at `[0, n²)`.
+    #[inline]
+    pub fn a(&self, i: usize, j: usize) -> u64 {
+        (i * self.n + j) as u64
+    }
+
+    /// B at `[n², 2n²)`.
+    #[inline]
+    pub fn b(&self, i: usize, j: usize) -> u64 {
+        (self.n * self.n + i * self.n + j) as u64
+    }
+
+    /// C at `[2n², 3n²)`.
+    #[inline]
+    pub fn c(&self, i: usize, j: usize) -> u64 {
+        (2 * self.n * self.n + i * self.n + j) as u64
+    }
+}
+
+/// Trace the naive `i-j-k` loop order. Returns the cache after the flush.
+pub fn trace_naive_ijk(n: usize, m: usize) -> LruCache {
+    let mut cache = LruCache::new(m);
+    let l = Layout { n };
+    for i in 0..n {
+        for j in 0..n {
+            for k in 0..n {
+                cache.access(l.a(i, k), false);
+                cache.access(l.b(k, j), false);
+                cache.access(l.c(i, j), true);
+            }
+        }
+    }
+    cache.flush();
+    cache
+}
+
+/// Trace the tiled classical algorithm with tile side `tile`.
+pub fn trace_blocked(n: usize, m: usize, tile: usize) -> LruCache {
+    let mut cache = LruCache::new(m);
+    let l = Layout { n };
+    let tile = tile.clamp(1, n);
+    for i0 in (0..n).step_by(tile) {
+        for j0 in (0..n).step_by(tile) {
+            for k0 in (0..n).step_by(tile) {
+                for i in i0..(i0 + tile).min(n) {
+                    for k in k0..(k0 + tile).min(n) {
+                        cache.access(l.a(i, k), false);
+                        for j in j0..(j0 + tile).min(n) {
+                            cache.access(l.b(k, j), false);
+                            cache.access(l.c(i, j), true);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    cache.flush();
+    cache
+}
+
+/// Trace the cache-oblivious recursive classical algorithm (largest-dimension
+/// halving, as in Frigo et al.).
+pub fn trace_oblivious(n: usize, m: usize, leaf: usize) -> LruCache {
+    let mut cache = LruCache::new(m);
+    let l = Layout { n };
+    rec_oblivious(&mut cache, &l, 0, 0, 0, n, n, n, leaf.max(1));
+    cache.flush();
+    cache
+}
+
+#[allow(clippy::too_many_arguments)]
+fn rec_oblivious(
+    cache: &mut LruCache,
+    l: &Layout,
+    i0: usize,
+    j0: usize,
+    k0: usize,
+    mi: usize,
+    mj: usize,
+    mk: usize,
+    leaf: usize,
+) {
+    if mi <= leaf && mj <= leaf && mk <= leaf {
+        for i in i0..i0 + mi {
+            for k in k0..k0 + mk {
+                cache.access(l.a(i, k), false);
+                for j in j0..j0 + mj {
+                    cache.access(l.b(k, j), false);
+                    cache.access(l.c(i, j), true);
+                }
+            }
+        }
+        return;
+    }
+    if mi >= mj && mi >= mk {
+        let h = mi / 2;
+        rec_oblivious(cache, l, i0, j0, k0, h, mj, mk, leaf);
+        rec_oblivious(cache, l, i0 + h, j0, k0, mi - h, mj, mk, leaf);
+    } else if mk >= mj {
+        let h = mk / 2;
+        rec_oblivious(cache, l, i0, j0, k0, mi, mj, h, leaf);
+        rec_oblivious(cache, l, i0, j0, k0 + h, mi, mj, mk - h, leaf);
+    } else {
+        let h = mj / 2;
+        rec_oblivious(cache, l, i0, j0, k0, mi, h, mk, leaf);
+        rec_oblivious(cache, l, i0, j0 + h, k0, mi, mj - h, mk, leaf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compulsory_misses_lower_bound() {
+        // at least 3n² distinct words are touched
+        let c = trace_blocked(16, 1024, 8);
+        assert!(c.misses >= 3 * 16 * 16);
+    }
+
+    #[test]
+    fn blocked_beats_naive_when_cache_is_small() {
+        let n = 48;
+        let m = 3 * 16 * 16;
+        let naive = trace_naive_ijk(n, m);
+        let blocked = trace_blocked(n, m, 14);
+        assert!(
+            blocked.total_words_moved() < naive.total_words_moved() / 2,
+            "blocked {} vs naive {}",
+            blocked.total_words_moved(),
+            naive.total_words_moved()
+        );
+    }
+
+    #[test]
+    fn oblivious_tracks_blocked_within_constant() {
+        let n = 48;
+        let m = 3 * 16 * 16;
+        let blocked = trace_blocked(n, m, 14).total_words_moved() as f64;
+        let obl = trace_oblivious(n, m, 4).total_words_moved() as f64;
+        let ratio = obl / blocked;
+        assert!(ratio < 4.0, "oblivious/blocked = {ratio}");
+    }
+
+    #[test]
+    fn everything_fits_means_compulsory_only() {
+        let n = 12;
+        let c = trace_naive_ijk(n, 3 * n * n);
+        assert_eq!(c.misses, (3 * n * n) as u64);
+        // C written back once
+        assert_eq!(c.writebacks, (n * n) as u64);
+    }
+
+    #[test]
+    fn blocked_io_grows_cubically_in_n() {
+        let m = 3 * 8 * 8;
+        let w1 = trace_blocked(32, m, 7).total_words_moved() as f64;
+        let w2 = trace_blocked(64, m, 7).total_words_moved() as f64;
+        let ratio = w2 / w1;
+        assert!((ratio - 8.0).abs() < 2.0, "ratio {ratio}");
+    }
+}

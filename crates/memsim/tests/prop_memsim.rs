@@ -1,0 +1,101 @@
+//! Property-based tests: invariants of the two-level memory simulators.
+
+use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::scheme::{strassen, winograd};
+use fastmm_memsim::explicit::{dfs_io_recurrence, multiply_blocked_explicit, multiply_dfs_explicit};
+use fastmm_memsim::lru::LruCache;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn lru_inclusion_property(trace in proptest::collection::vec(0u64..48, 200..1200)) {
+        // LRU is a stack algorithm: misses are monotone non-increasing in
+        // capacity, on any trace
+        let mut prev = u64::MAX;
+        for cap in [2usize, 4, 8, 16, 32, 64] {
+            let mut c = LruCache::new(cap);
+            for &a in &trace {
+                c.access(a, false);
+            }
+            prop_assert!(c.misses <= prev, "cap {}: {} > {}", cap, c.misses, prev);
+            prev = c.misses;
+        }
+    }
+
+    #[test]
+    fn lru_writebacks_bounded_by_writes(
+        trace in proptest::collection::vec((0u64..32, any::<bool>()), 100..800),
+        cap in 2usize..32,
+    ) {
+        let mut c = LruCache::new(cap);
+        let mut writes = 0u64;
+        for &(a, w) in &trace {
+            c.access(a, w);
+            writes += w as u64;
+        }
+        c.flush();
+        // every written-back word was written at least once, and distinct
+        // dirty words never exceed total write accesses
+        prop_assert!(c.writebacks <= writes);
+        // total movement at least compulsory misses
+        let distinct: std::collections::HashSet<u64> = trace.iter().map(|&(a, _)| a).collect();
+        prop_assert!(c.misses >= distinct.len() as u64);
+    }
+
+    #[test]
+    fn dfs_measured_always_equals_recurrence(
+        seed in any::<u64>(),
+        m_exp in 4usize..9,
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = 32;
+        let m = 3 * (1 << m_exp);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_int(n, n, 10, &mut rng);
+        let b = Matrix::random_int(n, n, 10, &mut rng);
+        for scheme in [strassen(), winograd()] {
+            let run = multiply_dfs_explicit(&scheme, &a, &b, m);
+            prop_assert_eq!(run.io.total_words() as f64, dfs_io_recurrence(&scheme, n, m));
+            prop_assert!(run.high_water <= m);
+        }
+    }
+
+    #[test]
+    fn io_monotone_nonincreasing_in_memory(seed in any::<u64>()) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = 32;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_int(n, n, 10, &mut rng);
+        let b = Matrix::random_int(n, n, 10, &mut rng);
+        let mut prev = u64::MAX;
+        for m in [48usize, 192, 768, 3072] {
+            let io = multiply_dfs_explicit(&strassen(), &a, &b, m).io.total_words();
+            prop_assert!(io <= prev, "m={}: {} > {}", m, io, prev);
+            prev = io;
+        }
+        let mut prev_b = u64::MAX;
+        for m in [48usize, 192, 768, 3072] {
+            let io = multiply_blocked_explicit(&a, &b, m).io.total_words();
+            prop_assert!(io <= prev_b, "blocked m={}: {} > {}", m, io, prev_b);
+            prev_b = io;
+        }
+    }
+
+    #[test]
+    fn explicit_runs_always_correct(seed in any::<u64>(), m_exp in 4usize..10) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = 16;
+        let m = 3 * (1 << m_exp);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::random_int(n, n, 30, &mut rng);
+        let b = Matrix::random_int(n, n, 30, &mut rng);
+        let want = fastmm_matrix::classical::multiply_naive(&a, &b);
+        prop_assert_eq!(&multiply_dfs_explicit(&strassen(), &a, &b, m).c, &want);
+        prop_assert_eq!(&multiply_blocked_explicit(&a, &b, m).c, &want);
+    }
+}

@@ -1,0 +1,472 @@
+//! CAPS — Communication-Avoiding Parallel Strassen (Ballard, Demmel, Holtz,
+//! Rom, Schwartz; the "attained by" column of the Strassen-like side of
+//! Table I).
+//!
+//! `p = 7^L` ranks execute the Strassen recursion over distributed
+//! matrices. Two step types:
+//!
+//! * **BFS step**: all 7 subproblems are solved *simultaneously* by 7
+//!   disjoint subgroups of `g/7` ranks each. The encoded operands
+//!   `T_l, S_l` are computed locally (the data layout keeps quadrant
+//!   addition communication-free) and then *shuffled*: each rank sends its
+//!   entire share of `(T_l, S_l)` to one rank of subgroup `l`. Memory grows
+//!   by `7/4` per BFS level — the communication-for-memory trade.
+//! * **DFS step**: the whole group solves the 7 subproblems *sequentially*.
+//!   No communication at all, shares shrink by 4 — used when memory is
+//!   scarce.
+//!
+//! ## Data layout
+//!
+//! With `S` total recursion steps and base size `m_r = n/2^S`, element
+//! `(i, j)` of a depth-`i` submatrix factors into quadtree *path digits*
+//! (the high bits of `i, j`) and a *residual position*
+//! `(i mod m_r, j mod m_r)`. A rank's share is all elements whose flat
+//! residual is congruent to its group index modulo the group size
+//! (requires `g | m_r²`, checked by [`CapsPlan::new`]). Because ownership
+//! depends only on the residual, quadrant extraction and block addition
+//! are local at *every* recursion level, and a BFS shuffle moves each
+//! rank's share in exactly **one message per subproblem** — the minimal
+//! latency schedule.
+//!
+//! Shares are stored path-major (`share[path · clen + u]`, residual class
+//! index `u`), so quadrant `q` of a share is the contiguous quarter
+//! `share[q·len/4 .. (q+1)·len/4]`.
+
+use crate::machine::{run_spmd, MachineConfig, Rank, SpmdResult};
+use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::recursive::{multiply_scheme, scheme_op_count};
+use fastmm_matrix::scheme::{strassen, BilinearScheme, Coeffs};
+
+/// One recursion step of the CAPS schedule.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Split the group 7 ways (communication, memory ×7/4).
+    Bfs,
+    /// Serialize the 7 subproblems on the whole group (no communication).
+    Dfs,
+}
+
+/// A validated CAPS execution plan.
+#[derive(Clone, Debug)]
+pub struct CapsPlan {
+    /// Number of processors, `p = 7^L`.
+    pub p: usize,
+    /// Matrix dimension.
+    pub n: usize,
+    /// The step sequence (DFS steps first, then the `L` BFS steps).
+    pub steps: Vec<Step>,
+    /// Base (residual) matrix size `n / 2^{|steps|}`.
+    pub mr: usize,
+}
+
+impl CapsPlan {
+    /// Validate and build a plan with `dfs_steps` DFS levels before the
+    /// `log₇ p` BFS levels.
+    ///
+    /// Requirements: `p` a power of 7, `2^{D+L} | n`, and `p | (n/2^{D+L})²`.
+    pub fn new(p: usize, n: usize, dfs_steps: usize) -> Result<CapsPlan, String> {
+        let mut l = 0usize;
+        let mut q = p;
+        while q > 1 {
+            if q % 7 != 0 {
+                return Err(format!("p = {p} is not a power of 7"));
+            }
+            q /= 7;
+            l += 1;
+        }
+        let s = dfs_steps + l;
+        if s > 0 && n % (1 << s) != 0 {
+            return Err(format!("n = {n} is not divisible by 2^{s}"));
+        }
+        let mr = n >> s;
+        if mr == 0 {
+            return Err(format!("n = {n} too small for {s} recursion steps"));
+        }
+        if (mr * mr) % p != 0 {
+            return Err(format!("p = {p} does not divide mr² = {}", mr * mr));
+        }
+        let mut steps = vec![Step::Dfs; dfs_steps];
+        steps.extend(vec![Step::Bfs; l]);
+        Ok(CapsPlan { p, n, steps, mr })
+    }
+
+    /// A convenient valid dimension: `n = 2^{D+L} · 7^{⌈L/2⌉} · c`.
+    pub fn suggest_n(p: usize, dfs_steps: usize, c: usize) -> usize {
+        let l = (p as f64).log(7.0).round() as usize;
+        (1usize << (dfs_steps + l)) * 7usize.pow(l.div_ceil(2) as u32) * c.max(1)
+    }
+}
+
+/// Decode a path index (base-4 digits, most significant first) into the
+/// `(row, col)` offsets of its base block, in units of `mr`.
+fn path_offsets(path: usize, levels: usize) -> (usize, usize) {
+    let mut i_hi = 0usize;
+    let mut j_hi = 0usize;
+    for lev in (0..levels).rev() {
+        let d = (path >> (2 * lev)) & 3;
+        i_hi = (i_hi << 1) | (d >> 1);
+        j_hi = (j_hi << 1) | (d & 1);
+    }
+    (i_hi, j_hi)
+}
+
+/// Extract rank `r`'s share of `m` under the CAPS layout (`levels` quadtree
+/// levels, residual size `mr`, group size `g`).
+pub fn extract_share(m: &Matrix<f64>, levels: usize, mr: usize, g: usize, r: usize) -> Vec<f64> {
+    let clen = mr * mr / g;
+    let n_paths = 1usize << (2 * levels);
+    let mut share = Vec::with_capacity(n_paths * clen);
+    for path in 0..n_paths {
+        let (ih, jh) = path_offsets(path, levels);
+        for u in 0..clen {
+            let res = r + u * g;
+            let (ri, rj) = (res / mr, res % mr);
+            share.push(m[(ih * mr + ri, jh * mr + rj)]);
+        }
+    }
+    share
+}
+
+/// Scatter a share back into a global matrix (inverse of [`extract_share`]).
+pub fn scatter_share(
+    m: &mut Matrix<f64>,
+    share: &[f64],
+    levels: usize,
+    mr: usize,
+    g: usize,
+    r: usize,
+) {
+    let clen = mr * mr / g;
+    let n_paths = 1usize << (2 * levels);
+    assert_eq!(share.len(), n_paths * clen);
+    for path in 0..n_paths {
+        let (ih, jh) = path_offsets(path, levels);
+        for u in 0..clen {
+            let res = r + u * g;
+            let (ri, rj) = (res / mr, res % mr);
+            m[(ih * mr + ri, jh * mr + rj)] = share[path * clen + u];
+        }
+    }
+}
+
+/// `out = Σ_q coeffs[row][q] · quarter_q(src)` — the local block encoding.
+fn encode_quarters(rank: &mut Rank, coeffs: &Coeffs, row: usize, src: &[f64]) -> Vec<f64> {
+    let qlen = src.len() / 4;
+    let mut out = vec![0.0f64; qlen];
+    let mut flops = 0u64;
+    for q in 0..4 {
+        let c = coeffs.get(row, q);
+        if c != 0 {
+            let s = &src[q * qlen..(q + 1) * qlen];
+            let cf = c as f64;
+            for (o, &v) in out.iter_mut().zip(s) {
+                *o += cf * v;
+            }
+            flops += qlen as u64;
+        }
+    }
+    rank.compute(flops);
+    out
+}
+
+struct CapsCtx<'a> {
+    scheme: &'a BilinearScheme,
+    mr: usize,
+    local_cutoff: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn caps_node(
+    ctx: &CapsCtx<'_>,
+    rank: &mut Rank,
+    group: &[usize],
+    me: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    m: usize,
+    steps: &[Step],
+    depth: usize,
+) -> Vec<f64> {
+    if depth == steps.len() {
+        assert_eq!(group.len(), 1, "plan must end with singleton groups");
+        assert_eq!(m, ctx.mr);
+        // full local matrix, row-major (single path, residual = identity)
+        let len = a.len();
+        rank.track_alloc(len); // the local product C
+        let am = Matrix::from_vec(m, m, a);
+        let bm = Matrix::from_vec(m, m, b);
+        let c = multiply_scheme(ctx.scheme, &am, &bm, ctx.local_cutoff);
+        let ops = scheme_op_count(ctx.scheme, m, ctx.local_cutoff);
+        rank.compute(ops.total() as u64);
+        rank.track_free(2 * len); // operands consumed
+        return c.as_slice().to_vec();
+    }
+    let qlen = a.len() / 4;
+    match steps[depth] {
+        Step::Dfs => {
+            let mut c = vec![0.0f64; a.len()];
+            rank.track_alloc(a.len());
+            for l in 0..7 {
+                // operands of the child (the child frees them)
+                let ta = encode_quarters(rank, &ctx.scheme.u, l, &a);
+                let tb = encode_quarters(rank, &ctx.scheme.v, l, &b);
+                rank.track_alloc(2 * qlen);
+                let ml = caps_node(ctx, rank, group, me, ta, tb, m / 2, steps, depth + 1);
+                let mut flops = 0u64;
+                for q in 0..4 {
+                    let w = ctx.scheme.w.get(q, l);
+                    if w != 0 {
+                        let wf = w as f64;
+                        for (o, &v) in c[q * qlen..(q + 1) * qlen].iter_mut().zip(&ml) {
+                            *o += wf * v;
+                        }
+                        flops += qlen as u64;
+                    }
+                }
+                rank.compute(flops);
+                rank.track_free(qlen); // the child's product, consumed
+            }
+            rank.track_free(2 * a.len()); // a, b consumed
+            c
+        }
+        Step::Bfs => {
+            let g = group.len();
+            let gp = g / 7;
+            let myclass = me % gp;
+            let my_l = me / gp;
+            let tag_down = 10_000 + depth as u64 * 16;
+            let tag_up = 10_000 + depth as u64 * 16 + 1;
+            // encode + scatter: one message per subproblem
+            let mut self_piece: Option<(Vec<f64>, Vec<f64>)> = None;
+            for l in 0..7 {
+                let ta = encode_quarters(rank, &ctx.scheme.u, l, &a);
+                let tb = encode_quarters(rank, &ctx.scheme.v, l, &b);
+                let tgt = l * gp + myclass;
+                if tgt == me {
+                    self_piece = Some((ta, tb));
+                } else {
+                    let mut payload = ta;
+                    payload.extend_from_slice(&tb);
+                    rank.send(group[tgt], tag_down, payload);
+                }
+            }
+            rank.track_free(2 * a.len()); // a, b fully encoded and sent
+            // gather the 7 pieces of my subproblem
+            let clen = ctx.mr * ctx.mr / g;
+            let n_paths = qlen / clen;
+            let mut new_a = vec![0.0f64; 7 * qlen];
+            let mut new_b = vec![0.0f64; 7 * qlen];
+            rank.track_alloc(2 * 7 * qlen);
+            for s in 0..7 {
+                let src = s * gp + myclass;
+                let (pa, pb): (Vec<f64>, Vec<f64>) = if src == me {
+                    self_piece.take().expect("self piece present")
+                } else {
+                    let data = rank.recv(group[src], tag_down);
+                    let (x, y) = data.split_at(qlen);
+                    (x.to_vec(), y.to_vec())
+                };
+                for path in 0..n_paths {
+                    for v in 0..clen {
+                        new_a[path * 7 * clen + s + 7 * v] = pa[path * clen + v];
+                        new_b[path * 7 * clen + s + 7 * v] = pb[path * clen + v];
+                    }
+                }
+            }
+            // recurse on my subgroup
+            let sub: Vec<usize> = group[my_l * gp..(my_l + 1) * gp].to_vec();
+            let c_sub = caps_node(ctx, rank, &sub, myclass, new_a, new_b, m / 2, steps, depth + 1);
+            // inverse shuffle: return M_{my_l} pieces to the depth-i ranks
+            let mut self_return: Option<Vec<f64>> = None;
+            for s in 0..7 {
+                let mut piece = vec![0.0f64; qlen];
+                for path in 0..n_paths {
+                    for v in 0..clen {
+                        piece[path * clen + v] = c_sub[path * 7 * clen + s + 7 * v];
+                    }
+                }
+                let tgt = s * gp + myclass;
+                if tgt == me {
+                    self_return = Some(piece);
+                } else {
+                    rank.send(group[tgt], tag_up, piece);
+                }
+            }
+            rank.track_free(7 * qlen); // c_sub scattered back
+            // receive all seven product shares and decode
+            let mut c = vec![0.0f64; qlen * 4];
+            rank.track_alloc(qlen * 4);
+            let mut flops = 0u64;
+            for l in 0..7 {
+                let src = l * gp + myclass;
+                let ml: Vec<f64> = if src == me {
+                    self_return.take().expect("self return present")
+                } else {
+                    rank.recv(group[src], tag_up)
+                };
+                for q in 0..4 {
+                    let w = ctx.scheme.w.get(q, l);
+                    if w != 0 {
+                        let wf = w as f64;
+                        for (o, &v) in c[q * qlen..(q + 1) * qlen].iter_mut().zip(&ml) {
+                            *o += wf * v;
+                        }
+                        flops += qlen as u64;
+                    }
+                }
+            }
+            rank.compute(flops);
+            c
+        }
+    }
+}
+
+/// Run CAPS per `plan` and assemble/verify the product.
+pub fn caps(
+    cfg: MachineConfig,
+    plan: &CapsPlan,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> (Matrix<f64>, SpmdResult<Vec<f64>>) {
+    assert_eq!(cfg.p, plan.p);
+    let n = plan.n;
+    assert_eq!(a.rows(), n);
+    assert_eq!(b.rows(), n);
+    let levels = plan.steps.len();
+    let scheme = strassen();
+    let res = run_spmd(cfg, |rank| {
+        let ctx = CapsCtx { scheme: &scheme, mr: plan.mr, local_cutoff: 32 };
+        let group: Vec<usize> = (0..plan.p).collect();
+        let a_share = extract_share(a, levels, plan.mr, plan.p, rank.id);
+        let b_share = extract_share(b, levels, plan.mr, plan.p, rank.id);
+        rank.track_alloc(2 * a_share.len());
+        caps_node(&ctx, rank, &group, rank.id, a_share, b_share, n, &plan.steps, 0)
+    });
+    let mut c = Matrix::zeros(n, n);
+    for (r, share) in res.outputs.iter().enumerate() {
+        scatter_share(&mut c, share, levels, plan.mr, plan.p, r);
+    }
+    (c, res)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_matrix::classical::multiply_naive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (Matrix::random(n, n, &mut rng), Matrix::random(n, n, &mut rng))
+    }
+
+    #[test]
+    fn plan_validation() {
+        assert!(CapsPlan::new(7, 14, 0).is_ok());
+        assert!(CapsPlan::new(7, 15, 0).is_err()); // odd
+        assert!(CapsPlan::new(7, 16, 0).is_err()); // 7 ∤ 64
+        assert!(CapsPlan::new(6, 12, 0).is_err()); // p not power of 7
+        assert!(CapsPlan::new(49, 28, 0).is_ok()); // mr = 7, 49 | 49
+        let n = CapsPlan::suggest_n(49, 1, 1);
+        assert!(CapsPlan::new(49, n, 1).is_ok(), "suggest_n gave {n}");
+    }
+
+    #[test]
+    fn path_offsets_are_quadtree() {
+        // levels = 2: path digits (d1 d2), d = 2*di + dj
+        assert_eq!(path_offsets(0b0000, 2), (0, 0));
+        assert_eq!(path_offsets(0b0001, 2), (0, 1)); // d2 = 01
+        assert_eq!(path_offsets(0b0010, 2), (1, 0));
+        assert_eq!(path_offsets(0b1100, 2), (2, 2)); // d1 = 11 -> (1,1) high
+        assert_eq!(path_offsets(0b1111, 2), (3, 3));
+    }
+
+    #[test]
+    fn share_roundtrip() {
+        let n = 28; // levels 1, mr 14, p 7
+        let m = Matrix::from_fn(n, n, |i, j| (i * n + j) as f64);
+        let mut back = Matrix::zeros(n, n);
+        for r in 0..7 {
+            let share = extract_share(&m, 1, 14, 7, r);
+            assert_eq!(share.len(), n * n / 7);
+            scatter_share(&mut back, &share, 1, 14, 7, r);
+        }
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn caps_bfs_only_is_correct_p7() {
+        for n in [14usize, 28] {
+            let plan = CapsPlan::new(7, n, 0).unwrap();
+            let (a, b) = sample(n, n as u64);
+            let (c, _) = caps(MachineConfig::new(7), &plan, &a, &b);
+            assert!(
+                c.max_abs_diff(&multiply_naive(&a, &b), |x| x) < 1e-9,
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn caps_with_dfs_is_correct() {
+        let plan = CapsPlan::new(7, 28, 1).unwrap(); // 1 DFS + 1 BFS, mr = 7
+        let (a, b) = sample(28, 3);
+        let (c, _) = caps(MachineConfig::new(7), &plan, &a, &b);
+        assert!(c.max_abs_diff(&multiply_naive(&a, &b), |x| x) < 1e-9);
+    }
+
+    #[test]
+    fn caps_p49_is_correct() {
+        let plan = CapsPlan::new(49, 28, 0).unwrap(); // mr = 7
+        let (a, b) = sample(28, 4);
+        let (c, _) = caps(MachineConfig::new(49), &plan, &a, &b);
+        assert!(c.max_abs_diff(&multiply_naive(&a, &b), |x| x) < 1e-9);
+    }
+
+    #[test]
+    fn dfs_reduces_memory_bfs_reduces_nothing() {
+        // With one DFS step the peak share memory is smaller than BFS-only
+        // at the same p and n.
+        let n = 56;
+        let (a, b) = sample(n, 5);
+        let bfs_plan = CapsPlan::new(7, n, 0).unwrap();
+        let dfs_plan = CapsPlan::new(7, n, 1).unwrap();
+        let (_, r_bfs) = caps(MachineConfig::new(7), &bfs_plan, &a, &b);
+        let (_, r_dfs) = caps(MachineConfig::new(7), &dfs_plan, &a, &b);
+        assert!(
+            r_dfs.max_memory() < r_bfs.max_memory(),
+            "dfs {} !< bfs {}",
+            r_dfs.max_memory(),
+            r_bfs.max_memory()
+        );
+    }
+
+    #[test]
+    fn dfs_costs_no_communication_at_its_level() {
+        // pure-DFS plan on p=1 moves no words at all
+        let plan = CapsPlan::new(1, 16, 2).unwrap();
+        let (a, b) = sample(16, 6);
+        let (c, res) = caps(MachineConfig::new(1), &plan, &a, &b);
+        assert!(c.max_abs_diff(&multiply_naive(&a, &b), |x| x) < 1e-9);
+        assert_eq!(res.max_words(), 0);
+    }
+
+    #[test]
+    fn bfs_words_match_formula() {
+        // one BFS level: each rank sends 7 messages of 2·qlen words (minus
+        // the self piece) and the same coming back with qlen words.
+        let n = 14;
+        let plan = CapsPlan::new(7, n, 0).unwrap();
+        let (a, b) = sample(n, 7);
+        let (_, res) = caps(MachineConfig::new(7), &plan, &a, &b);
+        let share = n * n / 7; // 28
+        let qlen = share / 4; // 7
+        let sent_down = 6 * 2 * qlen; // 6 non-self targets, T and S halves
+        let sent_up = 6 * qlen;
+        for s in &res.stats {
+            assert_eq!(s.words_sent as usize, sent_down + sent_up);
+            assert_eq!(s.words_received as usize, sent_down + sent_up);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Block-distribution helpers shared by the parallel algorithms.
+
+use fastmm_matrix::dense::Matrix;
+
+/// Extract block `(bi, bj)` of a `q x q` block grid as a flat row-major
+/// vector. `n` must be divisible by `q`.
+pub fn block_of(m: &Matrix<f64>, q: usize, bi: usize, bj: usize) -> Vec<f64> {
+    let n = m.rows();
+    assert_eq!(m.cols(), n);
+    assert_eq!(n % q, 0, "dimension must divide the grid");
+    let bs = n / q;
+    let mut out = Vec::with_capacity(bs * bs);
+    for i in 0..bs {
+        for j in 0..bs {
+            out.push(m[(bi * bs + i, bj * bs + j)]);
+        }
+    }
+    out
+}
+
+/// Assemble a matrix from `(bi, bj, block)` triples of a `q x q` grid.
+pub fn assemble_blocks(n: usize, q: usize, blocks: &[(usize, usize, Vec<f64>)]) -> Matrix<f64> {
+    let bs = n / q;
+    let mut m = Matrix::zeros(n, n);
+    for (bi, bj, data) in blocks {
+        assert_eq!(data.len(), bs * bs);
+        for i in 0..bs {
+            for j in 0..bs {
+                m[(bi * bs + i, bj * bs + j)] = data[i * bs + j];
+            }
+        }
+    }
+    m
+}
+
+/// `c += a * b` on flat row-major `bs x bs` blocks. Returns the flop count.
+pub fn local_matmul_acc(c: &mut [f64], a: &[f64], b: &[f64], bs: usize) -> u64 {
+    assert_eq!(a.len(), bs * bs);
+    assert_eq!(b.len(), bs * bs);
+    assert_eq!(c.len(), bs * bs);
+    for i in 0..bs {
+        for k in 0..bs {
+            let av = a[i * bs + k];
+            for j in 0..bs {
+                c[i * bs + j] += av * b[k * bs + j];
+            }
+        }
+    }
+    (2 * bs * bs * bs) as u64
+}
+
+/// Integer square root for perfect squares; panics otherwise.
+pub fn exact_sqrt(p: usize) -> usize {
+    let q = (p as f64).sqrt().round() as usize;
+    assert_eq!(q * q, p, "{p} is not a perfect square");
+    q
+}
+
+/// Integer cube root for perfect cubes; panics otherwise.
+pub fn exact_cbrt(p: usize) -> usize {
+    let q = (p as f64).cbrt().round() as usize;
+    assert_eq!(q * q * q, p, "{p} is not a perfect cube");
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_roundtrip() {
+        let m = Matrix::from_fn(6, 6, |i, j| (i * 6 + j) as f64);
+        let mut blocks = Vec::new();
+        for bi in 0..3 {
+            for bj in 0..3 {
+                blocks.push((bi, bj, block_of(&m, 3, bi, bj)));
+            }
+        }
+        let back = assemble_blocks(6, 3, &blocks);
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn local_matmul_matches_reference() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        let flops = local_matmul_acc(&mut c, &a, &b, 2);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(flops, 16);
+    }
+
+    #[test]
+    fn exact_roots() {
+        assert_eq!(exact_sqrt(49), 7);
+        assert_eq!(exact_cbrt(27), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a perfect square")]
+    fn non_square_rejected() {
+        exact_sqrt(50);
+    }
+}

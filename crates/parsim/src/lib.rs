@@ -1,0 +1,20 @@
+//! # fastmm-parsim — the distributed-memory machine simulator
+//!
+//! The parallel model of the paper's Section 1.1, substituted for MPI on a
+//! real cluster (see DESIGN.md §2): `p` ranks on OS threads, blocking α-β
+//! messages, per-rank virtual clocks whose maximum is the critical-path
+//! time, plus per-rank word/message/memory accounting — exactly the
+//! quantities Corollaries 1.2/1.4 and Table I bound.
+//!
+//! Algorithms: Cannon's 2D ([`cannon`]), the 3D and 2.5D classical
+//! algorithms ([`grid3d`]), and CAPS, the communication-optimal parallel
+//! Strassen ([`caps`]).
+
+pub mod cannon;
+pub mod caps;
+pub mod dist;
+pub mod grid3d;
+pub mod machine;
+
+pub use caps::{caps, CapsPlan, Step};
+pub use machine::{run_spmd, MachineConfig, Rank, RankStats, SpmdResult};

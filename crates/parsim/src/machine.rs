@@ -1,0 +1,477 @@
+//! The distributed-memory machine of the paper's Section 1.1, simulated.
+//!
+//! `p` ranks run as OS threads. A message of `n` words costs `α + βn` on
+//! both endpoints (blocking, no overlap of communication and computation —
+//! assumption (2) of the model; dropping it changes runtimes by at most 2x).
+//! Each rank advances a private virtual clock; a receive completes at
+//! `max(receiver clock, sender clock at send start) + α + βn`, so the
+//! maximum final clock is the critical-path time in the α-β model. Words
+//! and messages are also counted per rank, giving the *bandwidth cost* and
+//! *latency cost* along the critical path that Corollaries 1.2/1.4 bound.
+//!
+//! Sends are buffered (they never block), which keeps shift/exchange
+//! patterns deadlock-free while preserving the α-β accounting.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// Cost model and size of the machine.
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub p: usize,
+    /// Per-message latency (seconds per message).
+    pub alpha: f64,
+    /// Inverse bandwidth (seconds per word).
+    pub beta: f64,
+    /// Per-flop compute cost (set 0 to measure pure communication).
+    pub gamma: f64,
+}
+
+impl MachineConfig {
+    /// A machine with `p` processors and a conventional cost ratio.
+    pub fn new(p: usize) -> Self {
+        MachineConfig { p, alpha: 1.0, beta: 0.01, gamma: 0.0 }
+    }
+}
+
+/// Per-rank counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RankStats {
+    /// Words sent.
+    pub words_sent: u64,
+    /// Words received.
+    pub words_received: u64,
+    /// Messages sent.
+    pub msgs_sent: u64,
+    /// Messages received.
+    pub msgs_received: u64,
+    /// Flops executed.
+    pub flops: u64,
+    /// Final virtual clock (α-β(-γ) time).
+    pub clock: f64,
+    /// Peak tracked memory (words).
+    pub mem_high_water: usize,
+}
+
+struct Msg {
+    tag: u64,
+    data: Vec<f64>,
+    /// Sender's clock when the send started.
+    sent_at: f64,
+}
+
+/// Aggregate result of an SPMD run.
+#[derive(Debug)]
+pub struct SpmdResult<R> {
+    /// Per-rank return values, indexed by rank.
+    pub outputs: Vec<R>,
+    /// Per-rank statistics, indexed by rank.
+    pub stats: Vec<RankStats>,
+}
+
+impl<R> SpmdResult<R> {
+    /// Critical-path time: the maximum final clock.
+    pub fn critical_path_time(&self) -> f64 {
+        self.stats.iter().map(|s| s.clock).fold(0.0, f64::max)
+    }
+
+    /// Maximum per-rank communicated words (sent + received) — the
+    /// "bandwidth cost" `IO` of the parallel model.
+    pub fn max_words(&self) -> u64 {
+        self.stats.iter().map(|s| s.words_sent + s.words_received).max().unwrap_or(0)
+    }
+
+    /// Maximum per-rank message count (latency cost).
+    pub fn max_msgs(&self) -> u64 {
+        self.stats.iter().map(|s| s.msgs_sent + s.msgs_received).max().unwrap_or(0)
+    }
+
+    /// Maximum per-rank memory high-water mark.
+    pub fn max_memory(&self) -> usize {
+        self.stats.iter().map(|s| s.mem_high_water).max().unwrap_or(0)
+    }
+
+    /// Total flops across ranks.
+    pub fn total_flops(&self) -> u64 {
+        self.stats.iter().map(|s| s.flops).sum()
+    }
+}
+
+/// One simulated processor, handed to the SPMD closure.
+pub struct Rank {
+    /// This rank's id in `0..p`.
+    pub id: usize,
+    /// Number of ranks.
+    pub p: usize,
+    cfg: MachineConfig,
+    to_peers: Vec<Sender<Msg>>,
+    from_peers: Vec<Receiver<Msg>>,
+    /// out-of-order stash: per source, tag -> queue
+    stash: Vec<HashMap<u64, VecDeque<Msg>>>,
+    stats: RankStats,
+    mem_now: usize,
+}
+
+impl Rank {
+    /// Send `data` to `to` with a `tag`. Buffered: never blocks. Costs the
+    /// sender `α + β·len`.
+    pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.p && to != self.id, "invalid destination {to}");
+        let len = data.len();
+        self.stats.clock += self.cfg.alpha + self.cfg.beta * len as f64;
+        self.stats.words_sent += len as u64;
+        self.stats.msgs_sent += 1;
+        self.to_peers[to]
+            .send(Msg { tag, data, sent_at: self.stats.clock })
+            .expect("peer hung up");
+    }
+
+    /// Blocking receive of the next message from `from` with tag `tag`.
+    /// Completes at `max(own clock, sender completion) + α + β·len`.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        assert!(from < self.p && from != self.id, "invalid source {from}");
+        let stashed = self.stash[from].get_mut(&tag).and_then(|q| q.pop_front());
+        let msg = match stashed {
+            Some(m) => m,
+            None => self.pump(from, tag),
+        };
+        let len = msg.data.len();
+        self.stats.clock =
+            self.stats.clock.max(msg.sent_at) + self.cfg.alpha + self.cfg.beta * len as f64;
+        self.stats.words_received += len as u64;
+        self.stats.msgs_received += 1;
+        msg.data
+    }
+
+    fn pump(&mut self, from: usize, tag: u64) -> Msg {
+        loop {
+            let msg = self.from_peers[from].recv().expect("peer hung up");
+            if msg.tag == tag {
+                return msg;
+            }
+            self.stash[from].entry(msg.tag).or_default().push_back(msg);
+        }
+    }
+
+    /// Exchange with two (possibly equal) partners: buffered send then recv.
+    pub fn sendrecv(
+        &mut self,
+        to: usize,
+        tag: u64,
+        data: Vec<f64>,
+        from: usize,
+    ) -> Vec<f64> {
+        self.send(to, tag, data);
+        self.recv(from, tag)
+    }
+
+    /// Account `flops` of local computation.
+    pub fn compute(&mut self, flops: u64) {
+        self.stats.flops += flops;
+        self.stats.clock += self.cfg.gamma * flops as f64;
+    }
+
+    /// Track a memory allocation of `words`.
+    pub fn track_alloc(&mut self, words: usize) {
+        self.mem_now += words;
+        self.stats.mem_high_water = self.stats.mem_high_water.max(self.mem_now);
+    }
+
+    /// Track a memory release.
+    pub fn track_free(&mut self, words: usize) {
+        assert!(words <= self.mem_now, "freeing more than allocated");
+        self.mem_now -= words;
+    }
+
+    /// Binomial-tree broadcast within the ranks `group` (must contain this
+    /// rank; `group[0]` is the root). Root passes `Some(data)`.
+    pub fn bcast(&mut self, group: &[usize], tag: u64, data: Option<Vec<f64>>) -> Vec<f64> {
+        let me = group.iter().position(|&r| r == self.id).expect("rank not in group");
+        let g = group.len();
+        let mut buf = data;
+        // binomial: round k: ranks < 2^k with data send to rank + 2^k
+        let mut step = 1usize;
+        while step < g {
+            if me < step {
+                let dst = me + step;
+                if dst < g {
+                    let payload = buf.as_ref().expect("must hold data to forward").clone();
+                    self.send(group[dst], tag, payload);
+                }
+            } else if me < 2 * step && buf.is_none() {
+                let src = me - step;
+                buf = Some(self.recv(group[src], tag));
+            }
+            step *= 2;
+        }
+        buf.expect("broadcast incomplete")
+    }
+
+    /// Binomial-tree sum-reduction onto `group[0]`; returns `Some(total)` at
+    /// the root, `None` elsewhere.
+    pub fn reduce_sum(&mut self, group: &[usize], tag: u64, data: Vec<f64>) -> Option<Vec<f64>> {
+        let me = group.iter().position(|&r| r == self.id).expect("rank not in group");
+        let g = group.len();
+        let mut acc = data;
+        let mut step = 1usize;
+        while step < g {
+            if me % (2 * step) == 0 {
+                let src = me + step;
+                if src < g {
+                    let other = self.recv(group[src], tag);
+                    assert_eq!(other.len(), acc.len());
+                    for (a, b) in acc.iter_mut().zip(&other) {
+                        *a += b;
+                    }
+                    self.compute(acc.len() as u64);
+                }
+            } else if me % (2 * step) == step {
+                let dst = me - step;
+                self.send(group[dst], tag, acc);
+                return self.drain_reduce(group, tag, me, 2 * step);
+            }
+            step *= 2;
+        }
+        Some(acc)
+    }
+
+    fn drain_reduce(
+        &mut self,
+        _group: &[usize],
+        _tag: u64,
+        _me: usize,
+        _step: usize,
+    ) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// Ring allgather within `group`: everyone contributes `data`, everyone
+    /// returns the concatenation in group order.
+    pub fn allgather(&mut self, group: &[usize], tag: u64, data: Vec<f64>) -> Vec<Vec<f64>> {
+        let me = group.iter().position(|&r| r == self.id).expect("rank not in group");
+        let g = group.len();
+        let mut pieces: Vec<Option<Vec<f64>>> = vec![None; g];
+        pieces[me] = Some(data);
+        let next = group[(me + 1) % g];
+        let prev = group[(me + g - 1) % g];
+        for round in 0..g - 1 {
+            let send_idx = (me + g - round) % g;
+            let payload = pieces[send_idx].clone().expect("piece must exist");
+            let got = self.sendrecv(next, tag + round as u64, payload, prev);
+            let recv_idx = (me + g - round - 1) % g;
+            pieces[recv_idx] = Some(got);
+        }
+        pieces.into_iter().map(|p| p.expect("allgather incomplete")).collect()
+    }
+}
+
+/// Run an SPMD program on `cfg.p` simulated ranks.
+pub fn run_spmd<R, F>(cfg: MachineConfig, f: F) -> SpmdResult<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+{
+    let p = cfg.p;
+    // mesh of channels
+    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for src in 0..p {
+        for dst in 0..p {
+            let (tx, rx) = channel();
+            senders[src].push(Some(tx));
+            receivers[dst][src] = Some(rx);
+        }
+    }
+    let mut ranks: Vec<Rank> = senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(id, (tx_row, rx_row))| Rank {
+            id,
+            p,
+            cfg,
+            to_peers: tx_row.into_iter().map(|t| t.expect("sender")).collect(),
+            from_peers: rx_row.into_iter().map(|r| r.expect("receiver")).collect(),
+            stash: (0..p).map(|_| HashMap::new()).collect(),
+            stats: RankStats::default(),
+            mem_now: 0,
+        })
+        .collect();
+
+    let mut outputs: Vec<Option<(R, RankStats)>> = (0..p).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for mut rank in ranks.drain(..) {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let out = f(&mut rank);
+                (rank.id, out, rank.stats)
+            }));
+        }
+        for h in handles {
+            let (id, out, stats) = h.join().expect("rank panicked");
+            outputs[id] = Some((out, stats));
+        }
+    });
+    let mut outs = Vec::with_capacity(p);
+    let mut stats = Vec::with_capacity(p);
+    for o in outputs {
+        let (r, s) = o.expect("rank output missing");
+        outs.push(r);
+        stats.push(s);
+    }
+    SpmdResult { outputs: outs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ping_pong_counts_and_clocks() {
+        let cfg = MachineConfig { p: 2, alpha: 1.0, beta: 0.5, gamma: 0.0 };
+        let res = run_spmd(cfg, |rank| {
+            if rank.id == 0 {
+                rank.send(1, 7, vec![1.0, 2.0, 3.0, 4.0]);
+                rank.recv(1, 8)
+            } else {
+                let v = rank.recv(0, 7);
+                rank.send(0, 8, v.clone());
+                v
+            }
+        });
+        assert_eq!(res.outputs[0], vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(res.stats[0].words_sent, 4);
+        assert_eq!(res.stats[0].words_received, 4);
+        assert_eq!(res.stats[1].msgs_received, 1);
+        // clocks: r0 send ends 3.0; r1 recv ends max(0,3)+3=6; r1 send ends 9;
+        // r0 recv ends max(3,9)+3 = 12
+        assert!((res.stats[0].clock - 12.0).abs() < 1e-9, "{}", res.stats[0].clock);
+        assert!((res.critical_path_time() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tag_matching_out_of_order() {
+        let cfg = MachineConfig::new(2);
+        let res = run_spmd(cfg, |rank| {
+            if rank.id == 0 {
+                rank.send(1, 1, vec![1.0]);
+                rank.send(1, 2, vec![2.0]);
+                vec![]
+            } else {
+                // receive in reverse tag order
+                let b = rank.recv(0, 2);
+                let a = rank.recv(0, 1);
+                vec![a[0], b[0]]
+            }
+        });
+        assert_eq!(res.outputs[1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn exchange_does_not_deadlock() {
+        let cfg = MachineConfig::new(4);
+        let res = run_spmd(cfg, |rank| {
+            let to = (rank.id + 1) % rank.p;
+            let from = (rank.id + rank.p - 1) % rank.p;
+            let got = rank.sendrecv(to, 0, vec![rank.id as f64], from);
+            got[0]
+        });
+        for r in 0..4 {
+            assert_eq!(res.outputs[r], ((r + 3) % 4) as f64);
+        }
+    }
+
+    #[test]
+    fn bcast_delivers_to_all() {
+        let cfg = MachineConfig::new(7);
+        let res = run_spmd(cfg, |rank| {
+            let group: Vec<usize> = (0..rank.p).collect();
+            let data = if rank.id == 0 { Some(vec![3.25, 1.5]) } else { None };
+            rank.bcast(&group, 99, data)
+        });
+        for r in 0..7 {
+            assert_eq!(res.outputs[r], vec![3.25, 1.5], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn bcast_subgroup_and_nonzero_root() {
+        let cfg = MachineConfig::new(6);
+        let res = run_spmd(cfg, |rank| {
+            if rank.id % 2 == 0 {
+                let group = vec![4usize, 0, 2]; // root = 4
+                let data = if rank.id == 4 { Some(vec![rank.id as f64]) } else { None };
+                rank.bcast(&group, 5, data)
+            } else {
+                vec![-1.0]
+            }
+        });
+        assert_eq!(res.outputs[0], vec![4.0]);
+        assert_eq!(res.outputs[2], vec![4.0]);
+        assert_eq!(res.outputs[1], vec![-1.0]);
+    }
+
+    #[test]
+    fn reduce_sums_at_root() {
+        let cfg = MachineConfig::new(8);
+        let res = run_spmd(cfg, |rank| {
+            let group: Vec<usize> = (0..rank.p).collect();
+            rank.reduce_sum(&group, 3, vec![rank.id as f64, 1.0])
+        });
+        assert_eq!(res.outputs[0], Some(vec![28.0, 8.0]));
+        for r in 1..8 {
+            assert!(res.outputs[r].is_none(), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn reduce_non_power_of_two() {
+        let cfg = MachineConfig::new(5);
+        let res = run_spmd(cfg, |rank| {
+            let group: Vec<usize> = (0..rank.p).collect();
+            rank.reduce_sum(&group, 3, vec![1.0])
+        });
+        assert_eq!(res.outputs[0], Some(vec![5.0]));
+    }
+
+    #[test]
+    fn allgather_collects_in_order() {
+        let cfg = MachineConfig::new(4);
+        let res = run_spmd(cfg, |rank| {
+            let group: Vec<usize> = (0..rank.p).collect();
+            let pieces = rank.allgather(&group, 11, vec![rank.id as f64 * 10.0]);
+            pieces.into_iter().flatten().collect::<Vec<f64>>()
+        });
+        for r in 0..4 {
+            assert_eq!(res.outputs[r], vec![0.0, 10.0, 20.0, 30.0], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn memory_tracking_high_water() {
+        let cfg = MachineConfig::new(1);
+        let res = run_spmd(cfg, |rank| {
+            rank.track_alloc(100);
+            rank.track_alloc(50);
+            rank.track_free(100);
+            rank.track_alloc(20);
+            rank.track_free(70);
+            0
+        });
+        assert_eq!(res.stats[0].mem_high_water, 150);
+    }
+
+    #[test]
+    fn compute_advances_clock_with_gamma() {
+        let cfg = MachineConfig { p: 1, alpha: 0.0, beta: 0.0, gamma: 2.0 };
+        let res = run_spmd(cfg, |rank| {
+            rank.compute(10);
+            0
+        });
+        assert!((res.stats[0].clock - 20.0).abs() < 1e-12);
+        assert_eq!(res.total_flops(), 10);
+    }
+}

@@ -1,0 +1,293 @@
+//! Two-level execution of a CDAG schedule with value spilling — the
+//! "measured I/O" side of the partition argument.
+//!
+//! Vertices are processed in schedule order. Computing a vertex needs all
+//! its operand values resident in fast memory (capacity `M` words, one word
+//! per value); missing operands are reloaded from slow memory (inputs start
+//! there; intermediate values must have been spilled earlier — *no
+//! recomputation*, matching the paper's standing assumption). Evicted live
+//! values are written back on first eviction (values are single-assignment,
+//! so a clean slow-memory copy persists). Program outputs are flushed at the
+//! end.
+//!
+//! Eviction policy is LRU or Belady (furthest next use — offline optimal
+//! replacement, well-defined here because the schedule is fixed).
+
+use fastmm_cdag::graph::Cdag;
+
+/// Eviction policy for fast-memory values.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Evict {
+    /// Least-recently-used.
+    Lru,
+    /// Furthest-next-use (offline optimal).
+    Belady,
+}
+
+/// I/O counts of an executed schedule.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Words loaded from slow memory.
+    pub loads: u64,
+    /// Words written to slow memory.
+    pub stores: u64,
+}
+
+impl ExecStats {
+    /// Total words moved.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores
+    }
+}
+
+struct Resident {
+    /// Schedule position of last use (LRU key).
+    last_use: u64,
+    /// Cursor into the vertex's use-position list (Belady key derivation).
+    next_use_idx: usize,
+    /// Pinned during the current step (operands + the new value).
+    pinned: bool,
+}
+
+/// Execute `order` on a machine with `m` fast-memory words.
+///
+/// Panics if `m` cannot hold a single operation's working set (3 words) or
+/// if `order` is not a topological order of `g`.
+pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> ExecStats {
+    let n = g.n_vertices();
+    assert!(m >= 3, "need at least 3 words of fast memory");
+    assert_eq!(order.len(), n);
+    let mut pos = vec![u32::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        assert!(pos[v as usize] == u32::MAX, "duplicate vertex in order");
+        pos[v as usize] = i as u32;
+    }
+    // predecessor lists and per-vertex sorted use positions
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut uses: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(u, v) in g.edges() {
+        assert!(pos[u as usize] < pos[v as usize], "order is not topological");
+        preds[v as usize].push(u);
+        uses[u as usize].push(pos[v as usize]);
+    }
+    for u in uses.iter_mut() {
+        u.sort_unstable();
+    }
+    let is_output = {
+        let mut f = vec![false; n];
+        for &o in &g.outputs {
+            f[o as usize] = true;
+        }
+        f
+    };
+    let is_input = {
+        let mut f = vec![false; n];
+        for &i in &g.inputs {
+            f[i as usize] = true;
+        }
+        f
+    };
+
+    let mut resident: Vec<Option<Resident>> = (0..n).map(|_| None).collect();
+    let mut resident_list: Vec<u32> = Vec::with_capacity(m);
+    // `stored[v]`: a copy of v's value exists in slow memory
+    let mut stored = is_input.clone();
+    let mut stats = ExecStats::default();
+    let mut ctx = EvictCtx { m, policy, is_output: &is_output };
+
+    for (t, &v) in order.iter().enumerate() {
+        let t = t as u64;
+        // 1. pin + fault in operands
+        for &p in &preds[v as usize] {
+            if resident[p as usize].is_none() {
+                ctx.evict_until_free(&mut resident, &mut resident_list, &mut stored, &mut stats, &uses);
+                assert!(stored[p as usize], "no recomputation: operand must be in slow memory");
+                stats.loads += 1;
+                resident[p as usize] =
+                    Some(Resident { last_use: t, next_use_idx: 0, pinned: true });
+                resident_list.push(p);
+            } else if let Some(r) = resident[p as usize].as_mut() {
+                r.last_use = t;
+                r.pinned = true;
+            }
+            // advance the use cursor past t
+            if let Some(r) = resident[p as usize].as_mut() {
+                while r.next_use_idx < uses[p as usize].len()
+                    && (uses[p as usize][r.next_use_idx] as u64) <= t
+                {
+                    r.next_use_idx += 1;
+                }
+            }
+        }
+        // 2. make room for v itself (inputs are "computed" by being loaded)
+        if resident[v as usize].is_none() {
+            ctx.evict_until_free(&mut resident, &mut resident_list, &mut stored, &mut stats, &uses);
+            if is_input[v as usize] {
+                stats.loads += 1; // inputs come from slow memory
+            }
+            resident[v as usize] = Some(Resident { last_use: t, next_use_idx: 0, pinned: false });
+            resident_list.push(v);
+        }
+        // 3. unpin operands
+        for &p in &preds[v as usize] {
+            if let Some(r) = resident[p as usize].as_mut() {
+                r.pinned = false;
+            }
+        }
+    }
+    // flush outputs that never reached slow memory
+    for &o in &g.outputs {
+        if !stored[o as usize] {
+            stats.stores += 1;
+            stored[o as usize] = true;
+        }
+    }
+    stats
+}
+
+struct EvictCtx<'a> {
+    m: usize,
+    policy: Evict,
+    is_output: &'a [bool],
+}
+
+impl EvictCtx<'_> {
+    fn evict_until_free(
+        &mut self,
+        resident: &mut [Option<Resident>],
+        resident_list: &mut Vec<u32>,
+        stored: &mut [bool],
+        stats: &mut ExecStats,
+        uses: &[Vec<u32>],
+    ) {
+        while resident_list.len() >= self.m {
+            // choose a victim among unpinned residents
+            let mut victim: Option<(usize, u64)> = None; // (index in list, key)
+            for (i, &v) in resident_list.iter().enumerate() {
+                let r = resident[v as usize].as_ref().expect("list entry resident");
+                if r.pinned {
+                    continue;
+                }
+                let key = match self.policy {
+                    Evict::Lru => u64::MAX - r.last_use, // oldest use = biggest key
+                    Evict::Belady => {
+                        uses[v as usize].get(r.next_use_idx).map_or(u64::MAX, |&p| p as u64)
+                    }
+                };
+                if victim.is_none_or(|(_, bk)| key > bk) {
+                    victim = Some((i, key));
+                }
+            }
+            let (idx, _) = victim.expect("capacity exhausted by pinned operands; M too small");
+            let v = resident_list.swap_remove(idx);
+            let r = resident[v as usize].take().expect("victim resident");
+            // live (or an output that must persist) and never stored -> write back
+            let has_future_use = r.next_use_idx < uses[v as usize].len();
+            if !stored[v as usize] && (has_future_use || self.is_output[v as usize]) {
+                stats.stores += 1;
+                stored[v as usize] = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_lower_bound;
+    use crate::schedule::{bfs_order, identity_order};
+    use fastmm_cdag::trace::trace_multiply;
+    use fastmm_matrix::scheme::strassen;
+
+    fn strassen_trace(n: usize) -> fastmm_cdag::trace::TracedCdag {
+        trace_multiply(&strassen(), n, 1)
+    }
+
+    #[test]
+    fn big_memory_costs_inputs_plus_outputs() {
+        let t = strassen_trace(4);
+        let order = identity_order(&t.graph);
+        let m = t.graph.n_vertices() + 1;
+        let s = execute_schedule(&t.graph, &order, m, Evict::Lru);
+        // loads = all inputs once; stores = outputs once
+        assert_eq!(s.loads, t.graph.inputs.len() as u64);
+        assert_eq!(s.stores, t.graph.outputs.len() as u64);
+    }
+
+    #[test]
+    fn measured_io_dominates_partition_bound() {
+        // soundness of Equation (6): for the same schedule, measured >= bound
+        let t = strassen_trace(8);
+        let order = identity_order(&t.graph);
+        for m in [8usize, 16, 32, 64] {
+            let measured = execute_schedule(&t.graph, &order, m, Evict::Belady).total();
+            let (bound, _) = partition_lower_bound(&t.graph, &order, m);
+            assert!(
+                measured >= bound,
+                "m={m}: measured {measured} < bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn belady_never_loses_to_lru() {
+        let t = strassen_trace(8);
+        let order = identity_order(&t.graph);
+        for m in [8usize, 16, 64] {
+            let lru = execute_schedule(&t.graph, &order, m, Evict::Lru).total();
+            let bel = execute_schedule(&t.graph, &order, m, Evict::Belady).total();
+            assert!(bel <= lru, "m={m}: belady {bel} > lru {lru}");
+        }
+    }
+
+    #[test]
+    fn lru_monotone_in_memory() {
+        let t = strassen_trace(8);
+        let order = identity_order(&t.graph);
+        let mut prev = u64::MAX;
+        for m in [8usize, 16, 32, 64, 128] {
+            let io = execute_schedule(&t.graph, &order, m, Evict::Lru).total();
+            assert!(io <= prev, "m={m}: {io} > {prev}");
+            prev = io;
+        }
+    }
+
+    #[test]
+    fn dfs_schedule_beats_bfs_under_small_memory() {
+        // the BFS (level) order keeps ~all subproblem operands live; the DFS
+        // order is the communication-efficient one
+        let t = strassen_trace(16);
+        let dfs = identity_order(&t.graph);
+        let bfs = bfs_order(&t.graph);
+        let m = 64;
+        let io_dfs = execute_schedule(&t.graph, &dfs, m, Evict::Belady).total();
+        let io_bfs = execute_schedule(&t.graph, &bfs, m, Evict::Belady).total();
+        assert!(
+            io_dfs < io_bfs,
+            "DFS {io_dfs} should beat BFS {io_bfs} at M={m}"
+        );
+    }
+
+    #[test]
+    fn io_scaling_tracks_theory() {
+        // ratio of measured IO for n -> 2n at fixed M approaches 7
+        let m = 32;
+        let t1 = strassen_trace(16);
+        let t2 = strassen_trace(32);
+        let io1 =
+            execute_schedule(&t1.graph, &identity_order(&t1.graph), m, Evict::Belady).total();
+        let io2 =
+            execute_schedule(&t2.graph, &identity_order(&t2.graph), m, Evict::Belady).total();
+        let ratio = io2 as f64 / io1 as f64;
+        assert!((ratio - 7.0).abs() < 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "not topological")]
+    fn rejects_bad_order() {
+        let t = strassen_trace(2);
+        let mut order = identity_order(&t.graph);
+        order.reverse();
+        execute_schedule(&t.graph, &order, 8, Evict::Lru);
+    }
+}

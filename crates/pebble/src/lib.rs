@@ -1,0 +1,17 @@
+//! # fastmm-pebble — schedules, the partition argument, and measured I/O
+//!
+//! The machinery of the paper's Section 3: an *implementation* of an
+//! algorithm is a total order of its CDAG ([`schedule`]); Equation (6)
+//! lower-bounds the I/O of any implementation through segment read/write
+//! operand sets ([`partition`]); and [`executor`] plays the execution out on
+//! a two-level memory with value spilling (LRU or offline-optimal Belady
+//! replacement), producing the measured I/O that the bound must — and in
+//! tests provably does — stay below.
+
+pub mod executor;
+pub mod partition;
+pub mod schedule;
+
+pub use executor::{execute_schedule, Evict, ExecStats};
+pub use partition::{partition_bound_at, partition_lower_bound, segment_operands, SegmentOperands};
+pub use schedule::{bfs_order, identity_order, is_topological, random_topological};

@@ -1,0 +1,178 @@
+//! The partition argument (paper Section 3.2, Equation 6).
+//!
+//! Fix a schedule (total order) and cut it into contiguous segments. For a
+//! segment `S`, the *read operands* `R_S` are vertices outside `S` with an
+//! edge into `S`, and the *write operands* `W_S` are vertices in `S` with an
+//! edge leaving `S` (we also count program outputs in `W_S`, since they must
+//! reach slow memory). At most `M` operands can pre-reside in fast memory
+//! and at most `M` can be left behind, so the I/O of the segment is at least
+//! `|R_S| + |W_S| - 2M`, giving
+//! `IO ≥ max_P Σ_{S∈P} (|R_S| + |W_S| - 2M)` — Equation (6).
+
+use fastmm_cdag::graph::Cdag;
+use std::collections::HashSet;
+
+/// Read/write operand counts of one segment.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentOperands {
+    /// `|R_S|`.
+    pub reads: usize,
+    /// `|W_S|`.
+    pub writes: usize,
+}
+
+/// Compute `R_S`/`W_S` for every segment of `seg_size` consecutive schedule
+/// positions.
+pub fn segment_operands(g: &Cdag, order: &[u32], seg_size: usize) -> Vec<SegmentOperands> {
+    assert!(seg_size >= 1);
+    let n = g.n_vertices();
+    assert_eq!(order.len(), n);
+    let mut pos = vec![usize::MAX; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i;
+    }
+    let n_segs = n.div_ceil(seg_size);
+    let mut reads: Vec<HashSet<u32>> = vec![HashSet::new(); n_segs];
+    let mut writes: Vec<HashSet<u32>> = vec![HashSet::new(); n_segs];
+    for &(u, v) in g.edges() {
+        let su = pos[u as usize] / seg_size;
+        let sv = pos[v as usize] / seg_size;
+        if su != sv {
+            reads[sv].insert(u);
+            writes[su].insert(u);
+        }
+    }
+    // Inputs consumed within their own segment still have to be read from
+    // slow memory? No: an input vertex *is* data in slow memory; if it sits
+    // inside the segment it is produced nowhere, so crossing edges from it
+    // are what counts — the paper's definition, kept as-is. Outputs, however,
+    // must be written out even with no outgoing edges:
+    for &o in &g.outputs {
+        let so = pos[o as usize] / seg_size;
+        writes[so].insert(o);
+    }
+    (0..n_segs)
+        .map(|i| SegmentOperands { reads: reads[i].len(), writes: writes[i].len() })
+        .collect()
+}
+
+/// Equation (6) for one fixed segment size:
+/// `Σ_S max(0, |R_S| + |W_S| - 2M)`.
+pub fn partition_bound_at(g: &Cdag, order: &[u32], seg_size: usize, m: usize) -> u64 {
+    segment_operands(g, order, seg_size)
+        .into_iter()
+        .map(|s| (s.reads + s.writes).saturating_sub(2 * m) as u64)
+        .sum()
+}
+
+/// Equation (6) maximized over a geometric sweep of segment sizes
+/// (`2M, 4M, 8M, …`), the paper's "second player" choosing the partition.
+/// Returns `(best bound, best segment size)`.
+pub fn partition_lower_bound(g: &Cdag, order: &[u32], m: usize) -> (u64, usize) {
+    let n = g.n_vertices();
+    let mut best = (0u64, 2 * m);
+    let mut s = 2 * m;
+    while s <= n.max(2 * m) {
+        let b = partition_bound_at(g, order, s, m);
+        if b > best.0 {
+            best = (b, s);
+        }
+        if s > n {
+            break;
+        }
+        s *= 2;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_cdag::graph::VKind;
+    use fastmm_cdag::trace::trace_multiply;
+    use fastmm_matrix::scheme::strassen;
+
+    /// chain: in -> a1 -> a2 -> ... -> a_k (output)
+    fn chain(k: usize) -> Cdag {
+        let mut g = Cdag::new();
+        let mut prev = g.add_vertex(VKind::Input);
+        g.inputs = vec![prev];
+        for _ in 0..k {
+            let v = g.add_vertex(VKind::Add);
+            g.add_edge(prev, v);
+            prev = v;
+        }
+        g.outputs = vec![prev];
+        g
+    }
+
+    #[test]
+    fn chain_has_tiny_operand_sets() {
+        let g = chain(15);
+        let order: Vec<u32> = (0..16).collect();
+        let segs = segment_operands(&g, &order, 4);
+        assert_eq!(segs.len(), 4);
+        // every interior segment reads 1 (the previous value) and writes 1
+        assert_eq!(segs[1], SegmentOperands { reads: 1, writes: 1 });
+        assert_eq!(segs[2], SegmentOperands { reads: 1, writes: 1 });
+        // last segment holds the output
+        assert_eq!(segs[3].writes, 1);
+    }
+
+    #[test]
+    fn chain_bound_is_zero_for_reasonable_m() {
+        let g = chain(63);
+        let order: Vec<u32> = (0..64).collect();
+        assert_eq!(partition_lower_bound(&g, &order, 2).0, 0);
+    }
+
+    #[test]
+    fn wide_fanin_forces_io() {
+        // k inputs all feeding one sum vertex (expanded to binary tree):
+        // with M much smaller than k, reads must happen.
+        let mut g = Cdag::new();
+        let ins: Vec<u32> = (0..64).map(|_| g.add_vertex(VKind::Input)).collect();
+        let sum = g.add_vertex(VKind::Add);
+        for &i in &ins {
+            g.add_edge(i, sum);
+        }
+        g.inputs = ins;
+        g.outputs = vec![sum];
+        let g = g.expand_high_in_degree();
+        let order = g.topological_order();
+        let m = 4;
+        let (bound, _) = partition_lower_bound(&g, &order, m);
+        assert!(bound > 0, "reading 64 inputs through M=4 must cost I/O");
+    }
+
+    #[test]
+    fn strassen_trace_bound_positive_for_small_m() {
+        let t = trace_multiply(&strassen(), 16, 1);
+        let order: Vec<u32> = (0..t.graph.n_vertices() as u32).collect();
+        let m = 16;
+        let (bound, seg) = partition_lower_bound(&t.graph, &order, m);
+        assert!(bound > 0, "Strassen n=16 with M=16 must communicate");
+        assert!(seg >= 2 * m);
+    }
+
+    #[test]
+    fn bound_decreases_with_m() {
+        let t = trace_multiply(&strassen(), 16, 1);
+        let order: Vec<u32> = (0..t.graph.n_vertices() as u32).collect();
+        let b1 = partition_lower_bound(&t.graph, &order, 8).0;
+        let b2 = partition_lower_bound(&t.graph, &order, 32).0;
+        let b3 = partition_lower_bound(&t.graph, &order, 128).0;
+        assert!(b1 >= b2, "{b1} < {b2}");
+        assert!(b2 >= b3, "{b2} < {b3}");
+    }
+
+    #[test]
+    fn whole_graph_single_segment_counts_inputs_edges_only() {
+        let g = chain(3);
+        let order: Vec<u32> = (0..4).collect();
+        let segs = segment_operands(&g, &order, 4);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].reads, 0);
+        assert_eq!(segs[0].writes, 1); // the output
+    }
+}

@@ -1,0 +1,104 @@
+//! Total orders (schedules) over a CDAG.
+//!
+//! In the sequential model an *implementation* of an algorithm is exactly a
+//! total order of its CDAG respecting the partial order (Section 1.2). The
+//! tracing executor of `fastmm-cdag` already emits vertices in the natural
+//! depth-first execution order, so the identity permutation is the canonical
+//! DFS schedule; this module adds breadth-first (Kahn) and randomized
+//! topological orders for the schedule-sensitivity experiments.
+
+use fastmm_cdag::graph::{Cdag, Csr};
+use rand::Rng;
+
+/// The identity order `0..n` — valid for graphs whose builders append
+/// vertices in execution order (asserted).
+pub fn identity_order(g: &Cdag) -> Vec<u32> {
+    let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
+    assert!(is_topological(g, &order), "graph vertices are not in execution order");
+    order
+}
+
+/// Kahn's algorithm with a FIFO frontier: a breadth-first (level-by-level)
+/// schedule. For recursive algorithms this order computes *all* subproblems
+/// "simultaneously", maximizing live values.
+pub fn bfs_order(g: &Cdag) -> Vec<u32> {
+    g.topological_order()
+}
+
+/// Kahn's algorithm popping a uniformly random ready vertex.
+pub fn random_topological(g: &Cdag, rng: &mut impl Rng) -> Vec<u32> {
+    let n = g.n_vertices();
+    let mut indeg = g.in_degrees();
+    let succ = Csr::from_directed(n, g.edges());
+    let mut ready: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let i = rng.gen_range(0..ready.len());
+        let v = ready.swap_remove(i);
+        order.push(v);
+        for &w in succ.neighbors(v) {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    assert_eq!(order.len(), n, "cycle detected");
+    order
+}
+
+/// Check that `order` is a permutation respecting all edges.
+pub fn is_topological(g: &Cdag, order: &[u32]) -> bool {
+    if order.len() != g.n_vertices() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.n_vertices()];
+    for (i, &v) in order.iter().enumerate() {
+        if pos[v as usize] != usize::MAX {
+            return false; // duplicate
+        }
+        pos[v as usize] = i;
+    }
+    g.edges().iter().all(|&(u, v)| pos[u as usize] < pos[v as usize])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastmm_cdag::trace::trace_multiply;
+    use fastmm_matrix::scheme::strassen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn traced_graph_identity_is_topological() {
+        let t = trace_multiply(&strassen(), 8, 1);
+        let order = identity_order(&t.graph);
+        assert!(is_topological(&t.graph, &order));
+    }
+
+    #[test]
+    fn bfs_is_topological() {
+        let t = trace_multiply(&strassen(), 4, 1);
+        assert!(is_topological(&t.graph, &bfs_order(&t.graph)));
+    }
+
+    #[test]
+    fn random_orders_are_topological_and_vary() {
+        let t = trace_multiply(&strassen(), 4, 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let o1 = random_topological(&t.graph, &mut rng);
+        let o2 = random_topological(&t.graph, &mut rng);
+        assert!(is_topological(&t.graph, &o1));
+        assert!(is_topological(&t.graph, &o2));
+        assert_ne!(o1, o2, "two random draws should differ");
+    }
+
+    #[test]
+    fn non_topological_rejected() {
+        let t = trace_multiply(&strassen(), 2, 1);
+        let mut order: Vec<u32> = (0..t.graph.n_vertices() as u32).collect();
+        order.reverse();
+        assert!(!is_topological(&t.graph, &order));
+    }
+}

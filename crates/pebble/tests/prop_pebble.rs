@@ -1,0 +1,74 @@
+//! Property-based tests: soundness of the partition bound and the DAG
+//! executor on randomized schedules of real Strassen traces.
+
+use fastmm_cdag::trace::trace_multiply;
+use fastmm_matrix::scheme::{strassen, winograd};
+use fastmm_pebble::executor::{execute_schedule, Evict};
+use fastmm_pebble::partition::{partition_bound_at, partition_lower_bound};
+use fastmm_pebble::schedule::{identity_order, is_topological, random_topological};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn partition_bound_sound_for_random_schedules(seed in any::<u64>(), m_exp in 2usize..6) {
+        let t = trace_multiply(&strassen(), 8, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = random_topological(&t.graph, &mut rng);
+        prop_assert!(is_topological(&t.graph, &order));
+        let m = 1usize << m_exp;
+        let (bound, _) = partition_lower_bound(&t.graph, &order, m);
+        for policy in [Evict::Lru, Evict::Belady] {
+            let measured = execute_schedule(&t.graph, &order, m.max(3), policy).total();
+            prop_assert!(measured >= bound, "{:?} m={}: {} < {}", policy, m, measured, bound);
+        }
+    }
+
+    #[test]
+    fn belady_dominates_lru_everywhere(seed in any::<u64>(), m_exp in 2usize..7) {
+        let t = trace_multiply(&winograd(), 8, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = random_topological(&t.graph, &mut rng);
+        let m = (1usize << m_exp).max(3);
+        let lru = execute_schedule(&t.graph, &order, m, Evict::Lru).total();
+        let bel = execute_schedule(&t.graph, &order, m, Evict::Belady).total();
+        prop_assert!(bel <= lru, "m={}: belady {} > lru {}", m, bel, lru);
+    }
+
+    #[test]
+    fn bound_monotone_nonincreasing_in_m(seed in any::<u64>()) {
+        let t = trace_multiply(&strassen(), 8, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = random_topological(&t.graph, &mut rng);
+        let mut prev = u64::MAX;
+        for m in [4usize, 8, 16, 32, 64] {
+            let (b, _) = partition_lower_bound(&t.graph, &order, m);
+            prop_assert!(b <= prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn segment_size_sweep_never_exceeds_fine_grained_max(seg_exp in 3usize..8) {
+        // any single segment size yields a bound <= the sweep's maximum
+        let t = trace_multiply(&strassen(), 8, 1);
+        let order = identity_order(&t.graph);
+        let m = 8;
+        let (best, _) = partition_lower_bound(&t.graph, &order, m);
+        let single = partition_bound_at(&t.graph, &order, (1 << seg_exp).max(2 * m), m);
+        prop_assert!(single <= best);
+    }
+
+    #[test]
+    fn executor_deterministic(seed in any::<u64>()) {
+        let t = trace_multiply(&strassen(), 8, 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let order = random_topological(&t.graph, &mut rng);
+        let a = execute_schedule(&t.graph, &order, 16, Evict::Belady);
+        let b = execute_schedule(&t.graph, &order, 16, Evict::Belady);
+        prop_assert_eq!(a, b);
+    }
+}

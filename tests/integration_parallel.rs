@@ -1,0 +1,119 @@
+//! Cross-crate integration: the parallel algorithms (Table I) on the
+//! simulated distributed machine vs the fastmm-core bounds.
+
+use fastmm_core::prelude::*;
+use fastmm_parsim::cannon::cannon;
+use fastmm_parsim::caps::{caps, CapsPlan};
+use fastmm_parsim::grid3d::{multiply_25d, multiply_3d};
+use fastmm_parsim::machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (Matrix::random(n, n, &mut rng), Matrix::random(n, n, &mut rng))
+}
+
+#[test]
+fn all_parallel_algorithms_agree_with_classical() {
+    let n = 24;
+    let (a, b) = sample(n, 1);
+    let want = multiply_naive(&a, &b);
+    let (c1, _) = cannon(MachineConfig::new(4), &a, &b);
+    assert!(c1.max_abs_diff(&want, |x| x) < 1e-9, "cannon");
+    let (c2, _) = multiply_3d(MachineConfig::new(8), &a, &b);
+    assert!(c2.max_abs_diff(&want, |x| x) < 1e-9, "3d");
+    let (c3, _) = multiply_25d(MachineConfig::new(8), 2, &a, &b);
+    assert!(c3.max_abs_diff(&want, |x| x) < 1e-9, "2.5d");
+    let (a7, b7) = sample(28, 2);
+    let want7 = multiply_naive(&a7, &b7);
+    let plan = CapsPlan::new(7, 28, 1).unwrap();
+    let (c4, _) = caps(MachineConfig::new(7), &plan, &a7, &b7);
+    assert!(c4.max_abs_diff(&want7, |x| x) < 1e-8, "caps");
+}
+
+#[test]
+fn every_algorithm_respects_its_lower_bound() {
+    // measured words/rank >= the corresponding Cor 1.2/1.4 bound with the
+    // measured memory as M
+    let (a, b) = sample(48, 3);
+    let (_, r) = cannon(MachineConfig::new(16), &a, &b);
+    let lb = par_bandwidth_lower_bound(CLASSICAL, 48, r.max_memory(), 16);
+    assert!(r.max_words() as f64 >= lb, "cannon {} < {lb}", r.max_words());
+
+    let plan = CapsPlan::new(7, 56, 0).unwrap();
+    let (a7, b7) = sample(56, 4);
+    let (_, rs) = caps(MachineConfig::new(7), &plan, &a7, &b7);
+    let lbs = par_bandwidth_lower_bound(STRASSEN, 56, rs.max_memory(), 7);
+    assert!(rs.max_words() as f64 >= lbs, "caps {} < {lbs}", rs.max_words());
+}
+
+#[test]
+fn caps_moves_fewer_words_than_cannon_head_to_head() {
+    // the Strassen-like side of Table I wins at equal p
+    let (p, n) = (49usize, 196usize);
+    let (a, b) = sample(n, 5);
+    let (_, rc) = cannon(MachineConfig::new(p), &a, &b);
+    let plan = CapsPlan::new(p, n, 0).unwrap();
+    let (_, rs) = caps(MachineConfig::new(p), &plan, &a, &b);
+    assert!(
+        rs.max_words() < rc.max_words(),
+        "caps {} !< cannon {}",
+        rs.max_words(),
+        rc.max_words()
+    );
+    // ... by trading memory for it (the 2D vs unbounded regime gap)
+    assert!(rs.max_memory() > rc.max_memory());
+}
+
+#[test]
+fn replication_trades_memory_for_bandwidth_25d() {
+    // Table I, third row: going from c=1 to c=2 cuts words, raises memory
+    let n = 32;
+    let (a, b) = sample(n, 6);
+    let (_, c1) = multiply_25d(MachineConfig::new(16), 1, &a, &b);
+    let (_, c2) = multiply_25d(MachineConfig::new(32), 2, &a, &b);
+    assert!(c2.max_words() < c1.max_words());
+    assert!(c2.max_memory() >= c1.max_memory());
+}
+
+#[test]
+fn caps_dfs_step_raises_words_lowers_memory() {
+    let n = 112;
+    let (a, b) = sample(n, 7);
+    let bfs = CapsPlan::new(7, n, 0).unwrap();
+    let dfs = CapsPlan::new(7, n, 1).unwrap();
+    let (_, rb) = caps(MachineConfig::new(7), &bfs, &a, &b);
+    let (_, rd) = caps(MachineConfig::new(7), &dfs, &a, &b);
+    assert!(rd.max_memory() < rb.max_memory(), "memory must drop with DFS");
+    assert!(rd.max_words() >= rb.max_words(), "words must not drop with DFS");
+}
+
+#[test]
+fn critical_path_time_is_positive_and_bounded_by_serial() {
+    let (a, b) = sample(48, 8);
+    let cfg = MachineConfig { p: 16, alpha: 1.0, beta: 0.01, gamma: 0.0 };
+    let (_, r) = cannon(cfg, &a, &b);
+    let t = r.critical_path_time();
+    assert!(t > 0.0);
+    // critical path cannot exceed the serial sum of all communication
+    let serial: f64 = r
+        .stats
+        .iter()
+        .map(|s| s.msgs_sent as f64 * 1.0 + s.words_sent as f64 * 0.01)
+        .sum::<f64>()
+        * 2.0;
+    assert!(t <= serial, "critical path {t} vs serial {serial}");
+}
+
+#[test]
+fn table1_formula_ordering_holds_at_scale() {
+    // lower bounds: 2D >= 2.5D >= 3D for both algorithm classes
+    let (n, p) = (1usize << 12, 4096usize);
+    for params in [CLASSICAL, STRASSEN] {
+        let d2 = table1_lower_bound(params, MemoryRegime::TwoD, n, p);
+        let d25 = table1_lower_bound(params, MemoryRegime::TwoPointFiveD { c: 4 }, n, p);
+        let d3 = table1_lower_bound(params, MemoryRegime::ThreeD, n, p);
+        assert!(d2 >= d25 && d25 >= d3, "{}: {d2} {d25} {d3}", params.name);
+    }
+}

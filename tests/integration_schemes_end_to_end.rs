@@ -1,0 +1,125 @@
+//! Cross-crate integration: every executable scheme, end to end — algebra,
+//! CDAG structure, and arithmetic counts must all agree.
+
+use fastmm_cdag::layered::{build_dec, build_h, SchemeShape};
+use fastmm_cdag::trace::trace_multiply;
+use fastmm_core::prelude::*;
+use fastmm_matrix::scheme::all_schemes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_schemes_multiply_exactly_over_fp() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for scheme in all_schemes() {
+        for levels in 1..=2usize {
+            let n = scheme.n0.pow(levels as u32);
+            let a = Matrix::random_fp(n, n, &mut rng);
+            let b = Matrix::random_fp(n, n, &mut rng);
+            assert_eq!(
+                multiply_scheme(&scheme, &a, &b, 1),
+                multiply_naive(&a, &b),
+                "{} n={n}",
+                scheme.name
+            );
+        }
+    }
+}
+
+#[test]
+fn all_schemes_verify_brent_and_slps() {
+    for scheme in all_schemes() {
+        scheme.verify_brent().unwrap_or_else(|e| panic!("{}: {e}", scheme.name));
+        scheme.verify_slps().unwrap_or_else(|e| panic!("{}: {e}", scheme.name));
+    }
+}
+
+#[test]
+fn traced_cdag_matches_analytic_op_counts_for_all_schemes() {
+    for scheme in all_schemes() {
+        let n = scheme.n0 * scheme.n0;
+        let t = trace_multiply(&scheme, n, 1);
+        let (_, adds, muls) = t.graph.kind_counts();
+        let expect = scheme_op_count(&scheme, n, 1);
+        assert_eq!(muls as u128, expect.mults, "{} mults", scheme.name);
+        assert_eq!(adds as u128, expect.adds, "{} adds", scheme.name);
+    }
+}
+
+#[test]
+fn strassen_like_membership_is_decided_by_dec1_connectivity() {
+    // Section 5.1.1: Strassen and Winograd qualify; classical does not.
+    for scheme in all_schemes() {
+        let shape = SchemeShape::from_scheme(&scheme);
+        let dec = build_dec(&shape, 1);
+        let connected = dec.graph.is_connected();
+        let is_classical = scheme.name.starts_with("classical");
+        assert_eq!(
+            connected, !is_classical,
+            "{}: connected={connected}",
+            scheme.name
+        );
+    }
+}
+
+#[test]
+fn h_graph_io_counts_match_scheme_combinatorics() {
+    for scheme in [strassen(), winograd()] {
+        let shape = SchemeShape::from_scheme(&scheme);
+        for k in 1..=3usize {
+            let h = build_h(&shape, k);
+            let t = (scheme.n0 * scheme.n0).pow(k as u32);
+            let r = scheme.r.pow(k as u32);
+            assert_eq!(h.a_inputs.len(), t, "{} k={k} A inputs", scheme.name);
+            assert_eq!(h.graph.outputs.len(), t, "{} k={k} outputs", scheme.name);
+            assert_eq!(h.mults.len(), r, "{} k={k} mults", scheme.name);
+        }
+    }
+}
+
+#[test]
+fn omega0_orders_bound_predictions_consistently() {
+    // lower ω₀ ⇒ lower sequential I/O bound at large n — and the measured
+    // arithmetic counts order the same way
+    // multiplications: 7^k < 8^k at every depth; the *total* flops
+    // crossover sits at much larger n because of the 18 additions/level
+    let n = 64;
+    let s_ops = scheme_op_count(&strassen(), n, 1);
+    let c_ops = scheme_op_count(&classical_scheme(2), n, 1);
+    assert!(s_ops.mults < c_ops.mults);
+    // growth rate per doubling: 7 vs 8
+    let s_big = scheme_op_count(&strassen(), 2 * n, 1);
+    let c_big = scheme_op_count(&classical_scheme(2), 2 * n, 1);
+    let gs = s_big.total() as f64 / s_ops.total() as f64;
+    let gc = c_big.total() as f64 / c_ops.total() as f64;
+    assert!(gs < gc, "strassen growth {gs} !< classical growth {gc}");
+    let m = 512;
+    assert!(
+        seq_bandwidth_lower_bound(STRASSEN, 1 << 12, m)
+            < seq_bandwidth_lower_bound(CLASSICAL, 1 << 12, m)
+    );
+}
+
+#[test]
+fn padded_multiplication_handles_awkward_sizes() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for n in [5usize, 11, 13, 21] {
+        let a = Matrix::random_int(n, n, 10, &mut rng);
+        let b = Matrix::random_int(n, n, 10, &mut rng);
+        assert_eq!(multiply_strassen(&a, &b, 2), multiply_naive(&a, &b), "n={n}");
+        assert_eq!(multiply_winograd(&a, &b, 2), multiply_naive(&a, &b), "n={n}");
+    }
+}
+
+#[test]
+fn tensor_product_scheme_roundtrips_through_everything() {
+    let ss = strassen().tensor(&strassen());
+    ss.verify_brent().unwrap();
+    let mut rng = StdRng::seed_from_u64(10);
+    let a = Matrix::random_fp(16, 16, &mut rng);
+    let b = Matrix::random_fp(16, 16, &mut rng);
+    assert_eq!(multiply_scheme(&ss, &a, &b, 1), multiply_naive(&a, &b));
+    // its decode graph is connected (tensor of connected decodes)
+    let dec = build_dec(&SchemeShape::from_scheme(&ss), 1);
+    assert!(dec.graph.is_connected());
+}
