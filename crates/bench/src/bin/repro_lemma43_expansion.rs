@@ -1,7 +1,10 @@
 //! E3: regenerate the Lemma 4.3 expansion series (Figure 3 machinery).
 //! Pass a max k as argv[1] (default 5; 6 takes a few minutes in release).
 fn main() {
-    let k = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let k = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
     print!("{}", fastmm_bench::e3_lemma43_expansion(k));
     print!("{}", fastmm_bench::e3_certificate_drilldown(3));
 }

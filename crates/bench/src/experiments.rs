@@ -21,7 +21,10 @@ use rand::SeedableRng;
 
 fn sample_f64(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    (Matrix::random(n, n, &mut rng), Matrix::random(n, n, &mut rng))
+    (
+        Matrix::random(n, n, &mut rng),
+        Matrix::random(n, n, &mut rng),
+    )
 }
 
 /// E1 — Theorem 1.1 vs Equation (1): sequential Strassen I/O, measured on
@@ -415,17 +418,15 @@ pub fn e3_certificate_drilldown(k: usize) -> String {
     ));
     out.push_str(&format!(
         "  cut edges {} >= mixed components {} >= max(level {:.1}, tree {:.1}, leaf {:.1})\n",
-        cert.cut_edges,
-        cert.mixed_components,
-        cert.level_bound,
-        cert.tree_bound,
-        cert.leaf_bound
+        cert.cut_edges, cert.mixed_components, cert.level_bound, cert.tree_bound, cert.leaf_bound
     ));
-    out.push_str(&format!("  level densities sigma_j = {:?}\n", cert
-        .level_sigma
-        .iter()
-        .map(|x| (x * 1000.0).round() / 1000.0)
-        .collect::<Vec<_>>()));
+    out.push_str(&format!(
+        "  level densities sigma_j = {:?}\n",
+        cert.level_sigma
+            .iter()
+            .map(|x| (x * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    ));
     out
 }
 

@@ -1,0 +1,75 @@
+//! Smoke tests over every experiment the `repro_*` binaries call.
+//!
+//! Each binary's `main` is a thin `println!` wrapper around one of these
+//! library functions, so exercising the functions here (with small
+//! parameters where they take any) keeps the whole `repro_*` family from
+//! silently rotting: an experiment that panics, returns empty output, or
+//! loses its headline table fails this suite instead of failing only when a
+//! human next runs the binary.
+
+use fastmm_bench as exp;
+
+/// Output must be a non-trivial table carrying its headline marker.
+fn assert_report(name: &str, out: &str, marker: &str, min_lines: usize) {
+    assert!(
+        out.contains(marker),
+        "{name}: marker {marker:?} missing from output:\n{out}"
+    );
+    assert!(
+        out.lines().count() >= min_lines,
+        "{name}: expected >= {min_lines} lines, got {}:\n{out}",
+        out.lines().count()
+    );
+}
+
+#[test]
+fn e1_sequential_io_smoke() {
+    assert_report("e1", &exp::e1_thm11_sequential(), "Theorem 1.1", 5);
+}
+
+#[test]
+fn e2_strassen_like_smoke() {
+    assert_report("e2", &exp::e2_thm13_strassen_like(), "Theorem 1.3", 5);
+}
+
+#[test]
+fn e3_expansion_series_smoke() {
+    // The binaries default to k_max = 5 (repro_lemma43_expansion) — the
+    // series shape is already visible at k_max = 2 and runs in seconds.
+    assert_report("e3", &exp::e3_lemma43_expansion(2), "Lemma 4.3", 3);
+}
+
+#[test]
+fn e3b_certificate_drilldown_smoke() {
+    assert_report(
+        "e3b",
+        &exp::e3_certificate_drilldown(2),
+        "Lemma 4.3 proof replay",
+        2,
+    );
+}
+
+#[test]
+fn e4_small_set_smoke() {
+    assert_report("e4", &exp::e4_cor44_small_set(), "Corollary 4.4", 4);
+}
+
+#[test]
+fn e5_cdag_structure_smoke() {
+    assert_report("e5", &exp::e5_fig2_structure(), "Figure 2", 5);
+}
+
+#[test]
+fn e6_partition_argument_smoke() {
+    assert_report("e6", &exp::e6_partition_argument(), "Partition argument", 5);
+}
+
+#[test]
+fn e7_table1_smoke() {
+    assert_report("e7", &exp::e7_table1(), "Table I", 5);
+}
+
+#[test]
+fn e8_caps_smoke() {
+    assert_report("e8", &exp::e8_caps_optimality(), "Corollary 1.2", 4);
+}

@@ -18,7 +18,11 @@ impl std::fmt::Debug for BitSet {
 impl BitSet {
     /// Empty set over a universe of `len` elements.
     pub fn new(len: usize) -> Self {
-        BitSet { words: vec![0; len.div_ceil(64)], len, ones: 0 }
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
     }
 
     /// Universe size.

@@ -163,8 +163,7 @@ impl Cdag {
         let n = self.n_vertices();
         let mut indeg = self.in_degrees();
         let succ = Csr::from_directed(n, &self.edges);
-        let mut queue: VecDeque<u32> =
-            (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
@@ -234,7 +233,11 @@ impl Cdag {
                 VKind::Add => ("circle", "+"),
                 VKind::Mul => ("doublecircle", "*"),
             };
-            let extra = if self.outputs.contains(&v) { ", style=filled, fillcolor=gray85" } else { "" };
+            let extra = if self.outputs.contains(&v) {
+                ", style=filled, fillcolor=gray85"
+            } else {
+                ""
+            };
             let _ = writeln!(s, "  v{v} [shape={shape}, label=\"{label}{v}\"{extra}];");
         }
         for &(u, v) in &self.edges {
@@ -351,10 +354,14 @@ mod tests {
     fn topo_order_respects_edges() {
         let g = diamond();
         let order = g.topological_order();
-        let pos: Vec<usize> =
-            (0..4u32).map(|v| order.iter().position(|&x| x == v).unwrap()).collect();
+        let pos: Vec<usize> = (0..4u32)
+            .map(|v| order.iter().position(|&x| x == v).unwrap())
+            .collect();
         for &(u, v) in g.edges() {
-            assert!(pos[u as usize] < pos[v as usize], "edge {u}->{v} out of order");
+            assert!(
+                pos[u as usize] < pos[v as usize],
+                "edge {u}->{v} out of order"
+            );
         }
     }
 

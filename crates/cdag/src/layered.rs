@@ -52,15 +52,20 @@ impl SchemeShape {
         let u_support: Vec<Vec<usize>> = (0..s.r).map(|l| s.u.row_support(l)).collect();
         let v_support: Vec<Vec<usize>> = (0..s.r).map(|l| s.v.row_support(l)).collect();
         let w_support: Vec<Vec<usize>> = (0..t).map(|q| s.w.row_support(q)).collect();
-        let unit_singleton = |support: &Vec<usize>, coeffs: &fastmm_matrix::scheme::Coeffs, l: usize| {
-            if support.len() == 1 && coeffs.get(l, support[0]) == 1 {
-                Some(support[0])
-            } else {
-                None
-            }
-        };
-        let u_alias = (0..s.r).map(|l| unit_singleton(&u_support[l], &s.u, l)).collect();
-        let v_alias = (0..s.r).map(|l| unit_singleton(&v_support[l], &s.v, l)).collect();
+        let unit_singleton =
+            |support: &Vec<usize>, coeffs: &fastmm_matrix::scheme::Coeffs, l: usize| {
+                if support.len() == 1 && coeffs.get(l, support[0]) == 1 {
+                    Some(support[0])
+                } else {
+                    None
+                }
+            };
+        let u_alias = (0..s.r)
+            .map(|l| unit_singleton(&u_support[l], &s.u, l))
+            .collect();
+        let v_alias = (0..s.r)
+            .map(|l| unit_singleton(&v_support[l], &s.v, l))
+            .collect();
         SchemeShape {
             name: s.name.clone(),
             t,
@@ -163,14 +168,17 @@ impl DecGraph {
     /// Strassen case; returns `(|top level| / |V|, |bottom level| / |V|)`.
     pub fn level_fractions(&self) -> (f64, f64) {
         let v = self.graph.n_vertices() as f64;
-        (self.level_size(self.k) as f64 / v, self.level_size(0) as f64 / v)
+        (
+            self.level_size(self.k) as f64 / v,
+            self.level_size(0) as f64 / v,
+        )
     }
 
     /// Decompose into edge-disjoint copies of `Dec_kk C` (Claim 2.1 /
     /// Corollary 4.4). Requires `kk` to divide `k`. Returns, per copy, the
     /// global vertex ids listed copy-level by copy-level (outputs first).
     pub fn decompose(&self, kk: usize) -> Vec<Vec<u32>> {
-        assert!(kk >= 1 && self.k % kk == 0, "kk must divide k");
+        assert!(kk >= 1 && self.k.is_multiple_of(kk), "kk must divide k");
         let (t, r) = (self.t, self.r);
         let mut copies = Vec::new();
         for s in 0..self.k / kk {
@@ -213,13 +221,15 @@ impl DecComponent<'_> {
     pub fn input(&self, l: usize) -> u32 {
         let r = self.dec.r;
         let rj = r.pow(self.j as u32);
-        self.dec.vertex(self.j + 1, self.o * rj * r + l * rj + self.c)
+        self.dec
+            .vertex(self.j + 1, self.o * rj * r + l * rj + self.c)
     }
 
     /// Global id of output slot `q ∈ 0..t` (at level `j`).
     pub fn output(&self, q: usize) -> u32 {
         let rj = self.dec.r.pow(self.j as u32);
-        self.dec.vertex(self.j, (self.o * self.dec.t + q) * rj + self.c)
+        self.dec
+            .vertex(self.j, (self.o * self.dec.t + q) * rj + self.c)
     }
 
     /// All vertices of the component (inputs then outputs).
@@ -273,7 +283,13 @@ pub fn build_dec(shape: &SchemeShape, k: usize) -> DecGraph {
     }
     graph.inputs = (offsets[k]..offsets[k + 1]).collect();
     graph.outputs = (offsets[0]..offsets[1]).collect();
-    DecGraph { graph, k, t, r, offsets }
+    DecGraph {
+        graph,
+        k,
+        t,
+        r,
+        offsets,
+    }
 }
 
 /// Which operand an encode graph encodes.
@@ -326,7 +342,9 @@ pub fn build_enc(shape: &SchemeShape, side: EncSide, k: usize) -> EncGraph {
     };
     let mut graph = Cdag::new();
     let mut levels: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
-    let inputs: Vec<u32> = (0..level_size(t, r, k, 0)).map(|_| graph.add_vertex(VKind::Input)).collect();
+    let inputs: Vec<u32> = (0..level_size(t, r, k, 0))
+        .map(|_| graph.add_vertex(VKind::Input))
+        .collect();
     levels.push(inputs.clone());
     for j in 0..k {
         let within = t.pow((k - j - 1) as u32); // positions p per region
@@ -354,7 +372,13 @@ pub fn build_enc(shape: &SchemeShape, side: EncSide, k: usize) -> EncGraph {
     }
     graph.inputs = levels[0].clone();
     graph.outputs = levels[k].clone();
-    EncGraph { graph, k, t, r, levels }
+    EncGraph {
+        graph,
+        k,
+        t,
+        r,
+        levels,
+    }
 }
 
 /// The full Strassen-like CDAG `H_k`: `Enc_k A`, `Enc_k B`, the `r^k`
@@ -416,8 +440,7 @@ pub fn build_h(shape: &SchemeShape, k: usize) -> HGraph {
         graph.add_edge(enc_a.levels[k][m], mv);
         graph.add_edge(off_b + enc_b.levels[k][m], mv);
     }
-    graph.inputs = enc_a
-        .levels[0]
+    graph.inputs = enc_a.levels[0]
         .iter()
         .copied()
         .chain(enc_b.levels[0].iter().map(|&v| off_b + v))
@@ -425,7 +448,15 @@ pub fn build_h(shape: &SchemeShape, k: usize) -> HGraph {
     graph.outputs = dec.level_range(0).map(|v| off_dec + v).collect();
     let a_inputs = enc_a.levels[0].clone();
     let b_inputs = enc_b.levels[0].iter().map(|&v| off_b + v).collect();
-    HGraph { graph, k, dec_offset: off_dec, dec, mults, a_inputs, b_inputs }
+    HGraph {
+        graph,
+        k,
+        dec_offset: off_dec,
+        dec,
+        mults,
+        a_inputs,
+        b_inputs,
+    }
 }
 
 #[cfg(test)]
@@ -443,7 +474,10 @@ mod tests {
         // 7 product inputs + 4 outputs = 11 vertices, 12 edges (nnz of W).
         assert_eq!(dec.graph.n_vertices(), 11);
         assert_eq!(dec.graph.n_edges(), 12);
-        assert!(dec.graph.is_connected(), "Dec1C of Strassen is connected (§5.1.1)");
+        assert!(
+            dec.graph.is_connected(),
+            "Dec1C of Strassen is connected (§5.1.1)"
+        );
     }
 
     #[test]
@@ -465,7 +499,10 @@ mod tests {
         let k = 4;
         let dec = build_dec(&strassen_shape(), k);
         for j in 0..=k {
-            assert_eq!(dec.level_size(j), 4usize.pow((k - j) as u32) * 7usize.pow(j as u32));
+            assert_eq!(
+                dec.level_size(j),
+                4usize.pow((k - j) as u32) * 7usize.pow(j as u32)
+            );
         }
         let total: usize = (0..=k).map(|j| dec.level_size(j)).sum();
         assert_eq!(dec.graph.n_vertices(), total);
@@ -515,7 +552,10 @@ mod tests {
             }
         }
         for &(u, v) in dec.graph.edges() {
-            assert!(seen.contains(&(u, v)), "edge ({u},{v}) outside all components");
+            assert!(
+                seen.contains(&(u, v)),
+                "edge ({u},{v}) outside all components"
+            );
         }
     }
 
@@ -572,7 +612,11 @@ mod tests {
             assert_eq!(local, small.graph.n_edges(), "copy must be a full Dec_2");
             covered += local;
         }
-        assert_eq!(covered, dec.graph.n_edges(), "decomposition must cover all edges");
+        assert_eq!(
+            covered,
+            dec.graph.n_edges(),
+            "decomposition must cover all edges"
+        );
     }
 
     #[test]
@@ -583,7 +627,10 @@ mod tests {
         assert_eq!(enc.n_vertices(), 9);
         assert_eq!(enc.level_size(0), 4);
         assert_eq!(enc.level_size(1), 7);
-        let aliased = enc.levels[1].iter().filter(|v| enc.levels[0].contains(v)).count();
+        let aliased = enc.levels[1]
+            .iter()
+            .filter(|v| enc.levels[0].contains(v))
+            .count();
         assert_eq!(aliased, 2, "A11 and A22 are used bare");
     }
 
@@ -591,8 +638,18 @@ mod tests {
     fn enc_outdegree_grows_with_k() {
         // Paper: Enc_{lg n}A has vertices of out-degree Θ(lg n).
         let shape = strassen_shape();
-        let d2 = build_enc(&shape, EncSide::A, 2).graph.out_degrees().into_iter().max().unwrap();
-        let d4 = build_enc(&shape, EncSide::A, 4).graph.out_degrees().into_iter().max().unwrap();
+        let d2 = build_enc(&shape, EncSide::A, 2)
+            .graph
+            .out_degrees()
+            .into_iter()
+            .max()
+            .unwrap();
+        let d4 = build_enc(&shape, EncSide::A, 4)
+            .graph
+            .out_degrees()
+            .into_iter()
+            .max()
+            .unwrap();
         assert!(d4 > d2, "out-degree must grow: {d2} vs {d4}");
     }
 

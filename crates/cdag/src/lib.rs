@@ -25,6 +25,8 @@ pub mod tree;
 
 pub use bitset::BitSet;
 pub use graph::{Cdag, Csr, VKind};
-pub use layered::{build_dec, build_enc, build_h, DecGraph, EncGraph, EncSide, HGraph, SchemeShape};
+pub use layered::{
+    build_dec, build_enc, build_h, DecGraph, EncGraph, EncSide, HGraph, SchemeShape,
+};
 pub use trace::{trace_multiply, TracedCdag};
 pub use tree::{DecTree, TreeNode};

@@ -125,7 +125,7 @@ impl Tracer {
     fn recurse(&mut self, scheme: &BilinearScheme, a: &IdMat, b: &IdMat, cutoff: usize) -> IdMat {
         let n = a.n;
         let n0 = scheme.n0;
-        if n <= cutoff || n % n0 != 0 {
+        if n <= cutoff || !n.is_multiple_of(n0) {
             return self.classical(a, b);
         }
         let t = n0 * n0;
@@ -133,8 +133,9 @@ impl Tracer {
         let b_blocks: Vec<IdMat> = (0..t).map(|q| b.block(n0, q / n0, q % n0)).collect();
         let ta = self.apply_slp(&scheme.enc_a, &a_blocks);
         let tb = self.apply_slp(&scheme.enc_b, &b_blocks);
-        let products: Vec<IdMat> =
-            (0..scheme.r).map(|l| self.recurse(scheme, &ta[l], &tb[l], cutoff)).collect();
+        let products: Vec<IdMat> = (0..scheme.r)
+            .map(|l| self.recurse(scheme, &ta[l], &tb[l], cutoff))
+            .collect();
         let c_blocks = self.apply_slp(&scheme.dec_c, &products);
         IdMat::assemble(n0, &c_blocks)
     }
@@ -143,7 +144,10 @@ impl Tracer {
 /// Trace the scheme's recursion on `n x n` operands (`n` a power of `n₀`),
 /// recursing down to `cutoff` and running a classical trace below it.
 pub fn trace_multiply(scheme: &BilinearScheme, n: usize, cutoff: usize) -> TracedCdag {
-    let mut tr = Tracer { g: Cdag::new(), n_mults: 0 };
+    let mut tr = Tracer {
+        g: Cdag::new(),
+        n_mults: 0,
+    };
     let a = IdMat {
         n,
         ids: (0..n * n).map(|_| tr.g.add_vertex(VKind::Input)).collect(),
@@ -156,7 +160,13 @@ pub fn trace_multiply(scheme: &BilinearScheme, n: usize, cutoff: usize) -> Trace
     tr.g.inputs = a.ids.iter().chain(&b.ids).copied().collect();
     tr.g.outputs = c.ids.clone();
     let (_, _, n_mults) = tr.g.kind_counts();
-    TracedCdag { graph: tr.g, a, b, c, n_mults }
+    TracedCdag {
+        graph: tr.g,
+        a,
+        b,
+        c,
+        n_mults,
+    }
 }
 
 #[cfg(test)]
@@ -184,9 +194,11 @@ mod tests {
     fn trace_add_count_matches_op_count() {
         // Adds recorded in the CDAG must equal the analytic SLP-based count
         // (including the classical base-case adds).
-        for (scheme, n, cutoff) in
-            [(strassen(), 8usize, 1usize), (winograd(), 8, 1), (strassen(), 16, 4)]
-        {
+        for (scheme, n, cutoff) in [
+            (strassen(), 8usize, 1usize),
+            (winograd(), 8, 1),
+            (strassen(), 16, 4),
+        ] {
             let t = trace_multiply(&scheme, n, cutoff);
             let (_, adds, muls) = t.graph.kind_counts();
             let expect = scheme_op_count(&scheme, n, cutoff);

@@ -33,21 +33,30 @@ impl<'a> DecTree<'a> {
 
     /// The root (corresponds to the whole product level `l_{k+1}`).
     pub fn root(&self) -> TreeNode {
-        TreeNode { depth: 0, region: 0 }
+        TreeNode {
+            depth: 0,
+            region: 0,
+        }
     }
 
     /// `t` children of an internal node.
     pub fn children(&self, u: TreeNode) -> Vec<TreeNode> {
         assert!(u.depth < self.dec.k, "leaves have no children");
         (0..self.dec.t)
-            .map(|q| TreeNode { depth: u.depth + 1, region: u.region * self.dec.t + q })
+            .map(|q| TreeNode {
+                depth: u.depth + 1,
+                region: u.region * self.dec.t + q,
+            })
             .collect()
     }
 
     /// Parent of a non-root node.
     pub fn parent(&self, u: TreeNode) -> TreeNode {
         assert!(u.depth > 0, "root has no parent");
-        TreeNode { depth: u.depth - 1, region: u.region / self.dec.t }
+        TreeNode {
+            depth: u.depth - 1,
+            region: u.region / self.dec.t,
+        }
     }
 
     /// Number of nodes at depth `dep` (`t^dep`).
@@ -97,7 +106,10 @@ impl<'a> DecTree<'a> {
         let mut parent_rho = self.rho_at_depth(s, 0);
         for dep in 1..=self.dec.k {
             let rho = self.rho_at_depth(s, dep);
-            let set = self.set_size(TreeNode { depth: dep, region: 0 }) as f64;
+            let set = self.set_size(TreeNode {
+                depth: dep,
+                region: 0,
+            }) as f64;
             for (o, &ru) in rho.iter().enumerate() {
                 total += (ru - parent_rho[o / self.dec.t]).abs() * set;
             }
@@ -142,7 +154,10 @@ mod tests {
             let mut covered = 0usize;
             let mut prev_end = d.level_range(level).start;
             for o in 0..t.width(dep) {
-                let range = t.vertex_range(TreeNode { depth: dep, region: o });
+                let range = t.vertex_range(TreeNode {
+                    depth: dep,
+                    region: o,
+                });
                 assert_eq!(range.start, prev_end, "ranges must be contiguous");
                 prev_end = range.end;
                 covered += range.len();
@@ -179,9 +194,16 @@ mod tests {
         }
         for dep in 0..=3usize {
             let bulk = t.rho_at_depth(&s, dep);
-            for o in 0..t.width(dep) {
-                let single = t.rho(&s, TreeNode { depth: dep, region: o });
-                assert!((bulk[o] - single).abs() < 1e-12, "dep={dep} o={o}");
+            assert_eq!(bulk.len(), t.width(dep));
+            for (o, &b) in bulk.iter().enumerate() {
+                let single = t.rho(
+                    &s,
+                    TreeNode {
+                        depth: dep,
+                        region: o,
+                    },
+                );
+                assert!((b - single).abs() < 1e-12, "dep={dep} o={o}");
             }
         }
     }
@@ -206,10 +228,7 @@ mod tests {
         let t = DecTree::new(&d);
         let empty = BitSet::new(d.graph.n_vertices());
         assert_eq!(t.heterogeneity(&empty), 0.0);
-        let full = BitSet::from_iter(
-            d.graph.n_vertices(),
-            0..d.graph.n_vertices() as u32,
-        );
+        let full = BitSet::from_iter(d.graph.n_vertices(), 0..d.graph.n_vertices() as u32);
         assert_eq!(t.heterogeneity(&full), 0.0);
     }
 

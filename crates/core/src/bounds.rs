@@ -88,12 +88,7 @@ pub fn table1_lower_bound(params: SchemeParams, regime: MemoryRegime, n: usize, 
 /// Strassen-like 2D `n²/p^{2-ω₀/2}`, 3D `n²/p^{(5-ω₀)/3}`... the paper
 /// prints `Ω(n²/p^{(5-ω₀)/3})` — hmm, the table shows `Ω(n²/p^{5-ω₀}/3)`
 /// meaning exponent `(5-ω₀)/3`; and 2.5D `n²/(c^{ω₀/2-1} p^{2-ω₀/2})`.
-pub fn table1_closed_form(
-    params: SchemeParams,
-    regime: MemoryRegime,
-    n: usize,
-    p: usize,
-) -> f64 {
+pub fn table1_closed_form(params: SchemeParams, regime: MemoryRegime, n: usize, p: usize) -> f64 {
     let n2 = (n * n) as f64;
     let pf = p as f64;
     let omega = params.omega0();
@@ -150,7 +145,10 @@ mod tests {
         assert!((b2 / b1 - 7.0).abs() < 1e-9, "doubling n multiplies by 7");
         let c1 = seq_bandwidth_lower_bound(s, 1 << 12, 4 * m);
         // (n/√(4M))^{lg7}·4M = b1 · 4 / 2^{lg7} = b1 · 4/7
-        assert!((c1 / b1 - 4.0 / 7.0).abs() < 1e-9, "quadrupling M multiplies by 4/7");
+        assert!(
+            (c1 / b1 - 4.0 / 7.0).abs() < 1e-9,
+            "quadrupling M multiplies by 4/7"
+        );
     }
 
     #[test]
@@ -214,9 +212,11 @@ mod tests {
         let s = strassen_params();
         let c = classical_params();
         let (n, p) = (1 << 14, 16384usize);
-        for regime in
-            [MemoryRegime::TwoD, MemoryRegime::ThreeD, MemoryRegime::TwoPointFiveD { c: 8 }]
-        {
+        for regime in [
+            MemoryRegime::TwoD,
+            MemoryRegime::ThreeD,
+            MemoryRegime::TwoPointFiveD { c: 8 },
+        ] {
             assert!(
                 table1_lower_bound(s, regime, n, p) < table1_lower_bound(c, regime, n, p),
                 "{regime:?}"

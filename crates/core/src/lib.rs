@@ -41,8 +41,8 @@ pub use fastmm_pebble as pebble;
 pub mod prelude {
     pub use crate::bounds::{
         par_bandwidth_lower_bound, par_latency_lower_bound, seq_bandwidth_lower_bound,
-        seq_bandwidth_upper_bound, seq_latency_lower_bound, table1_closed_form,
-        table1_lower_bound, MemoryRegime,
+        seq_bandwidth_upper_bound, seq_latency_lower_bound, table1_closed_form, table1_lower_bound,
+        MemoryRegime,
     };
     pub use crate::pipeline::{dec_vertices, expansion_io_bound, ExpansionIoBound};
     pub use crate::registry::{
@@ -51,8 +51,7 @@ pub mod prelude {
     pub use fastmm_matrix::classical::{multiply_blocked, multiply_ikj, multiply_naive};
     pub use fastmm_matrix::recursive::{
         multiply_non_stationary, multiply_scheme, multiply_scheme_padded, multiply_strassen,
-        multiply_winograd,
-        scheme_op_count,
+        multiply_winograd, scheme_op_count,
     };
     pub use fastmm_matrix::scheme::{classical_scheme, strassen, winograd, BilinearScheme};
     pub use fastmm_matrix::{Fp, MatMut, MatRef, Matrix, Scalar};

@@ -21,7 +21,9 @@ use crate::registry::SchemeParams;
 pub fn dec_vertices(params: SchemeParams, k: usize) -> f64 {
     let t = (params.n0 * params.n0) as f64;
     let r = params.r as f64;
-    (0..=k).map(|j| t.powi((k - j) as i32) * r.powi(j as i32)).sum()
+    (0..=k)
+        .map(|j| t.powi((k - j) as i32) * r.powi(j as i32))
+        .sum()
 }
 
 /// Result of the expansion ⇒ I/O pipeline.
@@ -53,7 +55,12 @@ pub fn expansion_io_bound(
         if h * s >= 3.0 * m as f64 {
             let total = dec_vertices(params, lg_n);
             let io_words = (alpha / 2.0) * (total / s) * m as f64;
-            return Some(ExpansionIoBound { k, s, h_s: h, io_words });
+            return Some(ExpansionIoBound {
+                k,
+                s,
+                h_s: h,
+                io_words,
+            });
         }
     }
     None

@@ -33,7 +33,11 @@ impl SchemeParams {
     pub fn of_scheme(s: &BilinearScheme) -> SchemeParams {
         // leak the name so the struct stays Copy; schemes are few and static
         let name: &'static str = Box::leak(s.name.clone().into_boxed_str());
-        SchemeParams { name, n0: s.n0, r: s.r }
+        SchemeParams {
+            name,
+            n0: s.n0,
+            r: s.r,
+        }
     }
 }
 

@@ -258,7 +258,10 @@ mod tests {
         // ratio over two extra levels ≈ (4/7)^2
         let ratio = g4 / g2;
         let expect = (4.0f64 / 7.0).powi(2);
-        assert!((ratio / expect - 1.0).abs() < 0.2, "ratio {ratio} vs {expect}");
+        assert!(
+            (ratio / expect - 1.0).abs() < 0.2,
+            "ratio {ratio} vs {expect}"
+        );
     }
 
     #[test]
@@ -269,8 +272,7 @@ mod tests {
         let s = random_subset(d.graph.n_vertices(), 0.3, 99);
         if s.count() <= d.graph.n_vertices() / 2 {
             let cert = lemma43_certificate(&d, &s);
-            let h = cert.cut_edges as f64
-                / (d.graph.max_degree() as f64 * s.count() as f64);
+            let h = cert.cut_edges as f64 / (d.graph.max_degree() as f64 * s.count() as f64);
             assert!(h >= guarantee, "h {h} vs guarantee {guarantee}");
         }
     }

@@ -58,10 +58,18 @@ fn cut_of(adj: &[u64], mask: u64) -> u32 {
 pub fn exact_expansion(csr: &Csr, d: u32, max_size: usize) -> ExactCut {
     let n = csr.n_vertices();
     assert!(n >= 2, "expansion undefined for < 2 vertices");
-    assert!(n <= 30, "exhaustive enumeration capped at 30 vertices (got {n})");
+    assert!(
+        n <= 30,
+        "exhaustive enumeration capped at 30 vertices (got {n})"
+    );
     assert!(max_size >= 1);
     let adj = adjacency_masks(csr);
-    let mut best = ExactCut { mask: 1, size: 1, cut_edges: u32::MAX, expansion: f64::INFINITY };
+    let mut best = ExactCut {
+        mask: 1,
+        size: 1,
+        cut_edges: u32::MAX,
+        expansion: f64::INFINITY,
+    };
     for mask in 1u64..(1u64 << n) {
         let size = mask.count_ones();
         if size as usize > max_size {
@@ -70,7 +78,12 @@ pub fn exact_expansion(csr: &Csr, d: u32, max_size: usize) -> ExactCut {
         let cut = cut_of(&adj, mask);
         let h = cut as f64 / (d as f64 * size as f64);
         if h < best.expansion {
-            best = ExactCut { mask, size, cut_edges: cut, expansion: h };
+            best = ExactCut {
+                mask,
+                size,
+                cut_edges: cut,
+                expansion: h,
+            };
         }
     }
     best

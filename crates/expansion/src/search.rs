@@ -44,7 +44,11 @@ pub fn evaluate_cut(csr: &Csr, d: u32, set: BitSet) -> Cut {
         }
     }
     let expansion = cut as f64 / (d as f64 * set.count() as f64);
-    Cut { set, cut_edges: cut, expansion }
+    Cut {
+        set,
+        cut_edges: cut,
+        expansion,
+    }
 }
 
 /// Evaluate every prefix of `order` (up to `max_size`) as a cut, returning
@@ -89,10 +93,10 @@ pub fn greedy_grow(csr: &Csr, d: u32, start: u32, max_size: usize) -> Cut {
     let mut best_ratio = f64::INFINITY;
 
     let absorb = |v: u32,
-                      in_set: &mut BitSet,
-                      e_to_set: &mut Vec<u32>,
-                      heap: &mut BinaryHeap<(Reverse<i64>, u32)>,
-                      cut: &mut i64| {
+                  in_set: &mut BitSet,
+                  e_to_set: &mut Vec<u32>,
+                  heap: &mut BinaryHeap<(Reverse<i64>, u32)>,
+                  cut: &mut i64| {
         in_set.insert(v);
         let deg = csr.neighbors(v).len() as i64;
         *cut += deg - 2 * e_to_set[v as usize] as i64;
@@ -116,8 +120,7 @@ pub fn greedy_grow(csr: &Csr, d: u32, start: u32, max_size: usize) -> Cut {
                     if in_set.contains(v) {
                         continue;
                     }
-                    let fresh =
-                        csr.neighbors(v).len() as i64 - 2 * e_to_set[v as usize] as i64;
+                    let fresh = csr.neighbors(v).len() as i64 - 2 * e_to_set[v as usize] as i64;
                     if fresh != delta {
                         heap.push((Reverse(fresh), v));
                         continue;
@@ -164,7 +167,11 @@ pub fn refine(csr: &Csr, d: u32, cut: Cut, max_size: usize, passes: usize) -> Cu
             }
             let deg = csr.neighbors(v).len() as i64;
             // toggling v changes the cut by deg - 2*e(v, U∖{v})
-            let delta = if inside { 2 * to_in - deg } else { deg - 2 * to_in };
+            let delta = if inside {
+                2 * to_in - deg
+            } else {
+                deg - 2 * to_in
+            };
             let new_cut = cut_edges + delta;
             let old_ratio = cut_edges as f64 / (df * size as f64);
             let new_ratio = new_cut as f64 / (df * new_size as f64);
@@ -201,7 +208,13 @@ pub struct SearchOptions {
 impl SearchOptions {
     /// Reasonable defaults for graphs up to a few hundred thousand vertices.
     pub fn with_max_size(max_size: usize) -> Self {
-        SearchOptions { max_size, restarts: 6, refine_passes: 3, spectral_iters: 300, seed: 42 }
+        SearchOptions {
+            max_size,
+            restarts: 6,
+            refine_passes: 3,
+            spectral_iters: 300,
+            seed: 42,
+        }
     }
 }
 
@@ -219,7 +232,9 @@ pub fn find_best_cut(csr: &Csr, d: u32, opts: SearchOptions) -> Cut {
     let (_, fiedler) = crate::spectral::spectral_bounds(csr, d, opts.spectral_iters);
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_by(|&a, &b| {
-        fiedler[a as usize].partial_cmp(&fiedler[b as usize]).unwrap_or(std::cmp::Ordering::Equal)
+        fiedler[a as usize]
+            .partial_cmp(&fiedler[b as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
     });
     candidates.push(sweep_cut(csr, d, &order, max_size));
     order.reverse();
@@ -239,7 +254,10 @@ pub fn find_best_cut(csr: &Csr, d: u32, opts: SearchOptions) -> Cut {
     let mut best: Option<Cut> = None;
     for c in candidates {
         let refined = refine(csr, d, c, max_size, opts.refine_passes);
-        if best.as_ref().is_none_or(|b| refined.expansion < b.expansion) {
+        if best
+            .as_ref()
+            .is_none_or(|b| refined.expansion < b.expansion)
+        {
             best = Some(refined);
         }
     }
@@ -252,8 +270,7 @@ mod tests {
     use crate::exact::exact_h;
 
     fn cycle(n: usize) -> Csr {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Csr::from_undirected(n, &edges)
     }
 

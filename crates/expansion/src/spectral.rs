@@ -60,7 +60,9 @@ fn deflate_ones(x: &mut [f64]) {
 pub fn spectral_bounds(csr: &Csr, d: u32, iters: usize) -> (SpectralBounds, Vec<f64>) {
     let n = csr.n_vertices();
     assert!(n >= 2);
-    let degrees: Vec<u32> = (0..n as u32).map(|v| csr.neighbors(v).len() as u32).collect();
+    let degrees: Vec<u32> = (0..n as u32)
+        .map(|v| csr.neighbors(v).len() as u32)
+        .collect();
     let df = d as f64;
     // deterministic pseudo-random start, orthogonal to ones
     let mut x: Vec<f64> = (0..n)
@@ -107,8 +109,7 @@ mod tests {
     use crate::exact::exact_h;
 
     fn cycle(n: usize) -> Csr {
-        let edges: Vec<(u32, u32)> =
-            (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Csr::from_undirected(n, &edges)
     }
 
@@ -128,7 +129,11 @@ mod tests {
         for n in [8usize, 16, 32] {
             let (b, _) = spectral_bounds(&cycle(n), 2, 2000);
             let expect = (2.0 * std::f64::consts::PI / n as f64).cos();
-            assert!((b.lambda2 - expect).abs() < 1e-6, "n={n}: {} vs {expect}", b.lambda2);
+            assert!(
+                (b.lambda2 - expect).abs() < 1e-6,
+                "n={n}: {} vs {expect}",
+                b.lambda2
+            );
         }
     }
 

@@ -146,7 +146,10 @@ mod tests {
 
     fn sample(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        (Matrix::random_int(n, n, 50, &mut rng), Matrix::random_int(n, n, 50, &mut rng))
+        (
+            Matrix::random_int(n, n, 50, &mut rng),
+            Matrix::random_int(n, n, 50, &mut rng),
+        )
     }
 
     #[test]

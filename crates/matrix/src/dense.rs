@@ -35,7 +35,11 @@ impl<T: Scalar> std::fmt::Debug for Matrix<T> {
 impl<T: Scalar> Matrix<T> {
     /// An `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![T::zero(); rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
     }
 
     /// The `n x n` identity.
@@ -91,7 +95,13 @@ impl<T: Scalar> Matrix<T> {
     /// A read-only view of the whole matrix.
     #[inline]
     pub fn view(&self) -> MatRef<'_, T> {
-        MatRef { data: &self.data, rows: self.rows, cols: self.cols, stride: self.cols, off: 0 }
+        MatRef {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.cols,
+            off: 0,
+        }
     }
 
     /// A mutable view of the whole matrix.
@@ -109,21 +119,43 @@ impl<T: Scalar> Matrix<T> {
     /// Element-wise sum.
     pub fn add(&self, other: &Self) -> Self {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a.add(b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a.add(b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Self) -> Self {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a.sub(b)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| a.sub(b))
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scale every element by `c`.
     pub fn scale(&self, c: T) -> Self {
         let data = self.data.iter().map(|&a| a.mul(c)).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Transpose into a new matrix.
@@ -223,7 +255,10 @@ impl<'a, T: Scalar> MatRef<'a, T> {
 
     /// Sub-window at offset `(r0, c0)` with shape `rows x cols`.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatRef<'a, T> {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of range"
+        );
         MatRef {
             data: self.data,
             rows,
@@ -236,7 +271,10 @@ impl<'a, T: Scalar> MatRef<'a, T> {
     /// The `(bi, bj)` block of a `g x g` grid over a window whose dimensions
     /// are divisible by `g`.
     pub fn grid_block(&self, g: usize, bi: usize, bj: usize) -> MatRef<'a, T> {
-        assert!(self.rows % g == 0 && self.cols % g == 0, "dimensions not divisible by grid");
+        assert!(
+            self.rows.is_multiple_of(g) && self.cols.is_multiple_of(g),
+            "dimensions not divisible by grid"
+        );
         let (br, bc) = (self.rows / g, self.cols / g);
         self.block(bi * br, bj * bc, br, bc)
     }
@@ -286,12 +324,21 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     /// Reborrow as read-only.
     #[inline]
     pub fn as_ref(&self) -> MatRef<'_, T> {
-        MatRef { data: self.data, rows: self.rows, cols: self.cols, stride: self.stride, off: self.off }
+        MatRef {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            stride: self.stride,
+            off: self.off,
+        }
     }
 
     /// Reborrow a mutable sub-window at `(r0, c0)` with shape `rows x cols`.
     pub fn block_mut(&mut self, r0: usize, c0: usize, rows: usize, cols: usize) -> MatMut<'_, T> {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of range");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of range"
+        );
         MatMut {
             rows,
             cols,
@@ -303,7 +350,10 @@ impl<'a, T: Scalar> MatMut<'a, T> {
 
     /// The `(bi, bj)` block of a `g x g` grid (dimensions must divide).
     pub fn grid_block_mut(&mut self, g: usize, bi: usize, bj: usize) -> MatMut<'_, T> {
-        assert!(self.rows % g == 0 && self.cols % g == 0, "dimensions not divisible by grid");
+        assert!(
+            self.rows.is_multiple_of(g) && self.cols.is_multiple_of(g),
+            "dimensions not divisible by grid"
+        );
         let (br, bc) = (self.rows / g, self.cols / g);
         self.block_mut(bi * br, bj * bc, br, bc)
     }

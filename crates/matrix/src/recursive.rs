@@ -36,23 +36,27 @@ fn multiply_rec<T: Scalar>(
 ) -> Matrix<T> {
     let n = a.rows();
     let n0 = scheme.n0;
-    if n <= cutoff || n % n0 != 0 {
+    if n <= cutoff || !n.is_multiple_of(n0) {
         return multiply_ikj(a, b);
     }
     let bs = n / n0;
     let t = n0 * n0;
     // Extract blocks once.
-    let a_blocks: Vec<Matrix<T>> =
-        (0..t).map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
-    let b_blocks: Vec<Matrix<T>> =
-        (0..t).map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let a_blocks: Vec<Matrix<T>> = (0..t)
+        .map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix())
+        .collect();
+    let b_blocks: Vec<Matrix<T>> = (0..t)
+        .map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix())
+        .collect();
     let mut c = Matrix::zeros(n, n);
     for l in 0..scheme.r {
         let mut ta = Matrix::zeros(bs, bs);
         let mut tb = Matrix::zeros(bs, bs);
         for q in 0..t {
-            ta.view_mut().accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
-            tb.view_mut().accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
+            ta.view_mut()
+                .accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
+            tb.view_mut()
+                .accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
         }
         let m = multiply_rec(scheme, &ta, &tb, cutoff);
         for q in 0..t {
@@ -94,7 +98,11 @@ pub fn multiply_scheme_padded<T: Scalar>(
         return multiply_scheme(scheme, a, b, cutoff);
     }
     let pad = |m: &Matrix<T>| {
-        Matrix::from_fn(np, np, |i, j| if i < n && j < n { m[(i, j)] } else { T::zero() })
+        Matrix::from_fn(
+            np,
+            np,
+            |i, j| if i < n && j < n { m[(i, j)] } else { T::zero() },
+        )
     };
     let c = multiply_scheme(scheme, &pad(a), &pad(b), cutoff);
     Matrix::from_fn(n, n, |i, j| c[(i, j)])
@@ -129,28 +137,34 @@ pub fn multiply_non_stationary<T: Scalar>(
         return multiply_ikj(a, b);
     };
     let n0 = scheme.n0;
-    if n % n0 != 0 || n == 1 {
+    if !n.is_multiple_of(n0) || n == 1 {
         return multiply_ikj(a, b);
     }
     let bs = n / n0;
     let t = n0 * n0;
-    let a_blocks: Vec<Matrix<T>> =
-        (0..t).map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
-    let b_blocks: Vec<Matrix<T>> =
-        (0..t).map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let a_blocks: Vec<Matrix<T>> = (0..t)
+        .map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix())
+        .collect();
+    let b_blocks: Vec<Matrix<T>> = (0..t)
+        .map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix())
+        .collect();
     let mut c = Matrix::zeros(n, n);
     for l in 0..scheme.r {
         let mut ta = Matrix::zeros(bs, bs);
         let mut tb = Matrix::zeros(bs, bs);
         for q in 0..t {
-            ta.view_mut().accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
-            tb.view_mut().accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
+            ta.view_mut()
+                .accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
+            tb.view_mut()
+                .accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
         }
         let m = multiply_non_stationary(rest, &ta, &tb);
         for q in 0..t {
             let wc = scheme.w.get(q, l);
             if wc != 0 {
-                c.view_mut().grid_block_mut(n0, q / n0, q % n0).accumulate_scaled(m.view(), wc);
+                c.view_mut()
+                    .grid_block_mut(n0, q / n0, q % n0)
+                    .accumulate_scaled(m.view(), wc);
             }
         }
     }
@@ -180,9 +194,12 @@ impl OpCount {
 /// This realizes the recurrence `T(n) = m(n₀)·T(n/n₀) + O(n²)` of Section
 /// 5.1, whose solution is `Θ(n^{ω₀})`.
 pub fn scheme_op_count(scheme: &BilinearScheme, n: usize, cutoff: usize) -> OpCount {
-    if n <= cutoff || n % scheme.n0 != 0 {
+    if n <= cutoff || !n.is_multiple_of(scheme.n0) {
         let n = n as u128;
-        return OpCount { mults: n * n * n, adds: n * n * (n - 1) };
+        return OpCount {
+            mults: n * n * n,
+            adds: n * n * (n - 1),
+        };
     }
     let bs = (n / scheme.n0) as u128;
     let sub = scheme_op_count(scheme, n / scheme.n0, cutoff);
@@ -211,7 +228,11 @@ mod tests {
         for n in [2usize, 4, 8, 16, 32] {
             let a = Matrix::random_int(n, n, 100, &mut rng);
             let b = Matrix::random_int(n, n, 100, &mut rng);
-            assert_eq!(multiply_strassen(&a, &b, 1), multiply_naive(&a, &b), "n={n}");
+            assert_eq!(
+                multiply_strassen(&a, &b, 1),
+                multiply_naive(&a, &b),
+                "n={n}"
+            );
         }
     }
 
@@ -221,7 +242,11 @@ mod tests {
         for n in [2usize, 4, 8, 16] {
             let a = Matrix::random_int(n, n, 100, &mut rng);
             let b = Matrix::random_int(n, n, 100, &mut rng);
-            assert_eq!(multiply_winograd(&a, &b, 1), multiply_naive(&a, &b), "n={n}");
+            assert_eq!(
+                multiply_winograd(&a, &b, 1),
+                multiply_naive(&a, &b),
+                "n={n}"
+            );
         }
     }
 
@@ -244,7 +269,11 @@ mod tests {
         for n in [3usize, 5, 6, 7, 9, 12] {
             let a = Matrix::random_int(n, n, 30, &mut rng);
             let b = Matrix::random_int(n, n, 30, &mut rng);
-            assert_eq!(multiply_strassen(&a, &b, 1), multiply_naive(&a, &b), "n={n}");
+            assert_eq!(
+                multiply_strassen(&a, &b, 1),
+                multiply_naive(&a, &b),
+                "n={n}"
+            );
         }
     }
 
@@ -289,7 +318,12 @@ mod tests {
         let s = scheme_op_count(&strassen(), n, 1);
         let w = scheme_op_count(&winograd(), n, 1);
         assert_eq!(s.mults, w.mults);
-        assert!(w.adds < s.adds, "winograd {} !< strassen {}", w.adds, s.adds);
+        assert!(
+            w.adds < s.adds,
+            "winograd {} !< strassen {}",
+            w.adds,
+            s.adds
+        );
     }
 
     #[test]
@@ -300,7 +334,10 @@ mod tests {
         let c2 = scheme_op_count(&s, 128, 1);
         assert_eq!(c2.mults, 7 * c1.mults);
         let ratio = c2.total() as f64 / c1.total() as f64;
-        assert!((ratio - 7.0).abs() < 0.5, "asymptotic ratio ≈ 7, got {ratio}");
+        assert!(
+            (ratio - 7.0).abs() < 0.5,
+            "asymptotic ratio ≈ 7, got {ratio}"
+        );
     }
 
     #[test]
@@ -326,10 +363,26 @@ mod tests {
         let a = Matrix::random_int(12, 12, 40, &mut rng);
         let b = Matrix::random_int(12, 12, 40, &mut rng);
         let want = multiply_naive(&a, &b);
-        assert_eq!(multiply_non_stationary(&[&s, &w], &a, &b), want, "2x2 then 2x2");
-        assert_eq!(multiply_non_stationary(&[&s, &c3], &a, &b), want, "2x2 then 3x3");
-        assert_eq!(multiply_non_stationary(&[&c3, &w], &a, &b), want, "3x3 then 2x2");
-        assert_eq!(multiply_non_stationary(&[], &a, &b), want, "no levels = classical");
+        assert_eq!(
+            multiply_non_stationary(&[&s, &w], &a, &b),
+            want,
+            "2x2 then 2x2"
+        );
+        assert_eq!(
+            multiply_non_stationary(&[&s, &c3], &a, &b),
+            want,
+            "2x2 then 3x3"
+        );
+        assert_eq!(
+            multiply_non_stationary(&[&c3, &w], &a, &b),
+            want,
+            "3x3 then 2x2"
+        );
+        assert_eq!(
+            multiply_non_stationary(&[], &a, &b),
+            want,
+            "no levels = classical"
+        );
     }
 
     #[test]

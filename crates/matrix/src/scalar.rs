@@ -283,7 +283,10 @@ mod tests {
     fn fp_from_negative() {
         assert_eq!(Fp::from_i64(-1).add(Fp::one()), Fp::zero());
         assert_eq!(Fp::from_i64(-5).add(Fp::from_i64(5)), Fp::zero());
-        assert_eq!(Fp::from_i64(i64::MIN).add(Fp::from_i64(i64::MIN).neg()), Fp::zero());
+        assert_eq!(
+            Fp::from_i64(i64::MIN).add(Fp::from_i64(i64::MIN).neg()),
+            Fp::zero()
+        );
     }
 
     #[test]

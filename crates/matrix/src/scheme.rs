@@ -41,7 +41,11 @@ impl Coeffs {
 
     /// All-zero coefficient matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Coeffs { rows, cols, data: vec![0; rows * cols] }
+        Coeffs {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
     }
 
     /// Number of rows.
@@ -137,7 +141,12 @@ impl Slp {
                     if c == 1 {
                         outputs.push(q);
                     } else {
-                        ops.push(SlpOp { a: q, ca: c, b: q, cb: 0 });
+                        ops.push(SlpOp {
+                            a: q,
+                            ca: c,
+                            b: q,
+                            cb: 0,
+                        });
                         outputs.push(n_inputs + ops.len() - 1);
                     }
                 }
@@ -153,14 +162,23 @@ impl Slp {
                         n_inputs + ops.len() - 1
                     };
                     for &q in &support[2..] {
-                        ops.push(SlpOp { a: acc, ca: 1, b: q, cb: coeffs.get(l, q) });
+                        ops.push(SlpOp {
+                            a: acc,
+                            ca: 1,
+                            b: q,
+                            cb: coeffs.get(l, q),
+                        });
                         acc = n_inputs + ops.len() - 1;
                     }
                     outputs.push(acc);
                 }
             }
         }
-        Slp { n_inputs, ops, outputs }
+        Slp {
+            n_inputs,
+            ops,
+            outputs,
+        }
     }
 
     /// Symbolically evaluate the SLP: returns, per output, its coefficient
@@ -183,8 +201,8 @@ impl Slp {
         }
         let mut out = Coeffs::zeros(self.outputs.len(), self.n_inputs);
         for (k, &idx) in self.outputs.iter().enumerate() {
-            for q in 0..self.n_inputs {
-                out.set(k, q, tape[idx][q]);
+            for (q, &coeff) in tape[idx].iter().enumerate() {
+                out.set(k, q, coeff);
             }
         }
         out
@@ -196,7 +214,9 @@ impl Slp {
         let mut tape: Vec<T> = inputs.to_vec();
         tape.reserve(self.ops.len());
         for op in &self.ops {
-            let v = T::zero().add_scaled(tape[op.a], op.ca).add_scaled(tape[op.b], op.cb);
+            let v = T::zero()
+                .add_scaled(tape[op.a], op.ca)
+                .add_scaled(tape[op.b], op.cb);
             tape.push(v);
         }
         self.outputs.iter().map(|&i| tape[i]).collect()
@@ -241,7 +261,17 @@ impl BilinearScheme {
         // Decoding combines rows of W (an n₀² x r matrix): treat each output
         // as a row over r product inputs.
         let dec_c = Slp::chain_from_rows(&w);
-        BilinearScheme { name: name.to_string(), n0, r, u, v, w, enc_a, enc_b, dec_c }
+        BilinearScheme {
+            name: name.to_string(),
+            n0,
+            r,
+            u,
+            v,
+            w,
+            enc_a,
+            enc_b,
+            dec_c,
+        }
     }
 
     /// `ω₀ = log_{n₀} r`, the exponent of the arithmetic count.
@@ -274,8 +304,7 @@ impl BilinearScheme {
                                         * self.v.get(l, k2 * n0 + j)
                                         * self.w.get(i2 * n0 + j2, l);
                                 }
-                                let expect =
-                                    i64::from(i == i2 && j == j2 && k == k2);
+                                let expect = i64::from(i == i2 && j == j2 && k == k2);
                                 if sum != expect {
                                     return Err(format!(
                                         "Brent equation violated at A({i},{k}) B({k2},{j}) \
@@ -316,9 +345,8 @@ impl BilinearScheme {
         let r = self.r * other.r;
         // Composite block index: row i = ia*nb + ib, col k = ka*nb + kb,
         // flat q = i*n0 + k.
-        let q_of = |ia: usize, ib: usize, ka: usize, kb: usize| {
-            (ia * nb + ib) * n0 + (ka * nb + kb)
-        };
+        let q_of =
+            |ia: usize, ib: usize, ka: usize, kb: usize| (ia * nb + ib) * n0 + (ka * nb + kb);
         let mut u = Coeffs::zeros(r, t);
         let mut v = Coeffs::zeros(r, t);
         let mut w = Coeffs::zeros(t, r);
@@ -470,10 +498,30 @@ pub fn winograd() -> BilinearScheme {
     s.enc_a = Slp {
         n_inputs: 4,
         ops: vec![
-            SlpOp { a: 2, ca: 1, b: 3, cb: 1 },  // 4: S1
-            SlpOp { a: 4, ca: 1, b: 0, cb: -1 }, // 5: S2
-            SlpOp { a: 0, ca: 1, b: 2, cb: -1 }, // 6: S3
-            SlpOp { a: 1, ca: 1, b: 5, cb: -1 }, // 7: S4
+            SlpOp {
+                a: 2,
+                ca: 1,
+                b: 3,
+                cb: 1,
+            }, // 4: S1
+            SlpOp {
+                a: 4,
+                ca: 1,
+                b: 0,
+                cb: -1,
+            }, // 5: S2
+            SlpOp {
+                a: 0,
+                ca: 1,
+                b: 2,
+                cb: -1,
+            }, // 6: S3
+            SlpOp {
+                a: 1,
+                ca: 1,
+                b: 5,
+                cb: -1,
+            }, // 7: S4
         ],
         // M1 = A11, M2 = A12, M3 = S4, M4 = A22, M5 = S1, M6 = S2, M7 = S3
         outputs: vec![0, 1, 7, 3, 4, 5, 6],
@@ -484,10 +532,30 @@ pub fn winograd() -> BilinearScheme {
     s.enc_b = Slp {
         n_inputs: 4,
         ops: vec![
-            SlpOp { a: 1, ca: 1, b: 0, cb: -1 }, // 4: T1
-            SlpOp { a: 3, ca: 1, b: 4, cb: -1 }, // 5: T2
-            SlpOp { a: 3, ca: 1, b: 1, cb: -1 }, // 6: T3
-            SlpOp { a: 5, ca: 1, b: 2, cb: -1 }, // 7: T4
+            SlpOp {
+                a: 1,
+                ca: 1,
+                b: 0,
+                cb: -1,
+            }, // 4: T1
+            SlpOp {
+                a: 3,
+                ca: 1,
+                b: 4,
+                cb: -1,
+            }, // 5: T2
+            SlpOp {
+                a: 3,
+                ca: 1,
+                b: 1,
+                cb: -1,
+            }, // 6: T3
+            SlpOp {
+                a: 5,
+                ca: 1,
+                b: 2,
+                cb: -1,
+            }, // 7: T4
         ],
         // M1 = B11, M2 = B21, M3 = B22, M4 = T4, M5 = T1, M6 = T2, M7 = T3
         outputs: vec![0, 2, 3, 7, 4, 5, 6],
@@ -499,13 +567,48 @@ pub fn winograd() -> BilinearScheme {
     s.dec_c = Slp {
         n_inputs: 7,
         ops: vec![
-            SlpOp { a: 0, ca: 1, b: 1, cb: 1 },   // 7: C11
-            SlpOp { a: 0, ca: 1, b: 5, cb: 1 },   // 8: U2
-            SlpOp { a: 8, ca: 1, b: 6, cb: 1 },   // 9: U3
-            SlpOp { a: 8, ca: 1, b: 4, cb: 1 },   // 10: U4
-            SlpOp { a: 10, ca: 1, b: 2, cb: 1 },  // 11: C12
-            SlpOp { a: 9, ca: 1, b: 3, cb: -1 },  // 12: C21
-            SlpOp { a: 9, ca: 1, b: 4, cb: 1 },   // 13: C22
+            SlpOp {
+                a: 0,
+                ca: 1,
+                b: 1,
+                cb: 1,
+            }, // 7: C11
+            SlpOp {
+                a: 0,
+                ca: 1,
+                b: 5,
+                cb: 1,
+            }, // 8: U2
+            SlpOp {
+                a: 8,
+                ca: 1,
+                b: 6,
+                cb: 1,
+            }, // 9: U3
+            SlpOp {
+                a: 8,
+                ca: 1,
+                b: 4,
+                cb: 1,
+            }, // 10: U4
+            SlpOp {
+                a: 10,
+                ca: 1,
+                b: 2,
+                cb: 1,
+            }, // 11: C12
+            SlpOp {
+                a: 9,
+                ca: 1,
+                b: 3,
+                cb: -1,
+            }, // 12: C21
+            SlpOp {
+                a: 9,
+                ca: 1,
+                b: 4,
+                cb: 1,
+            }, // 13: C22
         ],
         outputs: vec![7, 11, 12, 13],
     };
@@ -547,7 +650,10 @@ mod tests {
     #[test]
     fn tensor_products_satisfy_brent() {
         strassen().tensor(&strassen()).verify_brent().unwrap();
-        strassen().tensor(&classical_scheme(2)).verify_brent().unwrap();
+        strassen()
+            .tensor(&classical_scheme(2))
+            .verify_brent()
+            .unwrap();
         winograd().tensor(&strassen()).verify_brent().unwrap();
     }
 
@@ -570,7 +676,10 @@ mod tests {
         assert!((classical_scheme(2).omega0() - 3.0).abs() < 1e-12);
         assert!((classical_scheme(3).omega0() - 3.0).abs() < 1e-12);
         let ss = strassen().tensor(&strassen());
-        assert!((ss.omega0() - 7f64.log2()).abs() < 1e-12, "tensor square keeps ω₀");
+        assert!(
+            (ss.omega0() - 7f64.log2()).abs() < 1e-12,
+            "tensor square keeps ω₀"
+        );
     }
 
     #[test]
@@ -604,9 +713,10 @@ mod tests {
         let a = [3i64, -1, 4, 1];
         let enc = s.enc_a.eval(&a);
         let coeffs = s.enc_a.to_coeff_rows();
-        for l in 0..s.r {
+        assert_eq!(enc.len(), s.r);
+        for (l, &got) in enc.iter().enumerate() {
             let direct: i64 = (0..4).map(|q| coeffs.get(l, q) * a[q]).sum();
-            assert_eq!(enc[l], direct, "product {l}");
+            assert_eq!(got, direct, "product {l}");
         }
     }
 

@@ -2,16 +2,19 @@
 //! the fast multiplication schemes, over exact scalars so equality is
 //! bit-for-bit.
 
-use fastmm_matrix::classical::{multiply_blocked, multiply_ikj, multiply_naive, multiply_oblivious};
+use fastmm_matrix::classical::{
+    multiply_blocked, multiply_ikj, multiply_naive, multiply_oblivious,
+};
 use fastmm_matrix::dense::Matrix;
-use fastmm_matrix::recursive::{multiply_scheme, multiply_scheme_padded, multiply_strassen, multiply_winograd};
+use fastmm_matrix::recursive::{
+    multiply_scheme, multiply_scheme_padded, multiply_strassen, multiply_winograd,
+};
 use fastmm_matrix::scalar::{Fp, Scalar};
 use fastmm_matrix::scheme::{classical_scheme, strassen, winograd};
 use proptest::prelude::*;
 
 fn arb_matrix(n: usize) -> impl Strategy<Value = Matrix<i64>> {
-    proptest::collection::vec(-100i64..=100, n * n)
-        .prop_map(move |v| Matrix::from_vec(n, n, v))
+    proptest::collection::vec(-100i64..=100, n * n).prop_map(move |v| Matrix::from_vec(n, n, v))
 }
 
 fn arb_fp_matrix(n: usize) -> impl Strategy<Value = Matrix<Fp>> {

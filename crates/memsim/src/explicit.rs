@@ -70,11 +70,17 @@ pub fn multiply_blocked_explicit<T: Scalar>(
                 machine.free(ih * kw);
                 machine.free(kw * jw);
             }
-            c.view_mut().block_mut(i0, j0, ih, jw).copy_from(ctile.view());
+            c.view_mut()
+                .block_mut(i0, j0, ih, jw)
+                .copy_from(ctile.view());
             machine.store(ih * jw);
         }
     }
-    ExplicitRun { c, io: machine.stats(), high_water: machine.high_water() }
+    ExplicitRun {
+        c,
+        io: machine.stats(),
+        high_water: machine.high_water(),
+    }
 }
 
 /// Depth-first recursive Strassen-like multiplication with streaming block
@@ -91,7 +97,11 @@ pub fn multiply_dfs_explicit<T: Scalar>(
     assert_eq!(b.cols(), n);
     let mut machine = TwoLevelMachine::new(m);
     let c = dfs_rec(scheme, a, b, &mut machine);
-    ExplicitRun { c, io: machine.stats(), high_water: machine.high_water() }
+    ExplicitRun {
+        c,
+        io: machine.stats(),
+        high_water: machine.high_water(),
+    }
 }
 
 fn dfs_rec<T: Scalar>(
@@ -103,7 +113,7 @@ fn dfs_rec<T: Scalar>(
     let n = a.rows();
     let n0 = scheme.n0;
     // Base case: both inputs and the output fit simultaneously.
-    if 3 * n * n <= machine.capacity() || n % n0 != 0 || n == 1 {
+    if 3 * n * n <= machine.capacity() || !n.is_multiple_of(n0) || n == 1 {
         machine.load(n * n); // A
         machine.load(n * n); // B
         machine.alloc(n * n); // C accumulator materializes in fast memory
@@ -114,21 +124,26 @@ fn dfs_rec<T: Scalar>(
     }
     let _bs = n / n0;
     let t = n0 * n0;
-    let a_blocks: Vec<Matrix<T>> =
-        (0..t).map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
-    let b_blocks: Vec<Matrix<T>> =
-        (0..t).map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix()).collect();
+    let a_blocks: Vec<Matrix<T>> = (0..t)
+        .map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix())
+        .collect();
+    let b_blocks: Vec<Matrix<T>> = (0..t)
+        .map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix())
+        .collect();
     // Block additions run as the scheme's straight-line programs, each op a
     // streaming pass over slow memory (O(1) fast memory). This is where
     // Winograd's 15-addition schedule moves fewer words than Strassen's 18.
     let ta = slp_eval_streamed(&scheme.enc_a, &a_blocks, machine);
     let tb = slp_eval_streamed(&scheme.enc_b, &b_blocks, machine);
-    let products: Vec<Matrix<T>> =
-        (0..scheme.r).map(|l| dfs_rec(scheme, &ta[l], &tb[l], machine)).collect();
+    let products: Vec<Matrix<T>> = (0..scheme.r)
+        .map(|l| dfs_rec(scheme, &ta[l], &tb[l], machine))
+        .collect();
     let c_blocks = slp_eval_streamed(&scheme.dec_c, &products, machine);
     let mut c: Matrix<T> = Matrix::zeros(n, n);
     for (q, blk) in c_blocks.iter().enumerate() {
-        c.view_mut().grid_block_mut(n0, q / n0, q % n0).copy_from(blk.view());
+        c.view_mut()
+            .grid_block_mut(n0, q / n0, q % n0)
+            .copy_from(blk.view());
     }
     c
 }
@@ -167,7 +182,7 @@ fn slp_eval_streamed<T: Scalar>(
 /// exact comparison against measured runs (each SLP op streams up to two
 /// operand reads plus one write of a `(n/n₀)²` block).
 pub fn dfs_io_recurrence(scheme: &BilinearScheme, n: usize, m: usize) -> f64 {
-    if 3 * n * n <= m || n % scheme.n0 != 0 || n == 1 {
+    if 3 * n * n <= m || !n.is_multiple_of(scheme.n0) || n == 1 {
         return 3.0 * (n * n) as f64; // read A, B; write C
     }
     let bs = (n / scheme.n0) as f64;
@@ -194,7 +209,10 @@ mod tests {
 
     fn sample(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        (Matrix::random_int(n, n, 20, &mut rng), Matrix::random_int(n, n, 20, &mut rng))
+        (
+            Matrix::random_int(n, n, 20, &mut rng),
+            Matrix::random_int(n, n, 20, &mut rng),
+        )
     }
 
     #[test]
@@ -248,8 +266,12 @@ mod tests {
         let m = 3 * 8 * 8;
         let (a1, b1) = sample(64, 4);
         let (a2, b2) = sample(128, 5);
-        let io1 = multiply_dfs_explicit(&strassen(), &a1, &b1, m).io.total_words() as f64;
-        let io2 = multiply_dfs_explicit(&strassen(), &a2, &b2, m).io.total_words() as f64;
+        let io1 = multiply_dfs_explicit(&strassen(), &a1, &b1, m)
+            .io
+            .total_words() as f64;
+        let io2 = multiply_dfs_explicit(&strassen(), &a2, &b2, m)
+            .io
+            .total_words() as f64;
         let ratio = io2 / io1;
         assert!((ratio - 7.0).abs() < 0.7, "ratio {ratio}");
     }
@@ -278,7 +300,9 @@ mod tests {
         let (a, b) = sample(64, 9);
         let mut prev = u64::MAX;
         for m in [48usize, 192, 768, 3072] {
-            let io = multiply_dfs_explicit(&strassen(), &a, &b, m).io.total_words();
+            let io = multiply_dfs_explicit(&strassen(), &a, &b, m)
+                .io
+                .total_words();
             assert!(io <= prev, "m={m}: {io} > {prev}");
             prev = io;
         }

@@ -17,6 +17,8 @@ pub mod lru;
 pub mod machine;
 pub mod traced;
 
-pub use explicit::{dfs_io_recurrence, multiply_blocked_explicit, multiply_dfs_explicit, ExplicitRun};
+pub use explicit::{
+    dfs_io_recurrence, multiply_blocked_explicit, multiply_dfs_explicit, ExplicitRun,
+};
 pub use lru::LruCache;
 pub use machine::{IoStats, TwoLevelMachine};

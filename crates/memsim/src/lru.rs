@@ -102,10 +102,20 @@ impl LruCache {
             self.free.push(victim);
         }
         let idx = if let Some(i) = self.free.pop() {
-            self.nodes[i as usize] = Node { prev: NIL, next: NIL, addr, dirty: write };
+            self.nodes[i as usize] = Node {
+                prev: NIL,
+                next: NIL,
+                addr,
+                dirty: write,
+            };
             i
         } else {
-            self.nodes.push(Node { prev: NIL, next: NIL, addr, dirty: write });
+            self.nodes.push(Node {
+                prev: NIL,
+                next: NIL,
+                addr,
+                dirty: write,
+            });
             (self.nodes.len() - 1) as u32
         };
         self.map.insert(addr, idx);
@@ -121,7 +131,11 @@ impl LruCache {
     /// Flush: write back all dirty resident words (end of run). Words stay
     /// resident but clean.
     pub fn flush(&mut self) {
-        let dirty = self.map.values().filter(|&&i| self.nodes[i as usize].dirty).count();
+        let dirty = self
+            .map
+            .values()
+            .filter(|&&i| self.nodes[i as usize].dirty)
+            .count();
         self.writebacks += dirty as u64;
         for node in &mut self.nodes {
             node.dirty = false;
@@ -205,7 +219,9 @@ mod tests {
         let mut state = 0x12345678u64;
         let trace: Vec<u64> = (0..5000)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (state >> 33) % 64
             })
             .collect();
@@ -215,7 +231,11 @@ mod tests {
             for &a in &trace {
                 c.access(a, false);
             }
-            assert!(c.misses <= prev_misses, "cap {cap}: {} > {prev_misses}", c.misses);
+            assert!(
+                c.misses <= prev_misses,
+                "cap {cap}: {} > {prev_misses}",
+                c.misses
+            );
             prev_misses = c.misses;
         }
     }

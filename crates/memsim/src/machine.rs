@@ -66,7 +66,12 @@ impl TwoLevelMachine {
     /// A machine with fast memory of `m` words.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1);
-        TwoLevelMachine { m, resident: 0, high_water: 0, stats: IoStats::default() }
+        TwoLevelMachine {
+            m,
+            resident: 0,
+            high_water: 0,
+            stats: IoStats::default(),
+        }
     }
 
     /// Fast memory capacity `M`.
@@ -203,8 +208,18 @@ mod tests {
 
     #[test]
     fn merged_adds_fields() {
-        let a = IoStats { words_read: 1, words_written: 2, read_msgs: 3, write_msgs: 4 };
-        let b = IoStats { words_read: 10, words_written: 20, read_msgs: 30, write_msgs: 40 };
+        let a = IoStats {
+            words_read: 1,
+            words_written: 2,
+            read_msgs: 3,
+            write_msgs: 4,
+        };
+        let b = IoStats {
+            words_read: 10,
+            words_written: 20,
+            read_msgs: 30,
+            write_msgs: 40,
+        };
         let m = a.merged(&b);
         assert_eq!(m.words_read, 11);
         assert_eq!(m.words_written, 22);

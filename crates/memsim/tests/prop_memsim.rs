@@ -2,7 +2,9 @@
 
 use fastmm_matrix::dense::Matrix;
 use fastmm_matrix::scheme::{strassen, winograd};
-use fastmm_memsim::explicit::{dfs_io_recurrence, multiply_blocked_explicit, multiply_dfs_explicit};
+use fastmm_memsim::explicit::{
+    dfs_io_recurrence, multiply_blocked_explicit, multiply_dfs_explicit,
+};
 use fastmm_memsim::lru::LruCache;
 use proptest::prelude::*;
 

@@ -16,7 +16,11 @@ const TAG_SHIFT_B: u64 = 2000;
 
 /// Run Cannon's algorithm on a `√p x √p` grid. `n` must be divisible by
 /// `√p`. Returns the assembled product and the run statistics.
-pub fn cannon(cfg: MachineConfig, a: &Matrix<f64>, b: &Matrix<f64>) -> (Matrix<f64>, SpmdResult<CBlock>) {
+pub fn cannon(
+    cfg: MachineConfig,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> (Matrix<f64>, SpmdResult<CBlock>) {
     let n = a.rows();
     assert_eq!(a.cols(), n);
     assert_eq!(b.rows(), n);
@@ -76,7 +80,10 @@ mod tests {
 
     fn sample(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        (Matrix::random(n, n, &mut rng), Matrix::random(n, n, &mut rng))
+        (
+            Matrix::random(n, n, &mut rng),
+            Matrix::random(n, n, &mut rng),
+        )
     }
 
     #[test]

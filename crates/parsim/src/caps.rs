@@ -68,21 +68,21 @@ impl CapsPlan {
         let mut l = 0usize;
         let mut q = p;
         while q > 1 {
-            if q % 7 != 0 {
+            if !q.is_multiple_of(7) {
                 return Err(format!("p = {p} is not a power of 7"));
             }
             q /= 7;
             l += 1;
         }
         let s = dfs_steps + l;
-        if s > 0 && n % (1 << s) != 0 {
+        if s > 0 && !n.is_multiple_of(1 << s) {
             return Err(format!("n = {n} is not divisible by 2^{s}"));
         }
         let mr = n >> s;
         if mr == 0 {
             return Err(format!("n = {n} too small for {s} recursion steps"));
         }
-        if (mr * mr) % p != 0 {
+        if !(mr * mr).is_multiple_of(p) {
             return Err(format!("p = {p} does not divide mr² = {}", mr * mr));
         }
         let mut steps = vec![Step::Dfs; dfs_steps];
@@ -251,6 +251,7 @@ fn caps_node(
                 }
             }
             rank.track_free(2 * a.len()); // a, b fully encoded and sent
+
             // gather the 7 pieces of my subproblem
             let clen = ctx.mr * ctx.mr / g;
             let n_paths = qlen / clen;
@@ -275,7 +276,17 @@ fn caps_node(
             }
             // recurse on my subgroup
             let sub: Vec<usize> = group[my_l * gp..(my_l + 1) * gp].to_vec();
-            let c_sub = caps_node(ctx, rank, &sub, myclass, new_a, new_b, m / 2, steps, depth + 1);
+            let c_sub = caps_node(
+                ctx,
+                rank,
+                &sub,
+                myclass,
+                new_a,
+                new_b,
+                m / 2,
+                steps,
+                depth + 1,
+            );
             // inverse shuffle: return M_{my_l} pieces to the depth-i ranks
             let mut self_return: Option<Vec<f64>> = None;
             for s in 0..7 {
@@ -293,6 +304,7 @@ fn caps_node(
                 }
             }
             rank.track_free(7 * qlen); // c_sub scattered back
+
             // receive all seven product shares and decode
             let mut c = vec![0.0f64; qlen * 4];
             rank.track_alloc(qlen * 4);
@@ -335,12 +347,26 @@ pub fn caps(
     let levels = plan.steps.len();
     let scheme = strassen();
     let res = run_spmd(cfg, |rank| {
-        let ctx = CapsCtx { scheme: &scheme, mr: plan.mr, local_cutoff: 32 };
+        let ctx = CapsCtx {
+            scheme: &scheme,
+            mr: plan.mr,
+            local_cutoff: 32,
+        };
         let group: Vec<usize> = (0..plan.p).collect();
         let a_share = extract_share(a, levels, plan.mr, plan.p, rank.id);
         let b_share = extract_share(b, levels, plan.mr, plan.p, rank.id);
         rank.track_alloc(2 * a_share.len());
-        caps_node(&ctx, rank, &group, rank.id, a_share, b_share, n, &plan.steps, 0)
+        caps_node(
+            &ctx,
+            rank,
+            &group,
+            rank.id,
+            a_share,
+            b_share,
+            n,
+            &plan.steps,
+            0,
+        )
     });
     let mut c = Matrix::zeros(n, n);
     for (r, share) in res.outputs.iter().enumerate() {
@@ -358,7 +384,10 @@ mod tests {
 
     fn sample(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        (Matrix::random(n, n, &mut rng), Matrix::random(n, n, &mut rng))
+        (
+            Matrix::random(n, n, &mut rng),
+            Matrix::random(n, n, &mut rng),
+        )
     }
 
     #[test]

@@ -55,7 +55,11 @@ pub fn multiply_3d(
         } else {
             None
         };
-        let my_b: Option<Vec<f64>> = if l == 0 { Some(block_of(b, q, i, j)) } else { None };
+        let my_b: Option<Vec<f64>> = if l == 0 {
+            Some(block_of(b, q, i, j))
+        } else {
+            None
+        };
 
         // (i,l,0) -> (i,0,l): the A block A_{i, y} at (i, y, 0) goes to (i, 0, y)
         let mut a_seed: Option<Vec<f64>> = None;
@@ -103,8 +107,12 @@ pub fn multiply_3d(
             None => (i, j, Vec::new()),
         }
     });
-    let layer0: Vec<CBlock> =
-        res.outputs.iter().filter(|(_, _, c)| !c.is_empty()).cloned().collect();
+    let layer0: Vec<CBlock> = res
+        .outputs
+        .iter()
+        .filter(|(_, _, c)| !c.is_empty())
+        .cloned()
+        .collect();
     let c = assemble_blocks(n, q, &layer0);
     (c, res)
 }
@@ -120,10 +128,10 @@ pub fn multiply_25d(
 ) -> (Matrix<f64>, SpmdResult<CBlock>) {
     let n = a.rows();
     let c = c_layers;
-    assert!(cfg.p % c == 0, "c must divide p");
+    assert!(cfg.p.is_multiple_of(c), "c must divide p");
     let q = exact_sqrt(cfg.p / c);
     assert_eq!(n % q, 0, "n must divide the grid");
-    assert!(q % c == 0, "c must divide q = sqrt(p/c)");
+    assert!(q.is_multiple_of(c), "c must divide q = sqrt(p/c)");
     let bs = n / q;
     let steps_per_layer = q / c;
 
@@ -137,8 +145,16 @@ pub fn multiply_25d(
         rank.track_alloc(3 * bs * bs);
         // replicate A_ij, B_ij across layers (fiber broadcast, root layer 0)
         let fiber: Vec<usize> = (0..c).map(|ll| at(i, j, ll)).collect();
-        let seed_a = if l == 0 { Some(block_of(a, q, i, j)) } else { None };
-        let seed_b = if l == 0 { Some(block_of(b, q, i, j)) } else { None };
+        let seed_a = if l == 0 {
+            Some(block_of(a, q, i, j))
+        } else {
+            None
+        };
+        let seed_b = if l == 0 {
+            Some(block_of(b, q, i, j))
+        } else {
+            None
+        };
         let mut a_loc = rank.bcast(&fiber, TAG_REPL_A, seed_a);
         let mut b_loc = rank.bcast(&fiber, TAG_REPL_B, seed_b);
         if c > 1 {
@@ -182,8 +198,12 @@ pub fn multiply_25d(
             None => (i, j, Vec::new()),
         }
     });
-    let layer0: Vec<CBlock> =
-        res.outputs.iter().filter(|(_, _, cb)| !cb.is_empty()).cloned().collect();
+    let layer0: Vec<CBlock> = res
+        .outputs
+        .iter()
+        .filter(|(_, _, cb)| !cb.is_empty())
+        .cloned()
+        .collect();
     let cmat = assemble_blocks(n, q, &layer0);
     (cmat, res)
 }
@@ -197,7 +217,10 @@ mod tests {
 
     fn sample(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        (Matrix::random(n, n, &mut rng), Matrix::random(n, n, &mut rng))
+        (
+            Matrix::random(n, n, &mut rng),
+            Matrix::random(n, n, &mut rng),
+        )
     }
 
     #[test]
@@ -205,14 +228,22 @@ mod tests {
         for (p, n) in [(8usize, 8usize), (27, 12)] {
             let (a, b) = sample(n, p as u64);
             let (c, _) = multiply_3d(MachineConfig::new(p), &a, &b);
-            assert!(c.max_abs_diff(&multiply_naive(&a, &b), |x| x) < 1e-9, "p={p}");
+            assert!(
+                c.max_abs_diff(&multiply_naive(&a, &b), |x| x) < 1e-9,
+                "p={p}"
+            );
         }
     }
 
     #[test]
     fn two_five_d_is_correct() {
         // (p, c, n): q = sqrt(p/c), need c | q
-        for (p, c, n) in [(8usize, 2usize, 8usize), (16, 1, 8), (32, 2, 16), (72, 2, 12)] {
+        for (p, c, n) in [
+            (8usize, 2usize, 8usize),
+            (16, 1, 8),
+            (32, 2, 16),
+            (72, 2, 12),
+        ] {
             let (a, b) = sample(n, (p + c) as u64);
             let (cm, _) = multiply_25d(MachineConfig::new(p), c, &a, &b);
             assert!(

@@ -31,7 +31,12 @@ pub struct MachineConfig {
 impl MachineConfig {
     /// A machine with `p` processors and a conventional cost ratio.
     pub fn new(p: usize) -> Self {
-        MachineConfig { p, alpha: 1.0, beta: 0.01, gamma: 0.0 }
+        MachineConfig {
+            p,
+            alpha: 1.0,
+            beta: 0.01,
+            gamma: 0.0,
+        }
     }
 }
 
@@ -79,17 +84,29 @@ impl<R> SpmdResult<R> {
     /// Maximum per-rank communicated words (sent + received) — the
     /// "bandwidth cost" `IO` of the parallel model.
     pub fn max_words(&self) -> u64 {
-        self.stats.iter().map(|s| s.words_sent + s.words_received).max().unwrap_or(0)
+        self.stats
+            .iter()
+            .map(|s| s.words_sent + s.words_received)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum per-rank message count (latency cost).
     pub fn max_msgs(&self) -> u64 {
-        self.stats.iter().map(|s| s.msgs_sent + s.msgs_received).max().unwrap_or(0)
+        self.stats
+            .iter()
+            .map(|s| s.msgs_sent + s.msgs_received)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Maximum per-rank memory high-water mark.
     pub fn max_memory(&self) -> usize {
-        self.stats.iter().map(|s| s.mem_high_water).max().unwrap_or(0)
+        self.stats
+            .iter()
+            .map(|s| s.mem_high_water)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total flops across ranks.
@@ -123,7 +140,11 @@ impl Rank {
         self.stats.words_sent += len as u64;
         self.stats.msgs_sent += 1;
         self.to_peers[to]
-            .send(Msg { tag, data, sent_at: self.stats.clock })
+            .send(Msg {
+                tag,
+                data,
+                sent_at: self.stats.clock,
+            })
             .expect("peer hung up");
     }
 
@@ -155,13 +176,7 @@ impl Rank {
     }
 
     /// Exchange with two (possibly equal) partners: buffered send then recv.
-    pub fn sendrecv(
-        &mut self,
-        to: usize,
-        tag: u64,
-        data: Vec<f64>,
-        from: usize,
-    ) -> Vec<f64> {
+    pub fn sendrecv(&mut self, to: usize, tag: u64, data: Vec<f64>, from: usize) -> Vec<f64> {
         self.send(to, tag, data);
         self.recv(from, tag)
     }
@@ -187,7 +202,10 @@ impl Rank {
     /// Binomial-tree broadcast within the ranks `group` (must contain this
     /// rank; `group[0]` is the root). Root passes `Some(data)`.
     pub fn bcast(&mut self, group: &[usize], tag: u64, data: Option<Vec<f64>>) -> Vec<f64> {
-        let me = group.iter().position(|&r| r == self.id).expect("rank not in group");
+        let me = group
+            .iter()
+            .position(|&r| r == self.id)
+            .expect("rank not in group");
         let g = group.len();
         let mut buf = data;
         // binomial: round k: ranks < 2^k with data send to rank + 2^k
@@ -211,7 +229,10 @@ impl Rank {
     /// Binomial-tree sum-reduction onto `group[0]`; returns `Some(total)` at
     /// the root, `None` elsewhere.
     pub fn reduce_sum(&mut self, group: &[usize], tag: u64, data: Vec<f64>) -> Option<Vec<f64>> {
-        let me = group.iter().position(|&r| r == self.id).expect("rank not in group");
+        let me = group
+            .iter()
+            .position(|&r| r == self.id)
+            .expect("rank not in group");
         let g = group.len();
         let mut acc = data;
         let mut step = 1usize;
@@ -249,7 +270,10 @@ impl Rank {
     /// Ring allgather within `group`: everyone contributes `data`, everyone
     /// returns the concatenation in group order.
     pub fn allgather(&mut self, group: &[usize], tag: u64, data: Vec<f64>) -> Vec<Vec<f64>> {
-        let me = group.iter().position(|&r| r == self.id).expect("rank not in group");
+        let me = group
+            .iter()
+            .position(|&r| r == self.id)
+            .expect("rank not in group");
         let g = group.len();
         let mut pieces: Vec<Option<Vec<f64>>> = vec![None; g];
         pieces[me] = Some(data);
@@ -262,7 +286,10 @@ impl Rank {
             let recv_idx = (me + g - round - 1) % g;
             pieces[recv_idx] = Some(got);
         }
-        pieces.into_iter().map(|p| p.expect("allgather incomplete")).collect()
+        pieces
+            .into_iter()
+            .map(|p| p.expect("allgather incomplete"))
+            .collect()
     }
 }
 
@@ -278,10 +305,10 @@ where
     let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
     for src in 0..p {
-        for dst in 0..p {
+        for rx_row in receivers.iter_mut() {
             let (tx, rx) = channel();
             senders[src].push(Some(tx));
-            receivers[dst][src] = Some(rx);
+            rx_row[src] = Some(rx);
         }
     }
     let mut ranks: Vec<Rank> = senders
@@ -322,7 +349,10 @@ where
         outs.push(r);
         stats.push(s);
     }
-    SpmdResult { outputs: outs, stats }
+    SpmdResult {
+        outputs: outs,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -331,7 +361,12 @@ mod tests {
 
     #[test]
     fn ping_pong_counts_and_clocks() {
-        let cfg = MachineConfig { p: 2, alpha: 1.0, beta: 0.5, gamma: 0.0 };
+        let cfg = MachineConfig {
+            p: 2,
+            alpha: 1.0,
+            beta: 0.5,
+            gamma: 0.0,
+        };
         let res = run_spmd(cfg, |rank| {
             if rank.id == 0 {
                 rank.send(1, 7, vec![1.0, 2.0, 3.0, 4.0]);
@@ -348,7 +383,11 @@ mod tests {
         assert_eq!(res.stats[1].msgs_received, 1);
         // clocks: r0 send ends 3.0; r1 recv ends max(0,3)+3=6; r1 send ends 9;
         // r0 recv ends max(3,9)+3 = 12
-        assert!((res.stats[0].clock - 12.0).abs() < 1e-9, "{}", res.stats[0].clock);
+        assert!(
+            (res.stats[0].clock - 12.0).abs() < 1e-9,
+            "{}",
+            res.stats[0].clock
+        );
         assert!((res.critical_path_time() - 12.0).abs() < 1e-9);
     }
 
@@ -389,7 +428,11 @@ mod tests {
         let cfg = MachineConfig::new(7);
         let res = run_spmd(cfg, |rank| {
             let group: Vec<usize> = (0..rank.p).collect();
-            let data = if rank.id == 0 { Some(vec![3.25, 1.5]) } else { None };
+            let data = if rank.id == 0 {
+                Some(vec![3.25, 1.5])
+            } else {
+                None
+            };
             rank.bcast(&group, 99, data)
         });
         for r in 0..7 {
@@ -403,7 +446,11 @@ mod tests {
         let res = run_spmd(cfg, |rank| {
             if rank.id % 2 == 0 {
                 let group = vec![4usize, 0, 2]; // root = 4
-                let data = if rank.id == 4 { Some(vec![rank.id as f64]) } else { None };
+                let data = if rank.id == 4 {
+                    Some(vec![rank.id as f64])
+                } else {
+                    None
+                };
                 rank.bcast(&group, 5, data)
             } else {
                 vec![-1.0]
@@ -466,7 +513,12 @@ mod tests {
 
     #[test]
     fn compute_advances_clock_with_gamma() {
-        let cfg = MachineConfig { p: 1, alpha: 0.0, beta: 0.0, gamma: 2.0 };
+        let cfg = MachineConfig {
+            p: 1,
+            alpha: 0.0,
+            beta: 0.0,
+            gamma: 2.0,
+        };
         let res = run_spmd(cfg, |rank| {
             rank.compute(10);
             0

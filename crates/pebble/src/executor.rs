@@ -66,7 +66,10 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
     let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut uses: Vec<Vec<u32>> = vec![Vec::new(); n];
     for &(u, v) in g.edges() {
-        assert!(pos[u as usize] < pos[v as usize], "order is not topological");
+        assert!(
+            pos[u as usize] < pos[v as usize],
+            "order is not topological"
+        );
         preds[v as usize].push(u);
         uses[u as usize].push(pos[v as usize]);
     }
@@ -93,18 +96,34 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
     // `stored[v]`: a copy of v's value exists in slow memory
     let mut stored = is_input.clone();
     let mut stats = ExecStats::default();
-    let mut ctx = EvictCtx { m, policy, is_output: &is_output };
+    let mut ctx = EvictCtx {
+        m,
+        policy,
+        is_output: &is_output,
+    };
 
     for (t, &v) in order.iter().enumerate() {
         let t = t as u64;
         // 1. pin + fault in operands
         for &p in &preds[v as usize] {
             if resident[p as usize].is_none() {
-                ctx.evict_until_free(&mut resident, &mut resident_list, &mut stored, &mut stats, &uses);
-                assert!(stored[p as usize], "no recomputation: operand must be in slow memory");
+                ctx.evict_until_free(
+                    &mut resident,
+                    &mut resident_list,
+                    &mut stored,
+                    &mut stats,
+                    &uses,
+                );
+                assert!(
+                    stored[p as usize],
+                    "no recomputation: operand must be in slow memory"
+                );
                 stats.loads += 1;
-                resident[p as usize] =
-                    Some(Resident { last_use: t, next_use_idx: 0, pinned: true });
+                resident[p as usize] = Some(Resident {
+                    last_use: t,
+                    next_use_idx: 0,
+                    pinned: true,
+                });
                 resident_list.push(p);
             } else if let Some(r) = resident[p as usize].as_mut() {
                 r.last_use = t;
@@ -121,11 +140,21 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
         }
         // 2. make room for v itself (inputs are "computed" by being loaded)
         if resident[v as usize].is_none() {
-            ctx.evict_until_free(&mut resident, &mut resident_list, &mut stored, &mut stats, &uses);
+            ctx.evict_until_free(
+                &mut resident,
+                &mut resident_list,
+                &mut stored,
+                &mut stats,
+                &uses,
+            );
             if is_input[v as usize] {
                 stats.loads += 1; // inputs come from slow memory
             }
-            resident[v as usize] = Some(Resident { last_use: t, next_use_idx: 0, pinned: false });
+            resident[v as usize] = Some(Resident {
+                last_use: t,
+                next_use_idx: 0,
+                pinned: false,
+            });
             resident_list.push(v);
         }
         // 3. unpin operands
@@ -170,9 +199,9 @@ impl EvictCtx<'_> {
                 }
                 let key = match self.policy {
                     Evict::Lru => u64::MAX - r.last_use, // oldest use = biggest key
-                    Evict::Belady => {
-                        uses[v as usize].get(r.next_use_idx).map_or(u64::MAX, |&p| p as u64)
-                    }
+                    Evict::Belady => uses[v as usize]
+                        .get(r.next_use_idx)
+                        .map_or(u64::MAX, |&p| p as u64),
                 };
                 if victim.is_none_or(|(_, bk)| key > bk) {
                     victim = Some((i, key));
@@ -274,10 +303,8 @@ mod tests {
         let m = 32;
         let t1 = strassen_trace(16);
         let t2 = strassen_trace(32);
-        let io1 =
-            execute_schedule(&t1.graph, &identity_order(&t1.graph), m, Evict::Belady).total();
-        let io2 =
-            execute_schedule(&t2.graph, &identity_order(&t2.graph), m, Evict::Belady).total();
+        let io1 = execute_schedule(&t1.graph, &identity_order(&t1.graph), m, Evict::Belady).total();
+        let io2 = execute_schedule(&t2.graph, &identity_order(&t2.graph), m, Evict::Belady).total();
         let ratio = io2 as f64 / io1 as f64;
         assert!((ratio - 7.0).abs() < 1.0, "ratio {ratio}");
     }

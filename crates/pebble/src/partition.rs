@@ -52,7 +52,10 @@ pub fn segment_operands(g: &Cdag, order: &[u32], seg_size: usize) -> Vec<Segment
         writes[so].insert(o);
     }
     (0..n_segs)
-        .map(|i| SegmentOperands { reads: reads[i].len(), writes: writes[i].len() })
+        .map(|i| SegmentOperands {
+            reads: reads[i].len(),
+            writes: writes[i].len(),
+        })
         .collect()
 }
 
@@ -113,8 +116,20 @@ mod tests {
         let segs = segment_operands(&g, &order, 4);
         assert_eq!(segs.len(), 4);
         // every interior segment reads 1 (the previous value) and writes 1
-        assert_eq!(segs[1], SegmentOperands { reads: 1, writes: 1 });
-        assert_eq!(segs[2], SegmentOperands { reads: 1, writes: 1 });
+        assert_eq!(
+            segs[1],
+            SegmentOperands {
+                reads: 1,
+                writes: 1
+            }
+        );
+        assert_eq!(
+            segs[2],
+            SegmentOperands {
+                reads: 1,
+                writes: 1
+            }
+        );
         // last segment holds the output
         assert_eq!(segs[3].writes, 1);
     }

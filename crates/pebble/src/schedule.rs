@@ -14,7 +14,10 @@ use rand::Rng;
 /// vertices in execution order (asserted).
 pub fn identity_order(g: &Cdag) -> Vec<u32> {
     let order: Vec<u32> = (0..g.n_vertices() as u32).collect();
-    assert!(is_topological(g, &order), "graph vertices are not in execution order");
+    assert!(
+        is_topological(g, &order),
+        "graph vertices are not in execution order"
+    );
     order
 }
 
@@ -59,7 +62,9 @@ pub fn is_topological(g: &Cdag, order: &[u32]) -> bool {
         }
         pos[v as usize] = i;
     }
-    g.edges().iter().all(|&(u, v)| pos[u as usize] < pos[v as usize])
+    g.edges()
+        .iter()
+        .all(|&(u, v)| pos[u as usize] < pos[v as usize])
 }
 
 #[cfg(test)]

@@ -1,0 +1,33 @@
+//! # fastmm — umbrella crate
+//!
+//! Single-dependency entry point for the reproduction of *Ballard, Demmel,
+//! Holtz, Schwartz, "Graph Expansion and Communication Costs of Fast Matrix
+//! Multiplication" (SPAA'11)*. Re-exports the full crate stack and hosts the
+//! repo-level integration suites (`tests/`) and runnable examples
+//! (`examples/`).
+//!
+//! Layout (dependency order, substrate first):
+//!
+//! * [`matrix`] — dense matrices, exact scalars, bilinear schemes;
+//! * [`cdag`] — computation DAGs of Strassen-like algorithms;
+//! * [`expansion`] — edge expansion of `Dec_k C` with certificates;
+//! * [`pebble`] — pebbling schedules and the partition lower bound;
+//! * [`memsim`] — sequential two-level memory simulation;
+//! * [`parsim`] — distributed-memory simulation (Cannon, 2.5D, CAPS);
+//! * [`core`] — the paper's communication bounds and the expansion ⇒ I/O
+//!   pipeline;
+//! * [`bench`] — experiment harness behind the `repro_*` binaries.
+
+pub use fastmm_bench as bench;
+pub use fastmm_core as core;
+pub use fastmm_core::cdag;
+pub use fastmm_core::expansion;
+pub use fastmm_core::matrix;
+pub use fastmm_core::memsim;
+pub use fastmm_core::parsim;
+pub use fastmm_core::pebble;
+
+/// Convenient glob import, re-exported from [`fastmm_core::prelude`].
+pub mod prelude {
+    pub use fastmm_core::prelude::*;
+}

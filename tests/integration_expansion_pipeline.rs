@@ -65,9 +65,16 @@ fn certificate_chain_on_best_cuts() {
     let dec = build_dec(&strassen_shape(), 3);
     let d = dec.graph.max_degree();
     let csr = dec.graph.undirected_csr();
-    let cut = find_best_cut(&csr, d, SearchOptions::with_max_size(dec.graph.n_vertices() / 2));
+    let cut = find_best_cut(
+        &csr,
+        d,
+        SearchOptions::with_max_size(dec.graph.n_vertices() / 2),
+    );
     let cert = lemma43_certificate(&dec, &cut.set);
-    assert_eq!(cert.cut_edges, cut.cut_edges, "certificate recount must agree");
+    assert_eq!(
+        cert.cut_edges, cut.cut_edges,
+        "certificate recount must agree"
+    );
     assert!(cert.mixed_components <= cert.cut_edges);
     let m = cert.mixed_components as f64 + 1e-9;
     assert!(cert.level_bound <= m);
@@ -99,7 +106,9 @@ fn expansion_bound_is_dominated_by_measured_io() {
     let mut rng = StdRng::seed_from_u64(3);
     let a = Matrix::<f64>::random(n, n, &mut rng);
     let b = Matrix::<f64>::random(n, n, &mut rng);
-    let measured = multiply_dfs_explicit(&strassen(), &a, &b, m).io.total_words() as f64;
+    let measured = multiply_dfs_explicit(&strassen(), &a, &b, m)
+        .io
+        .total_words() as f64;
     assert!(
         bound.io_words <= measured,
         "lower bound {} exceeds a real implementation's I/O {measured}",
@@ -114,7 +123,10 @@ fn h_graph_supports_the_alpha_third_argument() {
         let h = build_h(&strassen_shape(), k);
         let frac = h.dec.graph.n_vertices() as f64 / h.graph.n_vertices() as f64;
         assert!(frac >= 1.0 / 3.0, "k={k}: {frac}");
-        assert!(frac <= 0.75, "k={k}: decode cannot dominate everything: {frac}");
+        assert!(
+            frac <= 0.75,
+            "k={k}: decode cannot dominate everything: {frac}"
+        );
     }
 }
 

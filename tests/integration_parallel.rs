@@ -11,7 +11,10 @@ use rand::SeedableRng;
 
 fn sample(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    (Matrix::random(n, n, &mut rng), Matrix::random(n, n, &mut rng))
+    (
+        Matrix::random(n, n, &mut rng),
+        Matrix::random(n, n, &mut rng),
+    )
 }
 
 #[test]
@@ -39,13 +42,21 @@ fn every_algorithm_respects_its_lower_bound() {
     let (a, b) = sample(48, 3);
     let (_, r) = cannon(MachineConfig::new(16), &a, &b);
     let lb = par_bandwidth_lower_bound(CLASSICAL, 48, r.max_memory(), 16);
-    assert!(r.max_words() as f64 >= lb, "cannon {} < {lb}", r.max_words());
+    assert!(
+        r.max_words() as f64 >= lb,
+        "cannon {} < {lb}",
+        r.max_words()
+    );
 
     let plan = CapsPlan::new(7, 56, 0).unwrap();
     let (a7, b7) = sample(56, 4);
     let (_, rs) = caps(MachineConfig::new(7), &plan, &a7, &b7);
     let lbs = par_bandwidth_lower_bound(STRASSEN, 56, rs.max_memory(), 7);
-    assert!(rs.max_words() as f64 >= lbs, "caps {} < {lbs}", rs.max_words());
+    assert!(
+        rs.max_words() as f64 >= lbs,
+        "caps {} < {lbs}",
+        rs.max_words()
+    );
 }
 
 #[test]
@@ -85,14 +96,25 @@ fn caps_dfs_step_raises_words_lowers_memory() {
     let dfs = CapsPlan::new(7, n, 1).unwrap();
     let (_, rb) = caps(MachineConfig::new(7), &bfs, &a, &b);
     let (_, rd) = caps(MachineConfig::new(7), &dfs, &a, &b);
-    assert!(rd.max_memory() < rb.max_memory(), "memory must drop with DFS");
-    assert!(rd.max_words() >= rb.max_words(), "words must not drop with DFS");
+    assert!(
+        rd.max_memory() < rb.max_memory(),
+        "memory must drop with DFS"
+    );
+    assert!(
+        rd.max_words() >= rb.max_words(),
+        "words must not drop with DFS"
+    );
 }
 
 #[test]
 fn critical_path_time_is_positive_and_bounded_by_serial() {
     let (a, b) = sample(48, 8);
-    let cfg = MachineConfig { p: 16, alpha: 1.0, beta: 0.01, gamma: 0.0 };
+    let cfg = MachineConfig {
+        p: 16,
+        alpha: 1.0,
+        beta: 0.01,
+        gamma: 0.0,
+    };
     let (_, r) = cannon(cfg, &a, &b);
     let t = r.critical_path_time();
     assert!(t > 0.0);

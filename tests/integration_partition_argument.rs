@@ -52,8 +52,14 @@ fn measured_io_scales_like_theorem_11() {
         assert!((6.0..9.5).contains(r), "ratio {i}: {r}");
     }
     // converging toward 7 from above
-    assert!(ratios[1] < ratios[0], "ratios must decrease toward 7: {ratios:?}");
-    assert!((ratios[1] - 7.0).abs() < 1.0, "second ratio near 7: {ratios:?}");
+    assert!(
+        ratios[1] < ratios[0],
+        "ratios must decrease toward 7: {ratios:?}"
+    );
+    assert!(
+        (ratios[1] - 7.0).abs() < 1.0,
+        "second ratio near 7: {ratios:?}"
+    );
 }
 
 #[test]
@@ -98,8 +104,11 @@ fn segment_operands_respect_claim_31_shape() {
     let seg_size = 256;
     let segs = segment_operands(&t.graph, &order, seg_size);
     let interior = &segs[1..segs.len() - 1];
-    let avg: f64 =
-        interior.iter().map(|s| (s.reads + s.writes) as f64).sum::<f64>() / interior.len() as f64;
+    let avg: f64 = interior
+        .iter()
+        .map(|s| (s.reads + s.writes) as f64)
+        .sum::<f64>()
+        / interior.len() as f64;
     assert!(
         avg > seg_size as f64 / 50.0,
         "interior segments need operands: avg {avg}"
@@ -117,10 +126,8 @@ fn strassen_trace_io_grows_slower_than_classical_trace() {
     let grow = |scheme: &BilinearScheme| {
         let t1 = trace_multiply(scheme, 16, 1);
         let t2 = trace_multiply(scheme, 32, 1);
-        let io1 =
-            execute_schedule(&t1.graph, &identity_order(&t1.graph), m, Evict::Belady).total();
-        let io2 =
-            execute_schedule(&t2.graph, &identity_order(&t2.graph), m, Evict::Belady).total();
+        let io1 = execute_schedule(&t1.graph, &identity_order(&t1.graph), m, Evict::Belady).total();
+        let io2 = execute_schedule(&t2.graph, &identity_order(&t2.graph), m, Evict::Belady).total();
         io2 as f64 / io1 as f64
     };
     let gs = grow(&strassen());

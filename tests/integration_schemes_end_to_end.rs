@@ -29,8 +29,12 @@ fn all_schemes_multiply_exactly_over_fp() {
 #[test]
 fn all_schemes_verify_brent_and_slps() {
     for scheme in all_schemes() {
-        scheme.verify_brent().unwrap_or_else(|e| panic!("{}: {e}", scheme.name));
-        scheme.verify_slps().unwrap_or_else(|e| panic!("{}: {e}", scheme.name));
+        scheme
+            .verify_brent()
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name));
+        scheme
+            .verify_slps()
+            .unwrap_or_else(|e| panic!("{}: {e}", scheme.name));
     }
 }
 
@@ -106,8 +110,16 @@ fn padded_multiplication_handles_awkward_sizes() {
     for n in [5usize, 11, 13, 21] {
         let a = Matrix::random_int(n, n, 10, &mut rng);
         let b = Matrix::random_int(n, n, 10, &mut rng);
-        assert_eq!(multiply_strassen(&a, &b, 2), multiply_naive(&a, &b), "n={n}");
-        assert_eq!(multiply_winograd(&a, &b, 2), multiply_naive(&a, &b), "n={n}");
+        assert_eq!(
+            multiply_strassen(&a, &b, 2),
+            multiply_naive(&a, &b),
+            "n={n}"
+        );
+        assert_eq!(
+            multiply_winograd(&a, &b, 2),
+            multiply_naive(&a, &b),
+            "n={n}"
+        );
     }
 }
 

@@ -11,7 +11,10 @@ use rand::SeedableRng;
 
 fn sample(n: usize, seed: u64) -> (Matrix<i64>, Matrix<i64>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    (Matrix::random_int(n, n, 20, &mut rng), Matrix::random_int(n, n, 20, &mut rng))
+    (
+        Matrix::random_int(n, n, 20, &mut rng),
+        Matrix::random_int(n, n, 20, &mut rng),
+    )
 }
 
 #[test]
@@ -30,7 +33,10 @@ fn dfs_strassen_io_sandwiched_by_theory() {
     let lo = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = ratios.iter().cloned().fold(0.0, f64::max);
     assert!(lo > 1.0, "measured I/O below the lower bound: {ratios:?}");
-    assert!(hi / lo < 2.0, "ratio band too wide (shape mismatch): {ratios:?}");
+    assert!(
+        hi / lo < 2.0,
+        "ratio band too wide (shape mismatch): {ratios:?}"
+    );
 }
 
 #[test]
@@ -59,7 +65,9 @@ fn strassen_io_grows_by_7_classical_by_8() {
     let words = |n: usize, strassen_alg: bool| {
         let (a, b) = sample(n, 5);
         if strassen_alg {
-            multiply_dfs_explicit(&strassen(), &a, &b, m).io.total_words() as f64
+            multiply_dfs_explicit(&strassen(), &a, &b, m)
+                .io
+                .total_words() as f64
         } else {
             multiply_blocked_explicit(&a, &b, m).io.total_words() as f64
         }
@@ -106,9 +114,6 @@ fn latency_tracks_bandwidth_over_m() {
         let (a, b) = sample(128, 11);
         let run = multiply_dfs_explicit(&strassen(), &a, &b, m);
         let ratio = run.io.total_msgs() as f64 * m as f64 / run.io.total_words() as f64;
-        assert!(
-            (1.0..4.0).contains(&ratio),
-            "m={m}: msgs*M/words = {ratio}"
-        );
+        assert!((1.0..4.0).contains(&ratio), "m={m}: msgs*M/words = {ratio}");
     }
 }

@@ -1,0 +1,566 @@
+//! Offline drop-in subset of the [`proptest`](https://crates.io/crates/proptest)
+//! API covering what the fastmm test suites use: the [`proptest!`] macro with
+//! an optional `#![proptest_config(..)]` attribute, range / tuple / `any` /
+//! `collection::vec` strategies, `prop_map`, and the `prop_assert*` /
+//! `prop_assume!` macros.
+//!
+//! Differences from upstream (deliberate, documented):
+//!
+//! * **No shrinking.** A failing case reports its inputs and the seed of the
+//!   run; re-running reproduces it exactly, which is enough for suites whose
+//!   inputs are already small by construction.
+//! * **`PROPTEST_CASES` always wins.** Upstream treats the env var as a
+//!   default that `with_cases` overrides; here the env var overrides the
+//!   in-source count, so `PROPTEST_CASES=1000 cargo test` deepens every suite
+//!   and `PROPTEST_CASES=4 cargo test -q` smoke-runs it, with no code edits.
+//! * **Deterministic base seed.** Cases derive from a fixed seed (plus the
+//!   case index), so CI runs are reproducible by default.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy {
+    use super::StdRng;
+
+    /// A generator of values of `Self::Value`.
+    ///
+    /// Upstream proptest separates strategies from value trees to support
+    /// shrinking; this shim collapses the two into direct generation.
+    pub trait Strategy {
+        /// The type of values produced.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generate via `self`, then generate from the strategy `f` returns.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Output of [`Strategy::prop_flat_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, T> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy producing one fixed value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::StdRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy, used by [`any`].
+    pub trait Arbitrary: Sized {
+        /// Generate an unconstrained value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<T> Copy for Any<T> {}
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// The canonical full-range strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_arbitrary_std {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    rand::Rng::gen::<u64>(rng) as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> bool {
+            rand::Rng::gen::<u64>(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut StdRng) -> f64 {
+            // Finite full-range floats; tests here never need NaN/inf fuzzing.
+            let unit = (rand::Rng::gen::<u64>(rng) >> 11) as f64 / (1u64 << 53) as f64;
+            (unit - 0.5) * 2.0 * 1e12
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::StdRng;
+
+    /// A count or range of counts for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            let (lo, hi) = r.into_inner();
+            assert!(lo <= hi, "empty size range");
+            SizeRange {
+                lo,
+                hi_exclusive: hi + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, size)` — a vector whose length is
+    /// drawn from `size` and whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.size.lo + 1 == self.size.hi_exclusive {
+                self.size.lo
+            } else {
+                rand::Rng::gen_range(rng, self.size.lo..self.size.hi_exclusive)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-suite configuration, mirroring `proptest::test_runner::Config`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each test runs (before the `PROPTEST_CASES`
+        /// override).
+        pub cases: u32,
+    }
+
+    /// Upstream's name for [`Config`] in `prelude`.
+    pub use Config as ProptestConfig;
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+
+        /// The case count actually used: `PROPTEST_CASES` from the
+        /// environment if set and parseable, else the configured count.
+        pub fn resolved_cases(&self) -> u32 {
+            match std::env::var("PROPTEST_CASES") {
+                Ok(v) => v.parse().unwrap_or(self.cases),
+                Err(_) => self.cases,
+            }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is skipped.
+        Reject(String),
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A rejection (from `prop_assume!`).
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+
+        /// A failure (from `prop_assert*!`).
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+}
+
+/// Drive one `proptest!` test function: generate `cases` inputs from the
+/// deterministic seed stream and run `body` on each.
+///
+/// Not part of the public proptest API — the [`proptest!`] macro expands to
+/// calls of this function.
+pub fn run_proptest<V>(
+    config: &test_runner::Config,
+    test_name: &str,
+    mut generate: impl FnMut(&mut StdRng) -> V,
+    mut body: impl FnMut(V) -> Result<(), test_runner::TestCaseError>,
+) where
+    V: std::fmt::Debug + Clone,
+{
+    let cases = config.resolved_cases();
+    // Deterministic base seed; vary per test name so sibling tests in one
+    // suite do not see identical streams.
+    let name_hash = test_name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x1000_0000_01b3)
+    });
+    let mut rejected = 0u32;
+    let max_rejects = cases.saturating_mul(16).max(1024);
+    let mut case = 0u32;
+    while case < cases {
+        let seed = name_hash ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed ^ rejected as u64);
+        let input = generate(&mut rng);
+        match body(input.clone()) {
+            Ok(()) => case += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many prop_assume! rejections \
+                         ({rejected}) for {cases} cases"
+                    );
+                }
+            }
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{test_name}' failed at case {case} (derived seed \
+                     {seed:#x}): {msg}\ninput: {input:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The proptest entry-point macro.
+///
+/// Supports the subset used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, v in proptest::collection::vec(any::<bool>(), 8)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                $crate::run_proptest(
+                    &config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |rng| {
+                        ($($crate::strategy::Strategy::generate(&($strat), rng),)+)
+                    },
+                    |($($arg,)+)| {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)` — fail the
+/// current case (not the whole process) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` — fail the current case when `a != b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` — fail the current case when `a == b`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// `prop_assume!(cond)` — skip (do not count) the current case when `cond`
+/// is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config, ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -4i64..=4, n in 1usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((1..5).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in crate::collection::vec(any::<bool>(), 7),
+            w in crate::collection::vec(0u64..10, 2..5),
+        ) {
+            prop_assert_eq!(v.len(), 7);
+            prop_assert!((2..5).contains(&w.len()));
+        }
+
+        #[test]
+        fn tuples_and_assume(pair in (0u64..8, any::<bool>())) {
+            prop_assume!(pair.0 != 7);
+            prop_assert!(pair.0 < 7);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in 0u64..2) {
+            prop_assert!(x < 2);
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        use rand::SeedableRng;
+        let strat = (0u64..5).prop_map(|x| x * 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v % 2 == 0 && v < 10);
+        }
+    }
+
+    #[test]
+    fn env_override_wins() {
+        // resolved_cases honors PROPTEST_CASES over the in-source count.
+        std::env::set_var("PROPTEST_CASES", "3");
+        assert_eq!(Config::with_cases(100).resolved_cases(), 3);
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(Config::with_cases(100).resolved_cases(), 100);
+    }
+}
