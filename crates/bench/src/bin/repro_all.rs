@@ -9,4 +9,5 @@ fn main() {
     println!("{}", fastmm_bench::e6_partition_argument());
     println!("{}", fastmm_bench::e7_table1());
     println!("{}", fastmm_bench::e8_caps_optimality());
+    println!("{}", fastmm_bench::e9_rectangular());
 }

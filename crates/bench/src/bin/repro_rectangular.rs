@@ -1,0 +1,5 @@
+//! E9: rectangular ⟨m,k,n;r⟩ schemes — ω₀ exponents, sequential-I/O
+//! curves, and decode-graph structure (arXiv:1209.2184).
+fn main() {
+    print!("{}", fastmm_bench::e9_rectangular());
+}

@@ -73,3 +73,45 @@ fn e7_table1_smoke() {
 fn e8_caps_smoke() {
     assert_report("e8", &exp::e8_caps_optimality(), "Corollary 1.2", 4);
 }
+
+#[test]
+fn e9_rectangular_smoke() {
+    assert_report("e9", &exp::e9_rectangular(), "Rectangular schemes", 8);
+}
+
+#[test]
+fn e9_reported_omega0_matches_closed_forms() {
+    // Golden check: the ω₀ column of repro_rectangular must equal the
+    // closed forms 3·log_{mkn} r to 1e-9 (the experiment prints 9 decimals,
+    // so a drifting formula changes the printed digits).
+    let out = exp::e9_rectangular();
+    let nontrivial = 3.0 * 14f64.ln() / 16f64.ln(); // ⟨2,2,4;14⟩ and ⟨2,4,2;14⟩
+    let wanted = [
+        format!("{nontrivial:.9}"), // ≈ 2.855516192
+        format!("{:.9}", 3.0f64),   // classical⟨2,2,3⟩: exactly 3
+    ];
+    for w in &wanted {
+        assert!(
+            out.contains(w.as_str()),
+            "e9: expected omega0 {w} in output:\n{out}"
+        );
+    }
+    // both nontrivial rectangular schemes appear with that exponent
+    let hits = out.matches(wanted[0].as_str()).count();
+    assert!(
+        hits >= 2,
+        "expected both ⟨2,2,4⟩ and ⟨2,4,2⟩ rows, got {hits}"
+    );
+}
+
+#[test]
+fn e9_reports_io_curves_for_both_nontrivial_schemes() {
+    let out = exp::e9_rectangular();
+    for name in ["strassen⊗⟨1,1,2⟩", "⟨1,2,1⟩⊗winograd"] {
+        let rows = out
+            .lines()
+            .filter(|l| l.contains(name) && l.contains('x'))
+            .count();
+        assert!(rows >= 2, "{name}: expected >= 2 I/O curve rows:\n{out}");
+    }
+}

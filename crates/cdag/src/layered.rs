@@ -24,13 +24,23 @@ use crate::graph::{Cdag, VKind};
 use fastmm_matrix::scheme::BilinearScheme;
 
 /// The support structure of a scheme, as needed for CDAG construction.
+///
+/// A rectangular `⟨m,k,n;r⟩` scheme has three distinct per-component block
+/// counts — `ta = mk` inputs per `Enc₁A` component, `tb = kn` per `Enc₁B`,
+/// and `tc = mn` outputs per `Dec₁C` — which all coincide with `n₀²` in the
+/// square case.
 #[derive(Clone, Debug)]
 pub struct SchemeShape {
     /// Scheme name (for diagnostics).
     pub name: String,
-    /// `t = n₀²` (outputs of `Dec₁C`, inputs per `Enc₁` component).
-    pub t: usize,
-    /// `r = m(n₀)` (inputs of `Dec₁C`, outputs per `Enc₁` component).
+    /// `ta = m·k`: inputs per `Enc₁A` component.
+    pub ta: usize,
+    /// `tb = k·n`: inputs per `Enc₁B` component.
+    pub tb: usize,
+    /// `tc = m·n`: outputs per `Dec₁C` component.
+    pub tc: usize,
+    /// `r`: multiplication count (inputs of `Dec₁C`, outputs per `Enc₁`
+    /// component).
     pub r: usize,
     /// For each product `l`, the A-blocks with nonzero `U` coefficient.
     pub u_support: Vec<Vec<usize>>,
@@ -48,10 +58,11 @@ pub struct SchemeShape {
 impl SchemeShape {
     /// Extract the shape of a concrete bilinear scheme.
     pub fn from_scheme(s: &BilinearScheme) -> Self {
-        let t = s.n0 * s.n0;
+        let (bm, bk, bn) = s.dims();
+        let (ta, tb, tc) = (bm * bk, bk * bn, bm * bn);
         let u_support: Vec<Vec<usize>> = (0..s.r).map(|l| s.u.row_support(l)).collect();
         let v_support: Vec<Vec<usize>> = (0..s.r).map(|l| s.v.row_support(l)).collect();
-        let w_support: Vec<Vec<usize>> = (0..t).map(|q| s.w.row_support(q)).collect();
+        let w_support: Vec<Vec<usize>> = (0..tc).map(|q| s.w.row_support(q)).collect();
         let unit_singleton =
             |support: &Vec<usize>, coeffs: &fastmm_matrix::scheme::Coeffs, l: usize| {
                 if support.len() == 1 && coeffs.get(l, support[0]) == 1 {
@@ -68,7 +79,9 @@ impl SchemeShape {
             .collect();
         SchemeShape {
             name: s.name.clone(),
-            t,
+            ta,
+            tb,
+            tc,
             r: s.r,
             u_support,
             v_support,
@@ -102,9 +115,9 @@ pub struct DecGraph {
     pub graph: Cdag,
     /// Recursion depth `k`.
     pub k: usize,
-    /// `t = n₀²`.
+    /// Outputs per `Dec₁C` component: `t = m·n` (`n₀²` when square).
     pub t: usize,
-    /// `r = m(n₀)`.
+    /// `r`: the scheme's multiplication count.
     pub r: usize,
     offsets: Vec<u32>,
 }
@@ -249,7 +262,7 @@ pub fn build_dec(shape: &SchemeShape, k: usize) -> DecGraph {
         shape.w_support.iter().all(|s| s.len() >= 2),
         "decode rows must combine at least two products"
     );
-    let (t, r) = (shape.t, shape.r);
+    let (t, r) = (shape.tc, shape.r);
     let mut offsets = Vec::with_capacity(k + 2);
     let mut acc = 0u32;
     for j in 0..=k {
@@ -311,9 +324,10 @@ pub struct EncGraph {
     pub graph: Cdag,
     /// Recursion depth `k`.
     pub k: usize,
-    /// `t = n₀²`.
+    /// Inputs per `Enc₁` component on this side: `m·k` for `A`, `k·n` for
+    /// `B` (`n₀²` when square).
     pub t: usize,
-    /// `r = m(n₀)`.
+    /// `r`: the scheme's multiplication count.
     pub r: usize,
     /// `levels[j][m]` = vertex id; `levels[0]` are the `t^k` inputs and
     /// `levels[k]` the `r^k` encoded operands.
@@ -332,14 +346,16 @@ impl EncGraph {
     }
 }
 
-/// Build `Enc_k A` (or `B`) for a scheme shape.
+/// Build `Enc_k A` (or `B`) for a scheme shape. Each side uses its own
+/// per-component input count (`ta` or `tb`), so rectangular schemes get the
+/// correctly-shaped encode graphs.
 pub fn build_enc(shape: &SchemeShape, side: EncSide, k: usize) -> EncGraph {
     assert!(k >= 1);
-    let (t, r) = (shape.t, shape.r);
-    let (support, alias) = match side {
-        EncSide::A => (&shape.u_support, &shape.u_alias),
-        EncSide::B => (&shape.v_support, &shape.v_alias),
+    let (t, support, alias) = match side {
+        EncSide::A => (shape.ta, &shape.u_support, &shape.u_alias),
+        EncSide::B => (shape.tb, &shape.v_support, &shape.v_alias),
     };
+    let r = shape.r;
     let mut graph = Cdag::new();
     let mut levels: Vec<Vec<u32>> = Vec::with_capacity(k + 1);
     let inputs: Vec<u32> = (0..level_size(t, r, k, 0))
@@ -686,6 +702,53 @@ mod tests {
             let h = build_h(&strassen_shape(), k);
             let frac = h.dec.graph.n_vertices() as f64 / h.graph.n_vertices() as f64;
             assert!(frac >= 1.0 / 3.0, "k={k}: fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn rectangular_shape_carries_per_operand_counts() {
+        let shape = SchemeShape::from_scheme(&fastmm_matrix::scheme::winograd_2x4x2());
+        assert_eq!((shape.ta, shape.tb, shape.tc), (8, 8, 4));
+        assert_eq!(shape.r, 14);
+        let sq = strassen_shape();
+        assert_eq!((sq.ta, sq.tb, sq.tc), (4, 4, 4));
+    }
+
+    #[test]
+    fn rectangular_dec_levels_and_connectivity() {
+        // Dec_k C of ⟨2,4,2;14⟩: levels (m·n)^{k-j}·r^j = 4^{k-j}·14^j, and
+        // its Dec₁C is *connected* (the scheme is Strassen-like in the
+        // decode sense), while strassen⊗⟨1,1,2⟩ splits into two Strassen
+        // decode copies (one per output column half).
+        let deep = SchemeShape::from_scheme(&fastmm_matrix::scheme::winograd_2x4x2());
+        for k in 1..=2usize {
+            let dec = build_dec(&deep, k);
+            for j in 0..=k {
+                assert_eq!(
+                    dec.level_size(j),
+                    4usize.pow((k - j) as u32) * 14usize.pow(j as u32)
+                );
+            }
+        }
+        assert!(build_dec(&deep, 1).graph.is_connected());
+        let wide = SchemeShape::from_scheme(&fastmm_matrix::scheme::strassen_2x2x4());
+        assert_eq!(build_dec(&wide, 1).graph.connected_components(), 2);
+    }
+
+    #[test]
+    fn rectangular_h_composition_counts() {
+        let shape = SchemeShape::from_scheme(&fastmm_matrix::scheme::strassen_2x2x4());
+        for k in 1..=2usize {
+            let h = build_h(&shape, k);
+            assert_eq!(h.a_inputs.len(), 4usize.pow(k as u32), "ta^k A inputs");
+            assert_eq!(h.b_inputs.len(), 8usize.pow(k as u32), "tb^k B inputs");
+            assert_eq!(h.graph.outputs.len(), 8usize.pow(k as u32), "tc^k outputs");
+            assert_eq!(h.mults.len(), 14usize.pow(k as u32), "r^k mults");
+            // every mult still has exactly two encode predecessors
+            let indeg = h.graph.in_degrees();
+            for &m in &h.mults {
+                assert_eq!(indeg[m as usize], 2);
+            }
         }
     }
 

@@ -28,5 +28,5 @@ pub use graph::{Cdag, Csr, VKind};
 pub use layered::{
     build_dec, build_enc, build_h, DecGraph, EncGraph, EncSide, HGraph, SchemeShape,
 };
-pub use trace::{trace_multiply, TracedCdag};
+pub use trace::{trace_multiply, trace_multiply_mkn, TracedCdag};
 pub use tree::{DecTree, TreeNode};

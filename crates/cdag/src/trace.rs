@@ -7,47 +7,63 @@
 //! straight-line programs, so the resulting graph reflects the *actual
 //! variant executed* — Winograd's common-subexpression sharing, classical
 //! base cases below a cutoff, and the input=output operand reuse the paper
-//! discusses for `Enc₁`. Cross-checking the two constructions (vertex
-//! classes, product counts, output counts) is one of the strongest
-//! consistency tests in the repository.
+//! discusses for `Enc₁`. Rectangular `⟨m,k,n;r⟩` schemes trace the same
+//! way: the id matrices simply carry an `m x k` / `k x n` block grid.
+//! Cross-checking the two constructions (vertex classes, product counts,
+//! output counts) is one of the strongest consistency tests in the
+//! repository.
+//!
+//! Contract note: on a dimension that stops dividing, the tracer (like
+//! `scheme_op_count_mkn` and the DFS memory machine, which it is asserted
+//! against) switches to the classical kernel — the classic hybrid whose
+//! CDAG the paper analyzes. The in-memory engine `multiply_scheme` instead
+//! pads per level and keeps recursing, so for non-divisible sizes the trace
+//! models the hybrid contract, not the padded execution; on divisible
+//! sizes (every `(m^i, k^i, n^i)` shape) the two coincide exactly.
 
 use crate::graph::{Cdag, VKind};
 use fastmm_matrix::scheme::{BilinearScheme, Slp};
 
-/// A square matrix of CDAG vertex ids.
+/// A rectangular matrix of CDAG vertex ids.
 #[derive(Clone, Debug)]
 pub struct IdMat {
-    /// Side length.
-    pub n: usize,
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
     /// Row-major ids.
     pub ids: Vec<u32>,
 }
 
 impl IdMat {
-    fn block(&self, g: usize, bi: usize, bj: usize) -> IdMat {
-        let bs = self.n / g;
-        let mut ids = Vec::with_capacity(bs * bs);
-        for i in 0..bs {
-            for j in 0..bs {
-                ids.push(self.ids[(bi * bs + i) * self.n + (bj * bs + j)]);
+    fn block(&self, gr: usize, gc: usize, bi: usize, bj: usize) -> IdMat {
+        let (br, bc) = (self.rows / gr, self.cols / gc);
+        let mut ids = Vec::with_capacity(br * bc);
+        for i in 0..br {
+            for j in 0..bc {
+                ids.push(self.ids[(bi * br + i) * self.cols + (bj * bc + j)]);
             }
         }
-        IdMat { n: bs, ids }
+        IdMat {
+            rows: br,
+            cols: bc,
+            ids,
+        }
     }
 
-    fn assemble(g: usize, blocks: &[IdMat]) -> IdMat {
-        let bs = blocks[0].n;
-        let n = g * bs;
-        let mut ids = vec![0u32; n * n];
+    fn assemble(gr: usize, gc: usize, blocks: &[IdMat]) -> IdMat {
+        let (br, bc) = (blocks[0].rows, blocks[0].cols);
+        let (rows, cols) = (gr * br, gc * bc);
+        let mut ids = vec![0u32; rows * cols];
         for (q, b) in blocks.iter().enumerate() {
-            let (bi, bj) = (q / g, q % g);
-            for i in 0..bs {
-                for j in 0..bs {
-                    ids[(bi * bs + i) * n + (bj * bs + j)] = b.ids[i * bs + j];
+            let (bi, bj) = (q / gc, q % gc);
+            for i in 0..br {
+                for j in 0..bc {
+                    ids[(bi * br + i) * cols + (bj * bc + j)] = b.ids[i * bc + j];
                 }
             }
         }
-        IdMat { n, ids }
+        IdMat { rows, cols, ids }
     }
 }
 
@@ -74,11 +90,11 @@ impl Tracer {
     /// Apply an SLP element-wise over block id-matrices.
     fn apply_slp(&mut self, slp: &Slp, inputs: &[IdMat]) -> Vec<IdMat> {
         assert_eq!(inputs.len(), slp.n_inputs);
-        let bs = inputs[0].n;
+        let (br, bc) = (inputs[0].rows, inputs[0].cols);
         let mut tape: Vec<IdMat> = inputs.to_vec();
         for op in &slp.ops {
-            let mut ids = Vec::with_capacity(bs * bs);
-            for e in 0..bs * bs {
+            let mut ids = Vec::with_capacity(br * bc);
+            for e in 0..br * bc {
                 let v = self.g.add_vertex(VKind::Add);
                 if op.ca != 0 {
                     self.g.add_edge(tape[op.a].ids[e], v);
@@ -88,7 +104,11 @@ impl Tracer {
                 }
                 ids.push(v);
             }
-            tape.push(IdMat { n: bs, ids });
+            tape.push(IdMat {
+                rows: br,
+                cols: bc,
+                ids,
+            });
         }
         slp.outputs.iter().map(|&i| tape[i].clone()).collect()
     }
@@ -96,16 +116,16 @@ impl Tracer {
     /// Classical `i-k-j` trace: one Mul vertex per scalar product, an Add
     /// chain per output accumulation.
     fn classical(&mut self, a: &IdMat, b: &IdMat) -> IdMat {
-        let n = a.n;
-        let mut out = Vec::with_capacity(n * n);
-        for i in 0..n {
-            for j in 0..n {
+        let (mm, kk, nn) = (a.rows, a.cols, b.cols);
+        let mut out = Vec::with_capacity(mm * nn);
+        for i in 0..mm {
+            for j in 0..nn {
                 let mut acc: Option<u32> = None;
-                for l in 0..n {
+                for l in 0..kk {
                     let m = self.g.add_vertex(VKind::Mul);
                     self.n_mults += 1;
-                    self.g.add_edge(a.ids[i * n + l], m);
-                    self.g.add_edge(b.ids[l * n + j], m);
+                    self.g.add_edge(a.ids[i * kk + l], m);
+                    self.g.add_edge(b.ids[l * nn + j], m);
                     acc = Some(match acc {
                         None => m,
                         Some(prev) => {
@@ -116,45 +136,67 @@ impl Tracer {
                         }
                     });
                 }
-                out.push(acc.expect("n >= 1"));
+                out.push(acc.expect("k >= 1"));
             }
         }
-        IdMat { n, ids: out }
+        IdMat {
+            rows: mm,
+            cols: nn,
+            ids: out,
+        }
     }
 
     fn recurse(&mut self, scheme: &BilinearScheme, a: &IdMat, b: &IdMat, cutoff: usize) -> IdMat {
-        let n = a.n;
-        let n0 = scheme.n0;
-        if n <= cutoff || !n.is_multiple_of(n0) {
+        let (mm, kk, nn) = (a.rows, a.cols, b.cols);
+        let (bm, bk, bn) = scheme.dims();
+        let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
+        if mm.max(kk).max(nn) <= cutoff || !divisible || bm * bk * bn == 1 {
             return self.classical(a, b);
         }
-        let t = n0 * n0;
-        let a_blocks: Vec<IdMat> = (0..t).map(|q| a.block(n0, q / n0, q % n0)).collect();
-        let b_blocks: Vec<IdMat> = (0..t).map(|q| b.block(n0, q / n0, q % n0)).collect();
+        let a_blocks: Vec<IdMat> = (0..bm * bk)
+            .map(|q| a.block(bm, bk, q / bk, q % bk))
+            .collect();
+        let b_blocks: Vec<IdMat> = (0..bk * bn)
+            .map(|q| b.block(bk, bn, q / bn, q % bn))
+            .collect();
         let ta = self.apply_slp(&scheme.enc_a, &a_blocks);
         let tb = self.apply_slp(&scheme.enc_b, &b_blocks);
         let products: Vec<IdMat> = (0..scheme.r)
             .map(|l| self.recurse(scheme, &ta[l], &tb[l], cutoff))
             .collect();
         let c_blocks = self.apply_slp(&scheme.dec_c, &products);
-        IdMat::assemble(n0, &c_blocks)
+        IdMat::assemble(bm, bn, &c_blocks)
     }
 }
 
-/// Trace the scheme's recursion on `n x n` operands (`n` a power of `n₀`),
-/// recursing down to `cutoff` and running a classical trace below it.
-pub fn trace_multiply(scheme: &BilinearScheme, n: usize, cutoff: usize) -> TracedCdag {
+/// Trace the scheme's recursion on `M x K` by `K x N` operands, recursing
+/// down to `cutoff` and running a classical trace below it (or whenever a
+/// dimension stops dividing — the hybrid contract shared with
+/// `scheme_op_count_mkn`).
+pub fn trace_multiply_mkn(
+    scheme: &BilinearScheme,
+    mm: usize,
+    kk: usize,
+    nn: usize,
+    cutoff: usize,
+) -> TracedCdag {
     let mut tr = Tracer {
         g: Cdag::new(),
         n_mults: 0,
     };
     let a = IdMat {
-        n,
-        ids: (0..n * n).map(|_| tr.g.add_vertex(VKind::Input)).collect(),
+        rows: mm,
+        cols: kk,
+        ids: (0..mm * kk)
+            .map(|_| tr.g.add_vertex(VKind::Input))
+            .collect(),
     };
     let b = IdMat {
-        n,
-        ids: (0..n * n).map(|_| tr.g.add_vertex(VKind::Input)).collect(),
+        rows: kk,
+        cols: nn,
+        ids: (0..kk * nn)
+            .map(|_| tr.g.add_vertex(VKind::Input))
+            .collect(),
     };
     let c = tr.recurse(scheme, &a, &b, cutoff.max(1));
     tr.g.inputs = a.ids.iter().chain(&b.ids).copied().collect();
@@ -169,11 +211,19 @@ pub fn trace_multiply(scheme: &BilinearScheme, n: usize, cutoff: usize) -> Trace
     }
 }
 
+/// Trace the scheme's recursion on `n x n` operands (square wrapper over
+/// [`trace_multiply_mkn`]).
+pub fn trace_multiply(scheme: &BilinearScheme, n: usize, cutoff: usize) -> TracedCdag {
+    trace_multiply_mkn(scheme, n, n, n, cutoff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fastmm_matrix::recursive::scheme_op_count;
-    use fastmm_matrix::scheme::{classical_scheme, strassen, winograd};
+    use fastmm_matrix::recursive::{scheme_op_count, scheme_op_count_mkn};
+    use fastmm_matrix::scheme::{
+        classical_scheme, strassen, strassen_2x2x4, winograd, winograd_2x4x2,
+    };
 
     #[test]
     fn strassen_trace_mult_count_is_7_pow_k() {
@@ -188,6 +238,37 @@ mod tests {
     fn classical_trace_mult_count_is_cubic() {
         let t = trace_multiply(&classical_scheme(2), 8, 8);
         assert_eq!(t.n_mults, 512);
+    }
+
+    #[test]
+    fn rectangular_trace_mult_count_is_r_pow_k() {
+        for k in 1..=2u32 {
+            let t = trace_multiply_mkn(
+                &strassen_2x2x4(),
+                2usize.pow(k),
+                2usize.pow(k),
+                4usize.pow(k),
+                1,
+            );
+            assert_eq!(t.n_mults, 14usize.pow(k), "level {k}");
+        }
+    }
+
+    #[test]
+    fn rectangular_trace_counts_match_analytic() {
+        for (scheme, mm, kk, nn) in [
+            (strassen_2x2x4(), 4usize, 4usize, 16usize),
+            (winograd_2x4x2(), 4, 16, 4),
+            (strassen_2x2x4(), 2, 2, 4),
+        ] {
+            let t = trace_multiply_mkn(&scheme, mm, kk, nn, 1);
+            let (_, adds, muls) = t.graph.kind_counts();
+            let expect = scheme_op_count_mkn(&scheme, mm, kk, nn, 1);
+            assert_eq!(muls as u128, expect.mults, "{} mults", scheme.name);
+            assert_eq!(adds as u128, expect.adds, "{} adds", scheme.name);
+            assert_eq!(t.graph.inputs.len(), mm * kk + kk * nn);
+            assert_eq!(t.graph.outputs.len(), mm * nn);
+        }
     }
 
     #[test]
@@ -216,6 +297,15 @@ mod tests {
         assert_eq!(t.graph.outputs.len(), 16);
         let indeg = t.graph.in_degrees();
         // binary operations only
+        assert!(indeg.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn rectangular_trace_is_acyclic() {
+        let t = trace_multiply_mkn(&winograd_2x4x2(), 4, 16, 4, 1);
+        let order = t.graph.topological_order();
+        assert_eq!(order.len(), t.graph.n_vertices());
+        let indeg = t.graph.in_degrees();
         assert!(indeg.iter().all(|&d| d <= 2));
     }
 

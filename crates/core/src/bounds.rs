@@ -30,6 +30,23 @@ pub fn seq_latency_lower_bound(params: SchemeParams, n: usize, m: usize) -> f64 
     seq_bandwidth_lower_bound(params, n, m) / m as f64
 }
 
+/// Rectangular sequential bandwidth lower bound (arXiv:1209.2184): an
+/// `⟨m,k,n;r⟩` scheme recursed `ℓ` levels (multiplying `m^ℓ x k^ℓ` by
+/// `k^ℓ x n^ℓ`) performs `r^ℓ` leaf multiplications and moves
+/// `Ω(r^ℓ / M^{ω₀/2 - 1})` words, with `ω₀ = 3·log_{mkn} r`.
+///
+/// In the square case `r^ℓ = n^{ω₀}`, so this is exactly
+/// `(n/√M)^{ω₀} · M` — Theorem 1.1/1.3 (asserted in tests).
+pub fn rect_seq_bandwidth_lower_bound(params: SchemeParams, levels: u32, m: usize) -> f64 {
+    seq_bandwidth_lower_bound_flops((params.r as f64).powi(levels as i32), params.omega0(), m)
+}
+
+/// The flop-counted form of the sequential bound:
+/// `IO = Ω(F / M^{ω₀/2 - 1})` for `F` leaf multiplications.
+pub fn seq_bandwidth_lower_bound_flops(flops: f64, omega0: f64, m: usize) -> f64 {
+    flops / (m as f64).powf(omega0 / 2.0 - 1.0)
+}
+
 /// Corollary 1.2/1.4: parallel bandwidth lower bound per processor,
 /// `(n/√M)^{ω₀} · M / p`.
 pub fn par_bandwidth_lower_bound(params: SchemeParams, n: usize, m: usize, p: usize) -> f64 {
@@ -149,6 +166,36 @@ mod tests {
             (c1 / b1 - 4.0 / 7.0).abs() < 1e-9,
             "quadrupling M multiplies by 4/7"
         );
+    }
+
+    #[test]
+    fn rect_bound_reduces_to_square_bound() {
+        // For a square scheme, r^ℓ / M^{ω₀/2-1} = (n/√M)^{ω₀}·M with n = n₀^ℓ.
+        let s = strassen_params();
+        for levels in [10u32, 12, 14] {
+            for m in [256usize, 4096] {
+                let n = 1usize << levels;
+                let rect = rect_seq_bandwidth_lower_bound(s, levels, m);
+                let square = seq_bandwidth_lower_bound(s, n, m);
+                assert!(
+                    (rect / square - 1.0).abs() < 1e-9,
+                    "levels={levels} m={m}: {rect} vs {square}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rect_bound_scales_by_r_per_level() {
+        use crate::registry::RECT_2X2X4;
+        let m = 1024;
+        let b1 = rect_seq_bandwidth_lower_bound(RECT_2X2X4, 8, m);
+        let b2 = rect_seq_bandwidth_lower_bound(RECT_2X2X4, 9, m);
+        assert!((b2 / b1 - 14.0).abs() < 1e-9, "one more level: x r = 14");
+        // and in M like M^{1 - ω₀/2}
+        let b4 = rect_seq_bandwidth_lower_bound(RECT_2X2X4, 8, 4 * m);
+        let expect = 4f64.powf(1.0 - RECT_2X2X4.omega0() / 2.0);
+        assert!((b4 / b1 - expect).abs() < 1e-9);
     }
 
     #[test]

@@ -40,19 +40,23 @@ pub use fastmm_pebble as pebble;
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::bounds::{
-        par_bandwidth_lower_bound, par_latency_lower_bound, seq_bandwidth_lower_bound,
-        seq_bandwidth_upper_bound, seq_latency_lower_bound, table1_closed_form, table1_lower_bound,
-        MemoryRegime,
+        par_bandwidth_lower_bound, par_latency_lower_bound, rect_seq_bandwidth_lower_bound,
+        seq_bandwidth_lower_bound, seq_bandwidth_lower_bound_flops, seq_bandwidth_upper_bound,
+        seq_latency_lower_bound, table1_closed_form, table1_lower_bound, MemoryRegime,
     };
     pub use crate::pipeline::{dec_vertices, expansion_io_bound, ExpansionIoBound};
     pub use crate::registry::{
-        all_params, SchemeParams, CLASSICAL, LADERMAN, STRASSEN, STRASSEN_SQUARED,
+        all_params, SchemeParams, CLASSICAL, CLASSICAL_2X2X3, LADERMAN, RECT_2X2X4, RECT_2X4X2,
+        STRASSEN, STRASSEN_SQUARED,
     };
     pub use fastmm_matrix::classical::{multiply_blocked, multiply_ikj, multiply_naive};
     pub use fastmm_matrix::recursive::{
         multiply_non_stationary, multiply_scheme, multiply_scheme_padded, multiply_strassen,
-        multiply_winograd, scheme_op_count,
+        multiply_winograd, scheme_op_count, scheme_op_count_mkn,
     };
-    pub use fastmm_matrix::scheme::{classical_scheme, strassen, winograd, BilinearScheme};
+    pub use fastmm_matrix::scheme::{
+        classical_rect, classical_scheme, strassen, strassen_2x2x4, winograd, winograd_2x4x2,
+        BilinearScheme,
+    };
     pub use fastmm_matrix::{Fp, MatMut, MatRef, Matrix, Scalar};
 }

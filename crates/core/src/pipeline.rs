@@ -17,9 +17,10 @@
 use crate::registry::SchemeParams;
 
 /// Number of vertices of the layered `Dec_k C`:
-/// `Σ_{j=0}^{k} t^{k-j} · r^j`.
+/// `Σ_{j=0}^{k} t^{k-j} · r^j` with `t = m·n` outputs per component
+/// (`n₀²` in the square case).
 pub fn dec_vertices(params: SchemeParams, k: usize) -> f64 {
-    let t = (params.n0 * params.n0) as f64;
+    let t = (params.m * params.n) as f64;
     let r = params.r as f64;
     (0..=k)
         .map(|j| t.powi((k - j) as i32) * r.powi(j as i32))

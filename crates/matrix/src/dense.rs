@@ -271,11 +271,18 @@ impl<'a, T: Scalar> MatRef<'a, T> {
     /// The `(bi, bj)` block of a `g x g` grid over a window whose dimensions
     /// are divisible by `g`.
     pub fn grid_block(&self, g: usize, bi: usize, bj: usize) -> MatRef<'a, T> {
+        self.grid_block_rect(g, g, bi, bj)
+    }
+
+    /// The `(bi, bj)` block of a rectangular `gr x gc` grid over a window
+    /// whose rows divide by `gr` and columns by `gc` — the split a
+    /// `⟨m,k,n;r⟩` scheme applies to its operands.
+    pub fn grid_block_rect(&self, gr: usize, gc: usize, bi: usize, bj: usize) -> MatRef<'a, T> {
         assert!(
-            self.rows.is_multiple_of(g) && self.cols.is_multiple_of(g),
+            self.rows.is_multiple_of(gr) && self.cols.is_multiple_of(gc),
             "dimensions not divisible by grid"
         );
-        let (br, bc) = (self.rows / g, self.cols / g);
+        let (br, bc) = (self.rows / gr, self.cols / gc);
         self.block(bi * br, bj * bc, br, bc)
     }
 
@@ -350,11 +357,23 @@ impl<'a, T: Scalar> MatMut<'a, T> {
 
     /// The `(bi, bj)` block of a `g x g` grid (dimensions must divide).
     pub fn grid_block_mut(&mut self, g: usize, bi: usize, bj: usize) -> MatMut<'_, T> {
+        self.grid_block_rect_mut(g, g, bi, bj)
+    }
+
+    /// The `(bi, bj)` block of a rectangular `gr x gc` grid (rows must
+    /// divide by `gr`, columns by `gc`).
+    pub fn grid_block_rect_mut(
+        &mut self,
+        gr: usize,
+        gc: usize,
+        bi: usize,
+        bj: usize,
+    ) -> MatMut<'_, T> {
         assert!(
-            self.rows.is_multiple_of(g) && self.cols.is_multiple_of(g),
+            self.rows.is_multiple_of(gr) && self.cols.is_multiple_of(gc),
             "dimensions not divisible by grid"
         );
-        let (br, bc) = (self.rows / g, self.cols / g);
+        let (br, bc) = (self.rows / gr, self.cols / gc);
         self.block_mut(bi * br, bj * bc, br, bc)
     }
 
@@ -435,6 +454,24 @@ mod tests {
         let inner = q.block(1, 0, 1, 2);
         assert_eq!(inner.get(0, 0), 12);
         assert_eq!(inner.get(0, 1), 13);
+    }
+
+    #[test]
+    fn rect_grid_blocks_window_correctly() {
+        // 4x6 split as a 2x3 grid of 2x2 blocks
+        let m: Matrix<i64> = Matrix::from_fn(4, 6, |i, j| (i * 6 + j) as i64);
+        let v = m.view();
+        let blk = v.grid_block_rect(2, 3, 1, 2);
+        assert_eq!((blk.rows(), blk.cols()), (2, 2));
+        assert_eq!(blk.get(0, 0), 16);
+        assert_eq!(blk.get(1, 1), 23);
+        // 1xg and gx1 grids degenerate to row/column strips
+        let strip = v.grid_block_rect(1, 3, 0, 1);
+        assert_eq!((strip.rows(), strip.cols()), (4, 2));
+        assert_eq!(strip.get(3, 0), 20);
+        let mut m2: Matrix<i64> = Matrix::zeros(4, 6);
+        m2.view_mut().grid_block_rect_mut(2, 3, 1, 2).set(0, 1, 7);
+        assert_eq!(m2[(2, 5)], 7);
     }
 
     #[test]

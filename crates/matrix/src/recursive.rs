@@ -1,30 +1,39 @@
 //! Recursive "Strassen-like" matrix multiplication driven by a
-//! [`BilinearScheme`].
+//! [`BilinearScheme`], square or rectangular.
 //!
-//! Given two `n x n` matrices, the engine splits them into an `n₀ x n₀` grid
-//! of blocks, forms the `r` encoded operand pairs block-wise, recurses on
-//! each product, and decodes the outputs — exactly the recursive structure
-//! defined in Section 5.1 of the paper. Recursion stops at `cutoff`, below
-//! which a classical kernel runs (the practical "cut the recursion off and
-//! switch to the classical algorithm" hybrid of Section 5.2).
+//! Given an `M x K` and a `K x N` operand and a scheme `⟨m,k,n;r⟩`, the
+//! engine splits `A` into an `m x k` grid of blocks and `B` into a `k x n`
+//! grid, forms the `r` encoded operand pairs block-wise, recurses on each
+//! product, and decodes the `m x n` output grid — exactly the recursive
+//! structure defined in Section 5.1 of the paper, extended to rectangular
+//! base cases per arXiv:1209.2184. Recursion stops at `cutoff`, below which
+//! a classical kernel runs (the practical "cut the recursion off and switch
+//! to the classical algorithm" hybrid of Section 5.2).
+//!
+//! Dimensions that stop dividing mid-recursion are zero-padded *per level*
+//! up to the next block-grid multiple, recursed on, and cropped — so a
+//! non-divisible size costs one ring of zeros instead of silently falling
+//! back to the Θ(MKN) classical kernel at the top (the historical behavior,
+//! fixed here and locked in by `prop_schemes.rs`).
 
 use crate::classical::multiply_ikj;
 use crate::dense::Matrix;
 use crate::scalar::Scalar;
 use crate::scheme::BilinearScheme;
 
-/// Multiply `a * b` with `scheme`, recursing while the dimension is larger
-/// than `cutoff` and divisible by `n₀`. Requires square operands of equal
-/// size; for arbitrary sizes see [`multiply_scheme_padded`].
+/// Multiply `a * b` (any conformal `M x K` by `K x N`) with `scheme`,
+/// recursing while some dimension exceeds `cutoff` and the split makes
+/// progress. Non-divisible dimensions are zero-padded per level and the
+/// result cropped, so the fast recursion is used at every scale; the
+/// classical kernel runs only below `cutoff` (or when the scheme cannot
+/// shrink the problem further).
 pub fn multiply_scheme<T: Scalar>(
     scheme: &BilinearScheme,
     a: &Matrix<T>,
     b: &Matrix<T>,
     cutoff: usize,
 ) -> Matrix<T> {
-    assert_eq!(a.rows(), a.cols(), "square operands required");
-    assert_eq!(b.rows(), b.cols(), "square operands required");
-    assert_eq!(a.rows(), b.rows(), "operand sizes must agree");
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     multiply_rec(scheme, a, b, cutoff.max(1))
 }
 
@@ -34,36 +43,63 @@ fn multiply_rec<T: Scalar>(
     b: &Matrix<T>,
     cutoff: usize,
 ) -> Matrix<T> {
-    let n = a.rows();
-    let n0 = scheme.n0;
-    if n <= cutoff || !n.is_multiple_of(n0) {
+    let (mm, kk, nn) = (a.rows(), a.cols(), b.cols());
+    let (bm, bk, bn) = scheme.dims();
+    if mm.max(kk).max(nn) <= cutoff {
         return multiply_ikj(a, b);
     }
-    let bs = n / n0;
-    let t = n0 * n0;
+    // Padded dimensions: the next block-grid multiples.
+    let (pm, pk, pn) = (
+        mm.div_ceil(bm) * bm,
+        kk.div_ceil(bk) * bk,
+        nn.div_ceil(bn) * bn,
+    );
+    // One recursion level must shrink the element count, else stop (guards
+    // degenerate dims like K = 1 under a k-splitting scheme).
+    if (pm / bm) * (pk / bk) * (pn / bn) >= mm * kk * nn {
+        return multiply_ikj(a, b);
+    }
+    if (pm, pk, pn) != (mm, kk, nn) {
+        let pad = |m: &Matrix<T>, rows: usize, cols: usize| {
+            Matrix::from_fn(rows, cols, |i, j| {
+                if i < m.rows() && j < m.cols() {
+                    m[(i, j)]
+                } else {
+                    T::zero()
+                }
+            })
+        };
+        let c = multiply_rec(scheme, &pad(a, pm, pk), &pad(b, pk, pn), cutoff);
+        return Matrix::from_fn(mm, nn, |i, j| c[(i, j)]);
+    }
+    let ta_cols = bm * bk;
+    let tb_cols = bk * bn;
+    let tc_cols = bm * bn;
     // Extract blocks once.
-    let a_blocks: Vec<Matrix<T>> = (0..t)
-        .map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix())
+    let a_blocks: Vec<Matrix<T>> = (0..ta_cols)
+        .map(|q| a.view().grid_block_rect(bm, bk, q / bk, q % bk).to_matrix())
         .collect();
-    let b_blocks: Vec<Matrix<T>> = (0..t)
-        .map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix())
+    let b_blocks: Vec<Matrix<T>> = (0..tb_cols)
+        .map(|q| b.view().grid_block_rect(bk, bn, q / bn, q % bn).to_matrix())
         .collect();
-    let mut c = Matrix::zeros(n, n);
+    let mut c = Matrix::zeros(mm, nn);
     for l in 0..scheme.r {
-        let mut ta = Matrix::zeros(bs, bs);
-        let mut tb = Matrix::zeros(bs, bs);
-        for q in 0..t {
+        let mut ta = Matrix::zeros(mm / bm, kk / bk);
+        let mut tb = Matrix::zeros(kk / bk, nn / bn);
+        for (q, blk) in a_blocks.iter().enumerate() {
             ta.view_mut()
-                .accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
+                .accumulate_scaled(blk.view(), scheme.u.get(l, q));
+        }
+        for (q, blk) in b_blocks.iter().enumerate() {
             tb.view_mut()
-                .accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
+                .accumulate_scaled(blk.view(), scheme.v.get(l, q));
         }
         let m = multiply_rec(scheme, &ta, &tb, cutoff);
-        for q in 0..t {
+        for q in 0..tc_cols {
             let wc = scheme.w.get(q, l);
             if wc != 0 {
                 c.view_mut()
-                    .grid_block_mut(n0, q / n0, q % n0)
+                    .grid_block_rect_mut(bm, bn, q / bn, q % bn)
                     .accumulate_scaled(m.view(), wc);
             }
         }
@@ -81,31 +117,19 @@ pub fn next_power_of(n: usize, base: usize) -> usize {
     p
 }
 
-/// Multiply arbitrary-size square matrices by zero-padding up to the next
-/// power of `n₀`, running the recursion, and cropping the result.
+/// Multiply arbitrary-size operands with `scheme`.
+///
+/// Historically this padded square operands up to the next power of `n₀`
+/// before recursing; the engine now pads lazily per level (which moves
+/// strictly fewer zeros), so this is the same entry point as
+/// [`multiply_scheme`], kept for source compatibility.
 pub fn multiply_scheme_padded<T: Scalar>(
     scheme: &BilinearScheme,
     a: &Matrix<T>,
     b: &Matrix<T>,
     cutoff: usize,
 ) -> Matrix<T> {
-    assert_eq!(a.rows(), a.cols());
-    assert_eq!(b.rows(), b.cols());
-    assert_eq!(a.rows(), b.rows());
-    let n = a.rows();
-    let np = next_power_of(n, scheme.n0);
-    if np == n {
-        return multiply_scheme(scheme, a, b, cutoff);
-    }
-    let pad = |m: &Matrix<T>| {
-        Matrix::from_fn(
-            np,
-            np,
-            |i, j| if i < n && j < n { m[(i, j)] } else { T::zero() },
-        )
-    };
-    let c = multiply_scheme(scheme, &pad(a), &pad(b), cutoff);
-    Matrix::from_fn(n, n, |i, j| c[(i, j)])
+    multiply_scheme(scheme, a, b, cutoff)
 }
 
 /// Convenience: Strassen's algorithm.
@@ -123,47 +147,48 @@ pub fn multiply_winograd<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, cutoff: usize)
 /// the top levels and the classical scheme below, the practical hybrid of
 /// Douglas et al. / Huss-Lederman et al. `levels[i]` is applied at depth
 /// `i`; when levels run out (or dimensions stop dividing), the classical
-/// kernel finishes.
+/// kernel finishes. Unlike [`multiply_scheme`], this keeps its documented
+/// fall-back-on-non-divisible contract (tested below) because a per-level
+/// scheme list pins the recursion shape explicitly.
 pub fn multiply_non_stationary<T: Scalar>(
     levels: &[&BilinearScheme],
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
-    assert_eq!(a.rows(), a.cols(), "square operands required");
-    assert_eq!(b.rows(), b.cols(), "square operands required");
-    assert_eq!(a.rows(), b.rows(), "operand sizes must agree");
-    let n = a.rows();
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let (mm, kk, nn) = (a.rows(), a.cols(), b.cols());
     let (Some(scheme), rest) = (levels.first(), levels.get(1..).unwrap_or(&[])) else {
         return multiply_ikj(a, b);
     };
-    let n0 = scheme.n0;
-    if !n.is_multiple_of(n0) || n == 1 {
+    let (bm, bk, bn) = scheme.dims();
+    let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
+    if !divisible || (mm / bm) * (kk / bk) * (nn / bn) >= mm * kk * nn {
         return multiply_ikj(a, b);
     }
-    let bs = n / n0;
-    let t = n0 * n0;
-    let a_blocks: Vec<Matrix<T>> = (0..t)
-        .map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix())
+    let a_blocks: Vec<Matrix<T>> = (0..bm * bk)
+        .map(|q| a.view().grid_block_rect(bm, bk, q / bk, q % bk).to_matrix())
         .collect();
-    let b_blocks: Vec<Matrix<T>> = (0..t)
-        .map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix())
+    let b_blocks: Vec<Matrix<T>> = (0..bk * bn)
+        .map(|q| b.view().grid_block_rect(bk, bn, q / bn, q % bn).to_matrix())
         .collect();
-    let mut c = Matrix::zeros(n, n);
+    let mut c = Matrix::zeros(mm, nn);
     for l in 0..scheme.r {
-        let mut ta = Matrix::zeros(bs, bs);
-        let mut tb = Matrix::zeros(bs, bs);
-        for q in 0..t {
+        let mut ta = Matrix::zeros(mm / bm, kk / bk);
+        let mut tb = Matrix::zeros(kk / bk, nn / bn);
+        for (q, blk) in a_blocks.iter().enumerate() {
             ta.view_mut()
-                .accumulate_scaled(a_blocks[q].view(), scheme.u.get(l, q));
+                .accumulate_scaled(blk.view(), scheme.u.get(l, q));
+        }
+        for (q, blk) in b_blocks.iter().enumerate() {
             tb.view_mut()
-                .accumulate_scaled(b_blocks[q].view(), scheme.v.get(l, q));
+                .accumulate_scaled(blk.view(), scheme.v.get(l, q));
         }
         let m = multiply_non_stationary(rest, &ta, &tb);
-        for q in 0..t {
+        for q in 0..bm * bn {
             let wc = scheme.w.get(q, l);
             if wc != 0 {
                 c.view_mut()
-                    .grid_block_mut(n0, q / n0, q % n0)
+                    .grid_block_rect_mut(bm, bn, q / bn, q % bn)
                     .accumulate_scaled(m.view(), wc);
             }
         }
@@ -187,26 +212,50 @@ impl OpCount {
     }
 }
 
-/// Arithmetic count of running `scheme` recursively on `n x n` inputs down to
-/// `cutoff`, using the SLP addition counts (so Winograd's 15 vs Strassen's 18
-/// shows up), with a classical `2n³ - n²`-flop base case.
+/// Arithmetic count of running `scheme` recursively on `n x n` inputs down
+/// to `cutoff`. Square wrapper over [`scheme_op_count_mkn`].
+pub fn scheme_op_count(scheme: &BilinearScheme, n: usize, cutoff: usize) -> OpCount {
+    scheme_op_count_mkn(scheme, n, n, n, cutoff)
+}
+
+/// Arithmetic count of running `scheme` recursively on `M x K` by `K x N`
+/// inputs down to `cutoff`, using the SLP addition counts (so Winograd's 15
+/// vs Strassen's 18 shows up), with a classical `MN(2K-1)`-flop base case.
+///
+/// Mirrors the CDAG tracer's fall-back-on-non-divisible contract (the
+/// hybrid the paper analyzes), **not** [`multiply_scheme`]'s pad-per-level
+/// execution — the two coincide on divisible shapes; on non-divisible ones
+/// evaluate this at the padded dimensions to cost the padded run.
 ///
 /// This realizes the recurrence `T(n) = m(n₀)·T(n/n₀) + O(n²)` of Section
-/// 5.1, whose solution is `Θ(n^{ω₀})`.
-pub fn scheme_op_count(scheme: &BilinearScheme, n: usize, cutoff: usize) -> OpCount {
-    if n <= cutoff || !n.is_multiple_of(scheme.n0) {
-        let n = n as u128;
+/// 5.1 (and its rectangular analogue), whose solution is `Θ(n^{ω₀})`.
+pub fn scheme_op_count_mkn(
+    scheme: &BilinearScheme,
+    mm: usize,
+    kk: usize,
+    nn: usize,
+    cutoff: usize,
+) -> OpCount {
+    let (bm, bk, bn) = scheme.dims();
+    let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
+    if mm.max(kk).max(nn) <= cutoff || !divisible || bm * bk * bn == 1 {
+        let (mm, kk, nn) = (mm as u128, kk as u128, nn as u128);
         return OpCount {
-            mults: n * n * n,
-            adds: n * n * (n - 1),
+            mults: mm * kk * nn,
+            adds: mm * nn * (kk - 1),
         };
     }
-    let bs = (n / scheme.n0) as u128;
-    let sub = scheme_op_count(scheme, n / scheme.n0, cutoff);
-    // Each SLP addition is a block-wise addition of bs x bs blocks; decoding
-    // also pays one block-accumulate per W nonzero beyond the first in each
-    // output row (already counted by the chain SLP length).
-    let adds_here = scheme.additions() as u128 * bs * bs;
+    let blk_a = (mm / bm) as u128 * (kk / bk) as u128;
+    let blk_b = (kk / bk) as u128 * (nn / bn) as u128;
+    let blk_c = (mm / bm) as u128 * (nn / bn) as u128;
+    let sub = scheme_op_count_mkn(scheme, mm / bm, kk / bk, nn / bn, cutoff);
+    // Each SLP addition is a block-wise addition over the respective
+    // operand's block shape; decoding also pays one block-accumulate per W
+    // nonzero beyond the first in each output row (already counted by the
+    // chain SLP length).
+    let adds_here = scheme.enc_a.additions() as u128 * blk_a
+        + scheme.enc_b.additions() as u128 * blk_b
+        + scheme.dec_c.additions() as u128 * blk_c;
     OpCount {
         mults: scheme.r as u128 * sub.mults,
         adds: scheme.r as u128 * sub.adds + adds_here,
@@ -218,7 +267,10 @@ mod tests {
     use super::*;
     use crate::classical::multiply_naive;
     use crate::scalar::Fp;
-    use crate::scheme::{all_schemes, classical_scheme, strassen, winograd};
+    use crate::scheme::{
+        all_schemes, classical_rect, classical_scheme, strassen, strassen_2x2x4, winograd,
+        winograd_2x4x2,
+    };
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -254,12 +306,33 @@ mod tests {
     fn all_registry_schemes_multiply_correctly_over_fp() {
         let mut rng = StdRng::seed_from_u64(9);
         for scheme in all_schemes() {
-            let n = scheme.n0 * scheme.n0; // two recursion levels
-            let a = Matrix::random_fp(n, n, &mut rng);
-            let b = Matrix::random_fp(n, n, &mut rng);
+            let (bm, bk, bn) = scheme.dims();
+            // two recursion levels of the scheme's own shape
+            let (mm, kk, nn) = (bm * bm, bk * bk, bn * bn);
+            let a = Matrix::random_fp(mm, kk, &mut rng);
+            let b = Matrix::random_fp(kk, nn, &mut rng);
             let got = multiply_scheme(&scheme, &a, &b, 1);
             let want = multiply_naive(&a, &b);
             assert_eq!(got, want, "scheme {}", scheme.name);
+        }
+    }
+
+    #[test]
+    fn rectangular_schemes_multiply_rectangular_operands() {
+        let mut rng = StdRng::seed_from_u64(19);
+        for scheme in [strassen_2x2x4(), winograd_2x4x2(), classical_rect(2, 2, 3)] {
+            let (bm, bk, bn) = scheme.dims();
+            for levels in 1..=2u32 {
+                let (mm, kk, nn) = (bm.pow(levels), bk.pow(levels), bn.pow(levels));
+                let a = Matrix::random_fp(mm, kk, &mut rng);
+                let b = Matrix::random_fp(kk, nn, &mut rng);
+                assert_eq!(
+                    multiply_scheme(&scheme, &a, &b, 1),
+                    multiply_naive(&a, &b),
+                    "{} levels={levels}",
+                    scheme.name
+                );
+            }
         }
     }
 
@@ -275,6 +348,86 @@ mod tests {
                 "n={n}"
             );
         }
+    }
+
+    #[test]
+    fn non_divisible_sizes_recurse_after_padding() {
+        // The footgun fix, correctness half: a non-divisible size stays the
+        // bilinear identity through the pad-crop path (exact arithmetic, so
+        // this cannot distinguish *which* kernel ran — the path witness is
+        // `non_divisible_sizes_take_the_fast_path_not_the_cubic_kernel`).
+        let mut rng = StdRng::seed_from_u64(23);
+        for (mm, kk, nn) in [(6usize, 6usize, 6usize), (7, 7, 7), (10, 14, 6), (5, 3, 9)] {
+            let a = Matrix::random_int(mm, kk, 30, &mut rng);
+            let b = Matrix::random_int(kk, nn, 30, &mut rng);
+            assert_eq!(
+                multiply_scheme(&strassen(), &a, &b, 1),
+                multiply_naive(&a, &b),
+                "{mm}x{kk}x{nn}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_divisible_sizes_take_the_fast_path_not_the_cubic_kernel() {
+        // The footgun fix, execution-path half. Over f64, Strassen
+        // reassociates the arithmetic, so its bit pattern differs from the
+        // classical kernel's on generic inputs. A non-divisible size must be
+        // bit-identical to the manually padded-and-cropped *fast* run (that
+        // is literally what multiply_rec executes) and must NOT be
+        // bit-identical to multiply_ikj — which is exactly what it would be
+        // if the engine regressed to the old silent classical fallback.
+        let s = strassen();
+        let mut rng = StdRng::seed_from_u64(29);
+        for (mm, kk, nn) in [(7usize, 7usize, 7usize), (5, 9, 3), (11, 4, 6)] {
+            let a = Matrix::<f64>::random(mm, kk, &mut rng);
+            let b = Matrix::<f64>::random(kk, nn, &mut rng);
+            let engine = multiply_scheme(&s, &a, &b, 1);
+            let (pm, pk, pn) = (
+                mm.next_multiple_of(2),
+                kk.next_multiple_of(2),
+                nn.next_multiple_of(2),
+            );
+            let pad = |m: &Matrix<f64>, rows: usize, cols: usize| {
+                Matrix::from_fn(rows, cols, |i, j| {
+                    if i < m.rows() && j < m.cols() {
+                        m[(i, j)]
+                    } else {
+                        0.0
+                    }
+                })
+            };
+            let padded = multiply_scheme(&s, &pad(&a, pm, pk), &pad(&b, pk, pn), 1);
+            let cropped = Matrix::from_fn(mm, nn, |i, j| padded[(i, j)]);
+            assert_eq!(
+                engine, cropped,
+                "{mm}x{kk}x{nn}: must be the padded fast run"
+            );
+            assert_ne!(
+                engine,
+                multiply_ikj(&a, &b),
+                "{mm}x{kk}x{nn}: bit-identical to the cubic kernel ⇒ silent fallback regressed"
+            );
+        }
+    }
+
+    #[test]
+    fn rectangular_operands_with_square_schemes() {
+        // M x K by K x N through a square scheme: grid blocks are
+        // rectangular even though the grid is 2x2.
+        let mut rng = StdRng::seed_from_u64(24);
+        let a = Matrix::random_int(8, 16, 20, &mut rng);
+        let b = Matrix::random_int(16, 4, 20, &mut rng);
+        assert_eq!(
+            multiply_scheme(&strassen(), &a, &b, 1),
+            multiply_naive(&a, &b)
+        );
+        let a = Matrix::random_int(32, 2, 20, &mut rng);
+        let b = Matrix::random_int(2, 32, 20, &mut rng);
+        assert_eq!(
+            multiply_scheme(&winograd(), &a, &b, 2),
+            multiply_naive(&a, &b)
+        );
     }
 
     #[test]
@@ -310,6 +463,19 @@ mod tests {
             let c = scheme_op_count(&c2, n, 1);
             assert_eq!(c.mults, (n as u128).pow(3), "n={n}");
         }
+    }
+
+    #[test]
+    fn op_count_rectangular_mults_are_r_to_the_k() {
+        let s = strassen_2x2x4();
+        for k in 1..=3u32 {
+            let c = scheme_op_count_mkn(&s, 2usize.pow(k), 2usize.pow(k), 4usize.pow(k), 1);
+            assert_eq!(c.mults, 14u128.pow(k), "level {k}");
+        }
+        // one level of ⟨2,4,2⟩ on (2,4,2): 14 scalar products, then
+        // classical 1x1 base cases
+        let d = winograd_2x4x2();
+        assert_eq!(scheme_op_count_mkn(&d, 2, 4, 2, 1).mults, 14);
     }
 
     #[test]
@@ -382,6 +548,21 @@ mod tests {
             multiply_non_stationary(&[], &a, &b),
             want,
             "no levels = classical"
+        );
+    }
+
+    #[test]
+    fn non_stationary_mixes_rectangular_levels() {
+        // ⟨2,2,4⟩ at the top then ⟨2,4,2⟩: A is (4, 8) -> (2, 2) blocks...
+        // level dims must divide per level: (2·2, 2·4, 4·2) = (4, 8, 8).
+        let mut rng = StdRng::seed_from_u64(25);
+        let wide = strassen_2x2x4();
+        let deep = winograd_2x4x2();
+        let a = Matrix::random_int(4, 8, 40, &mut rng);
+        let b = Matrix::random_int(8, 8, 40, &mut rng);
+        assert_eq!(
+            multiply_non_stationary(&[&wide, &deep], &a, &b),
+            multiply_naive(&a, &b)
         );
     }
 

@@ -1,19 +1,28 @@
-//! Bilinear matrix multiplication schemes ("Strassen-like" base cases).
+//! Bilinear matrix multiplication schemes ("Strassen-like" base cases),
+//! square *and* rectangular.
 //!
-//! A *scheme* `⟨n₀; r⟩` multiplies two `n₀ x n₀` matrices with `r` scalar
-//! multiplications. It is given by coefficient matrices `(U, V, W)`:
+//! A *scheme* `⟨m, k, n; r⟩` multiplies an `m x k` matrix by a `k x n`
+//! matrix with `r` scalar multiplications (Hopcroft–Kerr notation; the
+//! square case `⟨n₀; r⟩` is `m = k = n = n₀`). It is given by coefficient
+//! matrices `(U, V, W)`:
 //!
-//! * `U` is `r x n₀²`: product `l` multiplies the left operand
+//! * `U` is `r x mk`: product `l` multiplies the left operand
 //!   `T_l = Σ_q U[l][q] · A_q`,
-//! * `V` is `r x n₀²`: by the right operand `S_l = Σ_q V[l][q] · B_q`,
-//! * `W` is `n₀² x r`: output `C_q = Σ_l W[q][l] · M_l` where `M_l = T_l·S_l`.
+//! * `V` is `r x kn`: by the right operand `S_l = Σ_q V[l][q] · B_q`,
+//! * `W` is `mn x r`: output `C_q = Σ_l W[q][l] · M_l` where `M_l = T_l·S_l`.
 //!
-//! Used recursively on blocks, a scheme yields an `O(n^{ω₀})` algorithm with
-//! `ω₀ = log_{n₀} r` — the paper's "Strassen-like" class (Section 5.1). A
-//! triple computes matrix multiplication iff it satisfies the *Brent
-//! equations*, which [`BilinearScheme::verify_brent`] checks exhaustively;
-//! every scheme shipped here is verified in tests, and tensor products of
-//! verified schemes are verified again.
+//! Used recursively on blocks, a scheme yields an algorithm with exponent
+//! `ω₀ = 3·log_{mkn} r` (which reduces to `log_{n₀} r` in the square case) —
+//! the paper's "Strassen-like" class (Section 5.1), extended to rectangular
+//! multiplication exactly as in Ballard–Demmel–Holtz–Lipshitz–Schwartz,
+//! *Graph Expansion Analysis for Communication Costs of Fast Rectangular
+//! Matrix Multiplication* (arXiv:1209.2184). A triple computes matrix
+//! multiplication iff it satisfies the (rectangular) *Brent equations*,
+//! which [`BilinearScheme::verify_brent`] checks exhaustively; every scheme
+//! shipped here is verified in tests, and the constructive builders
+//! ([`classical_rect`], [`BilinearScheme::tensor`],
+//! [`BilinearScheme::transposed`], [`BilinearScheme::rotated`]) re-verify
+//! their output at construction.
 //!
 //! Alongside the flat `(U, V, W)` form, a scheme carries three straight-line
 //! programs ([`Slp`]) for the encodings and the decoding. These capture
@@ -228,15 +237,19 @@ impl Slp {
 pub struct BilinearScheme {
     /// Human-readable name (e.g. `"strassen"`).
     pub name: String,
-    /// Base block dimension `n₀`.
-    pub n0: usize,
-    /// Number of multiplications `r = m(n₀)`.
+    /// Left block-grid rows: `A` splits into a `bm x bk` grid.
+    pub bm: usize,
+    /// Inner block-grid dimension: `B` splits into a `bk x bn` grid.
+    pub bk: usize,
+    /// Right block-grid columns: `C` splits into a `bm x bn` grid.
+    pub bn: usize,
+    /// Number of multiplications `r`.
     pub r: usize,
-    /// Left-encoding coefficients, `r x n₀²`.
+    /// Left-encoding coefficients, `r x (bm·bk)`.
     pub u: Coeffs,
-    /// Right-encoding coefficients, `r x n₀²`.
+    /// Right-encoding coefficients, `r x (bk·bn)`.
     pub v: Coeffs,
-    /// Decoding coefficients, `n₀² x r`.
+    /// Decoding coefficients, `(bm·bn) x r`.
     pub w: Coeffs,
     /// Straight-line program computing the left encodings.
     pub enc_a: Slp,
@@ -247,23 +260,40 @@ pub struct BilinearScheme {
 }
 
 impl BilinearScheme {
-    /// Build a scheme from flat coefficients, deriving chain SLPs.
+    /// Build a square `⟨n₀; r⟩` scheme from flat coefficients, deriving
+    /// chain SLPs. Thin wrapper over [`BilinearScheme::from_coeffs_rect`].
     pub fn from_coeffs(name: &str, n0: usize, u: Coeffs, v: Coeffs, w: Coeffs) -> Self {
-        let t = n0 * n0;
+        Self::from_coeffs_rect(name, n0, n0, n0, u, v, w)
+    }
+
+    /// Build a rectangular `⟨m, k, n; r⟩` scheme from flat coefficients,
+    /// deriving chain SLPs.
+    pub fn from_coeffs_rect(
+        name: &str,
+        bm: usize,
+        bk: usize,
+        bn: usize,
+        u: Coeffs,
+        v: Coeffs,
+        w: Coeffs,
+    ) -> Self {
+        assert!(bm >= 1 && bk >= 1 && bn >= 1, "degenerate base dims");
         let r = u.rows();
         assert_eq!(v.rows(), r);
-        assert_eq!(u.cols(), t);
-        assert_eq!(v.cols(), t);
-        assert_eq!(w.rows(), t);
+        assert_eq!(u.cols(), bm * bk, "U must be r x mk");
+        assert_eq!(v.cols(), bk * bn, "V must be r x kn");
+        assert_eq!(w.rows(), bm * bn, "W must be mn x r");
         assert_eq!(w.cols(), r);
         let enc_a = Slp::chain_from_rows(&u);
         let enc_b = Slp::chain_from_rows(&v);
-        // Decoding combines rows of W (an n₀² x r matrix): treat each output
+        // Decoding combines rows of W (an mn x r matrix): treat each output
         // as a row over r product inputs.
         let dec_c = Slp::chain_from_rows(&w);
         BilinearScheme {
             name: name.to_string(),
-            n0,
+            bm,
+            bk,
+            bn,
             r,
             u,
             v,
@@ -274,9 +304,44 @@ impl BilinearScheme {
         }
     }
 
-    /// `ω₀ = log_{n₀} r`, the exponent of the arithmetic count.
+    /// The base block-grid dimensions `(m, k, n)`.
+    #[inline]
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.bm, self.bk, self.bn)
+    }
+
+    /// Whether the scheme is square (`m = k = n`).
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.bm == self.bk && self.bk == self.bn
+    }
+
+    /// The square base dimension `n₀`. Panics on rectangular schemes — use
+    /// [`BilinearScheme::dims`] in generic code.
+    #[inline]
+    pub fn n0(&self) -> usize {
+        assert!(
+            self.is_square(),
+            "{}: n0() called on rectangular scheme {}",
+            self.name,
+            self.shape_string()
+        );
+        self.bm
+    }
+
+    /// The `⟨m,k,n;r⟩` notation string (square schemes print `⟨n₀;r⟩`).
+    pub fn shape_string(&self) -> String {
+        if self.is_square() {
+            format!("⟨{};{}⟩", self.bm, self.r)
+        } else {
+            format!("⟨{},{},{};{}⟩", self.bm, self.bk, self.bn, self.r)
+        }
+    }
+
+    /// `ω₀ = 3·log_{mkn} r`, the exponent of the arithmetic count
+    /// (arXiv:1209.2184; equals `log_{n₀} r` when square).
     pub fn omega0(&self) -> f64 {
-        (self.r as f64).ln() / (self.n0 as f64).ln()
+        3.0 * (self.r as f64).ln() / ((self.bm * self.bk * self.bn) as f64).ln()
     }
 
     /// Total additions per recursion step (encode A + encode B + decode),
@@ -285,29 +350,30 @@ impl BilinearScheme {
         self.enc_a.additions() + self.enc_b.additions() + self.dec_c.additions()
     }
 
-    /// Verify the Brent equations: for all `i,k` (left block), `k',j` (right
-    /// block), `i',j'` (output block),
-    /// `Σ_l U[l][(i,k)]·V[l][(k',j)]·W[(i',j')][l] = [i=i'][j=j'][k=k']`.
+    /// Verify the rectangular Brent equations: for all `i ∈ [m], x ∈ [k]`
+    /// (left block), `x' ∈ [k], j ∈ [n]` (right block), `i' ∈ [m], j' ∈ [n]`
+    /// (output block),
+    /// `Σ_l U[l][(i,x)]·V[l][(x',j)]·W[(i',j')][l] = [i=i'][j=j'][x=x']`.
     ///
     /// Returns `Ok(())` or the first violated equation.
     pub fn verify_brent(&self) -> Result<(), String> {
-        let n0 = self.n0;
-        for i in 0..n0 {
-            for k in 0..n0 {
-                for k2 in 0..n0 {
-                    for j in 0..n0 {
-                        for i2 in 0..n0 {
-                            for j2 in 0..n0 {
+        let (bm, bk, bn) = self.dims();
+        for i in 0..bm {
+            for x in 0..bk {
+                for x2 in 0..bk {
+                    for j in 0..bn {
+                        for i2 in 0..bm {
+                            for j2 in 0..bn {
                                 let mut sum = 0i64;
                                 for l in 0..self.r {
-                                    sum += self.u.get(l, i * n0 + k)
-                                        * self.v.get(l, k2 * n0 + j)
-                                        * self.w.get(i2 * n0 + j2, l);
+                                    sum += self.u.get(l, i * bk + x)
+                                        * self.v.get(l, x2 * bn + j)
+                                        * self.w.get(i2 * bn + j2, l);
                                 }
-                                let expect = i64::from(i == i2 && j == j2 && k == k2);
+                                let expect = i64::from(i == i2 && j == j2 && x == x2);
                                 if sum != expect {
                                     return Err(format!(
-                                        "Brent equation violated at A({i},{k}) B({k2},{j}) \
+                                        "Brent equation violated at A({i},{x}) B({x2},{j}) \
                                          C({i2},{j2}): got {sum}, want {expect}"
                                     ));
                                 }
@@ -334,44 +400,63 @@ impl BilinearScheme {
         Ok(())
     }
 
-    /// Tensor (Kronecker) product of two schemes: `⟨n₀ᵃ·n₀ᵇ; rᵃ·rᵇ⟩`.
+    /// Tensor (Kronecker) product of two schemes:
+    /// `⟨m₁,k₁,n₁;r₁⟩ ⊗ ⟨m₂,k₂,n₂;r₂⟩ = ⟨m₁m₂, k₁k₂, n₁n₂; r₁r₂⟩`.
     ///
     /// Applying `a ⊗ b` one level equals applying `a` then `b`; the paper's
     /// "uniform, non-stationary" class (Section 5.2) mixes such levels.
+    /// The result is re-verified against the Brent equations.
     pub fn tensor(&self, other: &BilinearScheme) -> BilinearScheme {
-        let (na, nb) = (self.n0, other.n0);
-        let n0 = na * nb;
-        let t = n0 * n0;
+        let (m1, k1, n1) = self.dims();
+        let (m2, k2, n2) = other.dims();
+        let (bm, bk, bn) = (m1 * m2, k1 * k2, n1 * n2);
         let r = self.r * other.r;
-        // Composite block index: row i = ia*nb + ib, col k = ka*nb + kb,
-        // flat q = i*n0 + k.
-        let q_of =
-            |ia: usize, ib: usize, ka: usize, kb: usize| (ia * nb + ib) * n0 + (ka * nb + kb);
-        let mut u = Coeffs::zeros(r, t);
-        let mut v = Coeffs::zeros(r, t);
-        let mut w = Coeffs::zeros(t, r);
+        let mut u = Coeffs::zeros(r, bm * bk);
+        let mut v = Coeffs::zeros(r, bk * bn);
+        let mut w = Coeffs::zeros(bm * bn, r);
         for la in 0..self.r {
             for lb in 0..other.r {
                 let l = la * other.r + lb;
-                for ia in 0..na {
-                    for ka in 0..na {
-                        for ib in 0..nb {
-                            for kb in 0..nb {
-                                let q = q_of(ia, ib, ka, kb);
+                // U: composite A-block (i, x) with i = i1·m₂+i2, x = x1·k₂+x2.
+                for i1 in 0..m1 {
+                    for x1 in 0..k1 {
+                        for i2 in 0..m2 {
+                            for x2 in 0..k2 {
+                                let q = (i1 * m2 + i2) * bk + (x1 * k2 + x2);
                                 u.set(
                                     l,
                                     q,
-                                    self.u.get(la, ia * na + ka) * other.u.get(lb, ib * nb + kb),
+                                    self.u.get(la, i1 * k1 + x1) * other.u.get(lb, i2 * k2 + x2),
                                 );
+                            }
+                        }
+                    }
+                }
+                // V: composite B-block (x, j).
+                for x1 in 0..k1 {
+                    for j1 in 0..n1 {
+                        for x2 in 0..k2 {
+                            for j2 in 0..n2 {
+                                let q = (x1 * k2 + x2) * bn + (j1 * n2 + j2);
                                 v.set(
                                     l,
                                     q,
-                                    self.v.get(la, ia * na + ka) * other.v.get(lb, ib * nb + kb),
+                                    self.v.get(la, x1 * n1 + j1) * other.v.get(lb, x2 * n2 + j2),
                                 );
+                            }
+                        }
+                    }
+                }
+                // W: composite C-block (i, j).
+                for i1 in 0..m1 {
+                    for j1 in 0..n1 {
+                        for i2 in 0..m2 {
+                            for j2 in 0..n2 {
+                                let q = (i1 * m2 + i2) * bn + (j1 * n2 + j2);
                                 w.set(
                                     q,
                                     l,
-                                    self.w.get(ia * na + ka, la) * other.w.get(ib * nb + kb, lb),
+                                    self.w.get(i1 * n1 + j1, la) * other.w.get(i2 * n2 + j2, lb),
                                 );
                             }
                         }
@@ -379,32 +464,133 @@ impl BilinearScheme {
                 }
             }
         }
-        BilinearScheme::from_coeffs(&format!("{}⊗{}", self.name, other.name), n0, u, v, w)
+        let s = BilinearScheme::from_coeffs_rect(
+            &format!("{}⊗{}", self.name, other.name),
+            bm,
+            bk,
+            bn,
+            u,
+            v,
+            w,
+        );
+        s.verify_brent()
+            .unwrap_or_else(|e| panic!("tensor product {}: {e}", s.name));
+        s
+    }
+
+    /// Transpose-dual scheme `⟨n, k, m; r⟩`: computes `C = A·B` via
+    /// `Cᵀ = Bᵀ·Aᵀ`. One of the Hopcroft–Kerr dimension symmetries; the
+    /// result is re-verified against the Brent equations.
+    pub fn transposed(&self) -> BilinearScheme {
+        let (bm, bk, bn) = self.dims();
+        let mut u = Coeffs::zeros(self.r, bn * bk);
+        let mut v = Coeffs::zeros(self.r, bk * bm);
+        let mut w = Coeffs::zeros(bn * bm, self.r);
+        for l in 0..self.r {
+            for x in 0..bk {
+                for j in 0..bn {
+                    u.set(l, j * bk + x, self.v.get(l, x * bn + j));
+                }
+                for i in 0..bm {
+                    v.set(l, x * bm + i, self.u.get(l, i * bk + x));
+                }
+            }
+            for i in 0..bm {
+                for j in 0..bn {
+                    w.set(j * bm + i, l, self.w.get(i * bn + j, l));
+                }
+            }
+        }
+        let s = BilinearScheme::from_coeffs_rect(&format!("{}ᵀ", self.name), bn, bk, bm, u, v, w);
+        s.verify_brent()
+            .unwrap_or_else(|e| panic!("transpose of {}: {e}", self.name));
+        s
+    }
+
+    /// Cyclic rotation `⟨k, n, m; r⟩` of the underlying trilinear form
+    /// (the other Hopcroft–Kerr symmetry generator; together with
+    /// [`BilinearScheme::transposed`] it generates all six dimension
+    /// permutations of a verified triple). Re-verified at construction.
+    pub fn rotated(&self) -> BilinearScheme {
+        let (bm, bk, bn) = self.dims();
+        // (U', V', W') = (V, Wᵀ-indexed, Uᵀ-indexed): the trilinear form
+        // Σ U[l][(i,x)]·V[l][(x,j)]·W[(i,j)][l]·a_{ix}·b_{xj}·c_{ji} is
+        // invariant under cycling (a, b, c) → (b, c, a).
+        let u = self.v.clone();
+        let mut v = Coeffs::zeros(self.r, bn * bm);
+        let mut w = Coeffs::zeros(bk * bm, self.r);
+        for l in 0..self.r {
+            for i in 0..bm {
+                for j in 0..bn {
+                    v.set(l, j * bm + i, self.w.get(i * bn + j, l));
+                }
+                for x in 0..bk {
+                    w.set(x * bm + i, l, self.u.get(l, i * bk + x));
+                }
+            }
+        }
+        let s = BilinearScheme::from_coeffs_rect(&format!("{}↻", self.name), bk, bn, bm, u, v, w);
+        s.verify_brent()
+            .unwrap_or_else(|e| panic!("rotation of {}: {e}", self.name));
+        s
+    }
+
+    /// All six dimension permutations of the scheme (identity, rotations,
+    /// and transposed variants), each Brent-verified. Rectangular schemes
+    /// with distinct dims yield six distinct shapes; square schemes yield
+    /// six schemes of the same shape.
+    pub fn permutations(&self) -> Vec<BilinearScheme> {
+        let r1 = self.rotated();
+        let r2 = r1.rotated();
+        let t = self.transposed();
+        let t1 = t.rotated();
+        let t2 = t1.rotated();
+        vec![self.clone(), r1, r2, t, t1, t2]
     }
 }
 
-/// The classical `⟨n₀; n₀³⟩` scheme: product `(i,k,j)` multiplies `A_{ik}` by
-/// `B_{kj}` and accumulates into `C_{ij}`. Its `Dec₁C` graph is
-/// *disconnected* (one component per output), so it is **not**
-/// "Strassen-like" in the paper's technical sense (Section 5.1.1) — a fact
-/// the CDAG tests assert.
-pub fn classical_scheme(n0: usize) -> BilinearScheme {
-    let t = n0 * n0;
-    let r = n0 * n0 * n0;
-    let mut u = Coeffs::zeros(r, t);
-    let mut v = Coeffs::zeros(r, t);
-    let mut w = Coeffs::zeros(t, r);
-    for i in 0..n0 {
-        for k in 0..n0 {
-            for j in 0..n0 {
-                let l = (i * n0 + k) * n0 + j;
-                u.set(l, i * n0 + k, 1);
-                v.set(l, k * n0 + j, 1);
-                w.set(i * n0 + j, l, 1);
+/// The classical rectangular `⟨m, k, n; mkn⟩` scheme: product `(i, x, j)`
+/// multiplies `A_{ix}` by `B_{xj}` and accumulates into `C_{ij}`. With
+/// `k = 1` this is the outer-product base `⟨m,1,n;mn⟩`; with `m = n = 1`
+/// the inner-product base `⟨1,k,1;k⟩`. Brent-verified at construction.
+pub fn classical_rect(bm: usize, bk: usize, bn: usize) -> BilinearScheme {
+    let r = bm * bk * bn;
+    let mut u = Coeffs::zeros(r, bm * bk);
+    let mut v = Coeffs::zeros(r, bk * bn);
+    let mut w = Coeffs::zeros(bm * bn, r);
+    for i in 0..bm {
+        for x in 0..bk {
+            for j in 0..bn {
+                let l = (i * bk + x) * bn + j;
+                u.set(l, i * bk + x, 1);
+                v.set(l, x * bn + j, 1);
+                w.set(i * bn + j, l, 1);
             }
         }
     }
-    BilinearScheme::from_coeffs(&format!("classical{n0}"), n0, u, v, w)
+    let s = BilinearScheme::from_coeffs_rect(
+        &format!("classical⟨{bm},{bk},{bn}⟩"),
+        bm,
+        bk,
+        bn,
+        u,
+        v,
+        w,
+    );
+    s.verify_brent()
+        .unwrap_or_else(|e| panic!("classical_rect({bm},{bk},{bn}): {e}"));
+    s
+}
+
+/// The classical square `⟨n₀; n₀³⟩` scheme: a thin wrapper over
+/// [`classical_rect`] keeping the historical `classical{n0}` name. Its
+/// `Dec₁C` graph is *disconnected* (one component per output), so it is
+/// **not** "Strassen-like" in the paper's technical sense (Section 5.1.1) —
+/// a fact the CDAG tests assert.
+pub fn classical_scheme(n0: usize) -> BilinearScheme {
+    let mut s = classical_rect(n0, n0, n0);
+    s.name = format!("classical{n0}");
+    s
 }
 
 /// Strassen's original `⟨2; 7⟩` scheme (Strassen 1969; Algorithm 1 in the
@@ -615,7 +801,28 @@ pub fn winograd() -> BilinearScheme {
     s
 }
 
-/// Registry of the executable schemes shipped with this crate.
+/// `⟨2,2,4;14⟩` — Strassen tensored with the trivial column-split
+/// `⟨1,1,2;2⟩`: a *nontrivial* rectangular scheme (14 < 2·2·4 = 16
+/// multiplications; `ω₀ = 3·log₁₆ 14 ≈ 2.855`) for wide outputs.
+pub fn strassen_2x2x4() -> BilinearScheme {
+    let mut s = strassen().tensor(&classical_rect(1, 1, 2));
+    s.name = "strassen⊗⟨1,1,2⟩".to_string();
+    s
+}
+
+/// `⟨2,4,2;14⟩` — the trivial inner-split `⟨1,2,1;2⟩` tensored with
+/// Winograd: a *nontrivial* rectangular scheme (14 < 2·4·2 = 16
+/// multiplications) for deep inner dimensions, with a *connected* `Dec₁C`
+/// (the expansion machinery applies to it).
+pub fn winograd_2x4x2() -> BilinearScheme {
+    let mut s = classical_rect(1, 2, 1).tensor(&winograd());
+    s.name = "⟨1,2,1⟩⊗winograd".to_string();
+    s
+}
+
+/// Registry of the executable schemes shipped with this crate — square and
+/// rectangular. Every entry is Brent-verified in tests, multiplies real
+/// matrices exactly over `F_p`, and round-trips through the CDAG tracer.
 pub fn all_schemes() -> Vec<BilinearScheme> {
     vec![
         classical_scheme(2),
@@ -623,7 +830,18 @@ pub fn all_schemes() -> Vec<BilinearScheme> {
         strassen(),
         winograd(),
         strassen().tensor(&strassen()),
+        classical_rect(2, 2, 3),
+        strassen_2x2x4(),
+        winograd_2x4x2(),
     ]
+}
+
+/// The rectangular (non-square) subset of [`all_schemes`].
+pub fn rect_schemes() -> Vec<BilinearScheme> {
+    all_schemes()
+        .into_iter()
+        .filter(|s| !s.is_square())
+        .collect()
 }
 
 #[cfg(test)]
@@ -648,6 +866,15 @@ mod tests {
     }
 
     #[test]
+    fn classical_rect_satisfies_brent() {
+        for (m, k, n) in [(1, 1, 2), (2, 1, 2), (1, 3, 1), (2, 3, 4), (3, 2, 3)] {
+            let s = classical_rect(m, k, n);
+            s.verify_brent().unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(s.r, m * k * n);
+        }
+    }
+
+    #[test]
     fn tensor_products_satisfy_brent() {
         strassen().tensor(&strassen()).verify_brent().unwrap();
         strassen()
@@ -655,6 +882,48 @@ mod tests {
             .verify_brent()
             .unwrap();
         winograd().tensor(&strassen()).verify_brent().unwrap();
+    }
+
+    #[test]
+    fn rect_tensor_products_satisfy_brent() {
+        // mixed square ⊗ rect, rect ⊗ rect — verified inside tensor() too,
+        // so these double as smoke tests for the constructive pipeline
+        let a = strassen().tensor(&classical_rect(1, 2, 3));
+        assert_eq!(a.dims(), (2, 4, 6));
+        assert_eq!(a.r, 7 * 6);
+        let b = classical_rect(2, 1, 3).tensor(&classical_rect(1, 2, 1));
+        assert_eq!(b.dims(), (2, 2, 3));
+        b.verify_brent().unwrap();
+    }
+
+    #[test]
+    fn permutations_are_verified_and_permute_dims() {
+        let s = strassen_2x2x4();
+        let perms = s.permutations();
+        assert_eq!(perms.len(), 6);
+        let mut shapes: Vec<(usize, usize, usize)> = perms.iter().map(|p| p.dims()).collect();
+        shapes.sort_unstable();
+        shapes.dedup();
+        // ⟨2,2,4⟩ has a repeated dim: 3 distinct ordered shapes
+        assert_eq!(
+            shapes,
+            vec![(2, 2, 4), (2, 4, 2), (4, 2, 2)],
+            "dimension multiset is preserved"
+        );
+        for p in &perms {
+            assert_eq!(p.r, s.r);
+            p.verify_brent()
+                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn rotation_has_order_three_on_dims() {
+        let s = classical_rect(2, 3, 4);
+        let r3 = s.rotated().rotated().rotated();
+        assert_eq!(r3.dims(), s.dims());
+        assert_eq!(s.rotated().dims(), (3, 4, 2));
+        assert_eq!(s.transposed().dims(), (4, 3, 2));
     }
 
     #[test]
@@ -683,13 +952,45 @@ mod tests {
     }
 
     #[test]
+    fn rect_omega0_closed_forms() {
+        // ω₀ = 3·log_{mkn} r (arXiv:1209.2184)
+        let wide = strassen_2x2x4();
+        assert!((wide.omega0() - 3.0 * 14f64.ln() / 16f64.ln()).abs() < 1e-12);
+        let deep = winograd_2x4x2();
+        assert!((deep.omega0() - 3.0 * 14f64.ln() / 16f64.ln()).abs() < 1e-12);
+        // any classical scheme has ω₀ = 3 exactly
+        assert!((classical_rect(2, 2, 3).omega0() - 3.0).abs() < 1e-12);
+        assert!((classical_rect(3, 1, 2).omega0() - 3.0).abs() < 1e-12);
+        // permutations preserve ω₀
+        for p in wide.permutations() {
+            assert!((p.omega0() - wide.omega0()).abs() < 1e-12, "{}", p.name);
+        }
+    }
+
+    #[test]
     fn tensor_dimensions() {
         let ss = strassen().tensor(&strassen());
-        assert_eq!(ss.n0, 4);
+        assert_eq!(ss.dims(), (4, 4, 4));
+        assert_eq!(ss.n0(), 4);
         assert_eq!(ss.r, 49);
         let sc = strassen().tensor(&classical_scheme(2));
-        assert_eq!(sc.n0, 4);
+        assert_eq!(sc.n0(), 4);
         assert_eq!(sc.r, 56);
+        assert_eq!(strassen_2x2x4().dims(), (2, 2, 4));
+        assert_eq!(winograd_2x4x2().dims(), (2, 4, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "rectangular")]
+    fn n0_panics_on_rectangular() {
+        let _ = strassen_2x2x4().n0();
+    }
+
+    #[test]
+    fn shape_strings() {
+        assert_eq!(strassen().shape_string(), "⟨2;7⟩");
+        assert_eq!(strassen_2x2x4().shape_string(), "⟨2,2,4;14⟩");
+        assert_eq!(classical_rect(1, 3, 1).shape_string(), "⟨1,3,1;3⟩");
     }
 
     #[test]
@@ -728,6 +1029,13 @@ mod tests {
     }
 
     #[test]
+    fn brent_detects_rectangular_corruption() {
+        let mut s = strassen_2x2x4();
+        s.u.set(3, 1, 9);
+        assert!(s.verify_brent().is_err());
+    }
+
+    #[test]
     fn classical_nnz_structure() {
         let c = classical_scheme(2);
         assert_eq!(c.u.nnz(), 8);
@@ -737,5 +1045,16 @@ mod tests {
         for q in 0..4 {
             assert_eq!(c.w.row_nnz(q), 2);
         }
+    }
+
+    #[test]
+    fn registry_contains_nontrivial_rectangular_schemes() {
+        let rects = rect_schemes();
+        let nontrivial: Vec<_> = rects.iter().filter(|s| s.r < s.bm * s.bk * s.bn).collect();
+        assert!(
+            nontrivial.len() >= 2,
+            "need >= 2 nontrivial rectangular schemes, got {}",
+            nontrivial.len()
+        );
     }
 }

@@ -84,17 +84,16 @@ pub fn multiply_blocked_explicit<T: Scalar>(
 }
 
 /// Depth-first recursive Strassen-like multiplication with streaming block
-/// additions; the paper's upper-bound construction.
+/// additions; the paper's upper-bound construction. Accepts any conformal
+/// `M x K` by `K x N` operand pair — rectangular `⟨m,k,n;r⟩` schemes split
+/// the operands into their native block grids (arXiv:1209.2184).
 pub fn multiply_dfs_explicit<T: Scalar>(
     scheme: &BilinearScheme,
     a: &Matrix<T>,
     b: &Matrix<T>,
     m: usize,
 ) -> ExplicitRun<T> {
-    let n = a.rows();
-    assert_eq!(a.cols(), n);
-    assert_eq!(b.rows(), n);
-    assert_eq!(b.cols(), n);
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     let mut machine = TwoLevelMachine::new(m);
     let c = dfs_rec(scheme, a, b, &mut machine);
     ExplicitRun {
@@ -110,25 +109,27 @@ fn dfs_rec<T: Scalar>(
     b: &Matrix<T>,
     machine: &mut TwoLevelMachine,
 ) -> Matrix<T> {
-    let n = a.rows();
-    let n0 = scheme.n0;
-    // Base case: both inputs and the output fit simultaneously.
-    if 3 * n * n <= machine.capacity() || !n.is_multiple_of(n0) || n == 1 {
-        machine.load(n * n); // A
-        machine.load(n * n); // B
-        machine.alloc(n * n); // C accumulator materializes in fast memory
+    let (mm, kk, nn) = (a.rows(), a.cols(), b.cols());
+    let (bm, bk, bn) = scheme.dims();
+    let (wa, wb, wc) = (mm * kk, kk * nn, mm * nn);
+    let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
+    // Base case: both inputs and the output fit simultaneously (or the
+    // scheme cannot split further — a 1x1x1 problem always lands in
+    // `!divisible` or `bm*bk*bn == 1`).
+    if wa + wb + wc <= machine.capacity() || !divisible || bm * bk * bn == 1 {
+        machine.load(wa); // A
+        machine.load(wb); // B
+        machine.alloc(wc); // C accumulator materializes in fast memory
         let c = multiply_ikj(a, b);
-        machine.free(2 * n * n);
-        machine.store(n * n); // C back to slow memory
+        machine.free(wa + wb);
+        machine.store(wc); // C back to slow memory
         return c;
     }
-    let _bs = n / n0;
-    let t = n0 * n0;
-    let a_blocks: Vec<Matrix<T>> = (0..t)
-        .map(|q| a.view().grid_block(n0, q / n0, q % n0).to_matrix())
+    let a_blocks: Vec<Matrix<T>> = (0..bm * bk)
+        .map(|q| a.view().grid_block_rect(bm, bk, q / bk, q % bk).to_matrix())
         .collect();
-    let b_blocks: Vec<Matrix<T>> = (0..t)
-        .map(|q| b.view().grid_block(n0, q / n0, q % n0).to_matrix())
+    let b_blocks: Vec<Matrix<T>> = (0..bk * bn)
+        .map(|q| b.view().grid_block_rect(bk, bn, q / bn, q % bn).to_matrix())
         .collect();
     // Block additions run as the scheme's straight-line programs, each op a
     // streaming pass over slow memory (O(1) fast memory). This is where
@@ -139,10 +140,10 @@ fn dfs_rec<T: Scalar>(
         .map(|l| dfs_rec(scheme, &ta[l], &tb[l], machine))
         .collect();
     let c_blocks = slp_eval_streamed(&scheme.dec_c, &products, machine);
-    let mut c: Matrix<T> = Matrix::zeros(n, n);
+    let mut c: Matrix<T> = Matrix::zeros(mm, nn);
     for (q, blk) in c_blocks.iter().enumerate() {
         c.view_mut()
-            .grid_block_mut(n0, q / n0, q % n0)
+            .grid_block_rect_mut(bm, bn, q / bn, q % bn)
             .copy_from(blk.view());
     }
     c
@@ -155,22 +156,22 @@ fn slp_eval_streamed<T: Scalar>(
     inputs: &[Matrix<T>],
     machine: &mut TwoLevelMachine,
 ) -> Vec<Matrix<T>> {
-    let bs = inputs[0].rows();
+    let words = inputs[0].rows() * inputs[0].cols();
     let mut tape: Vec<Matrix<T>> = inputs.to_vec();
     for op in &slp.ops {
-        let mut out: Matrix<T> = Matrix::zeros(bs, bs);
+        let mut out: Matrix<T> = Matrix::zeros(inputs[0].rows(), inputs[0].cols());
         let mut reads = 0usize;
         if op.ca != 0 {
             let src = tape[op.a].clone();
             out.view_mut().accumulate_scaled(src.view(), op.ca);
-            reads += bs * bs;
+            reads += words;
         }
         if op.cb != 0 {
             let src = tape[op.b].clone();
             out.view_mut().accumulate_scaled(src.view(), op.cb);
-            reads += bs * bs;
+            reads += words;
         }
-        machine.stream(reads, bs * bs);
+        machine.stream(reads, words);
         tape.push(out);
     }
     slp.outputs.iter().map(|&i| tape[i].clone()).collect()
@@ -178,14 +179,36 @@ fn slp_eval_streamed<T: Scalar>(
 
 /// Closed-form upper-bound recurrence (Equation 1): the word count of the
 /// DFS algorithm satisfies `IO(n) = r·IO(n/n₀) + 3·adds·(n/n₀)²` with base
-/// `IO(√(M/3)) = 3n² = Θ(M)`. Returns the analytically unrolled count for
-/// exact comparison against measured runs (each SLP op streams up to two
-/// operand reads plus one write of a `(n/n₀)²` block).
+/// `IO(√(M/3)) = 3n² = Θ(M)`. Square wrapper over
+/// [`dfs_io_recurrence_mkn`]; returns the analytically unrolled count for
+/// exact comparison against measured runs.
 pub fn dfs_io_recurrence(scheme: &BilinearScheme, n: usize, m: usize) -> f64 {
-    if 3 * n * n <= m || !n.is_multiple_of(scheme.n0) || n == 1 {
-        return 3.0 * (n * n) as f64; // read A, B; write C
+    dfs_io_recurrence_mkn(scheme, n, n, n, m)
+}
+
+/// Rectangular form of the Equation (1) recurrence:
+/// `IO(M,K,N) = r·IO(M/m, K/k, N/n) + Σ_slp op_words·block`, base
+/// `IO = MK + KN + MN` once all three operands fit in fast memory. Each SLP
+/// op streams up to two operand reads plus one write of the respective
+/// block (A-blocks `(M/m)(K/k)`, B-blocks `(K/k)(N/n)`, C-blocks
+/// `(M/m)(N/n)` words). Mirrors [`multiply_dfs_explicit`] exactly — the
+/// property suite asserts measured == predicted.
+pub fn dfs_io_recurrence_mkn(
+    scheme: &BilinearScheme,
+    mm: usize,
+    kk: usize,
+    nn: usize,
+    m: usize,
+) -> f64 {
+    let (bm, bk, bn) = scheme.dims();
+    let (wa, wb, wc) = (mm * kk, kk * nn, mm * nn);
+    let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
+    if wa + wb + wc <= m || !divisible || bm * bk * bn == 1 {
+        return (wa + wb + wc) as f64; // read A, B; write C
     }
-    let bs = (n / scheme.n0) as f64;
+    let blk_a = ((mm / bm) * (kk / bk)) as f64;
+    let blk_b = ((kk / bk) * (nn / bn)) as f64;
+    let blk_c = ((mm / bm) * (nn / bn)) as f64;
     let op_words = |slp: &fastmm_matrix::scheme::Slp| {
         slp.ops
             .iter()
@@ -195,9 +218,10 @@ pub fn dfs_io_recurrence(scheme: &BilinearScheme, n: usize, m: usize) -> f64 {
             })
             .sum::<f64>()
     };
-    let level =
-        (op_words(&scheme.enc_a) + op_words(&scheme.enc_b) + op_words(&scheme.dec_c)) * bs * bs;
-    level + scheme.r as f64 * dfs_io_recurrence(scheme, n / scheme.n0, m)
+    let level = op_words(&scheme.enc_a) * blk_a
+        + op_words(&scheme.enc_b) * blk_b
+        + op_words(&scheme.dec_c) * blk_c;
+    level + scheme.r as f64 * dfs_io_recurrence_mkn(scheme, mm / bm, kk / bk, nn / bn, m)
 }
 
 #[cfg(test)]
@@ -284,6 +308,59 @@ mod tests {
             let predicted = dfs_io_recurrence(&strassen(), 32, m);
             assert_eq!(run.io.total_words() as f64, predicted, "m={m}");
         }
+    }
+
+    #[test]
+    fn rectangular_dfs_is_correct_and_matches_recurrence() {
+        use fastmm_matrix::scheme::{strassen_2x2x4, winograd_2x4x2};
+        let mut rng = StdRng::seed_from_u64(17);
+        for (scheme, mm, kk, nn) in [
+            (strassen_2x2x4(), 8usize, 8usize, 64usize),
+            (winograd_2x4x2(), 8, 64, 8),
+            (strassen_2x2x4(), 4, 4, 16),
+        ] {
+            let a = Matrix::random_int(mm, kk, 20, &mut rng);
+            let b = Matrix::random_int(kk, nn, 20, &mut rng);
+            for m in [24usize, 96, 384] {
+                let run = multiply_dfs_explicit(&scheme, &a, &b, m);
+                assert_eq!(
+                    run.c,
+                    multiply_naive(&a, &b),
+                    "{} {mm}x{kk}x{nn} M={m}",
+                    scheme.name
+                );
+                assert!(run.high_water <= m.max(mm * kk + kk * nn + mm * nn));
+                let predicted = dfs_io_recurrence_mkn(&scheme, mm, kk, nn, m);
+                assert_eq!(
+                    run.io.total_words() as f64,
+                    predicted,
+                    "{} {mm}x{kk}x{nn} M={m}",
+                    scheme.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_dfs_io_scales_by_r_per_level() {
+        use fastmm_matrix::scheme::strassen_2x2x4;
+        // Once every level recurses (M below the smallest block triple),
+        // IO(level ℓ+1) / IO(level ℓ) -> r = 14 from above (the additive
+        // O(blocks) level term fades geometrically).
+        let s = strassen_2x2x4();
+        let m = 24;
+        let io: Vec<f64> = (2..=5u32)
+            .map(|l| dfs_io_recurrence_mkn(&s, 2usize.pow(l), 2usize.pow(l), 4usize.pow(l), m))
+            .collect();
+        let ratios: Vec<f64> = io.windows(2).map(|w| w[1] / w[0]).collect();
+        for pair in ratios.windows(2) {
+            assert!(pair[0] > 14.0 && pair[1] > 14.0, "ratios {ratios:?}");
+            assert!(
+                pair[1] - 14.0 < pair[0] - 14.0,
+                "must converge to r: {ratios:?}"
+            );
+        }
+        assert!(ratios.last().unwrap() - 14.0 < 2.0, "ratios {ratios:?}");
     }
 
     #[test]

@@ -18,7 +18,8 @@ pub mod machine;
 pub mod traced;
 
 pub use explicit::{
-    dfs_io_recurrence, multiply_blocked_explicit, multiply_dfs_explicit, ExplicitRun,
+    dfs_io_recurrence, dfs_io_recurrence_mkn, multiply_blocked_explicit, multiply_dfs_explicit,
+    ExplicitRun,
 };
 pub use lru::LruCache;
 pub use machine::{IoStats, TwoLevelMachine};

@@ -16,15 +16,21 @@ use fastmm_matrix::recursive::{
     multiply_winograd,
 };
 use fastmm_matrix::scalar::Fp;
-use fastmm_matrix::scheme::{classical_scheme, strassen, winograd};
+use fastmm_matrix::scheme::{
+    classical_rect, classical_scheme, strassen, strassen_2x2x4, winograd, winograd_2x4x2,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn random_pair(n: usize, seed: u64) -> (Matrix<Fp>, Matrix<Fp>) {
+    random_rect_pair(n, n, n, seed)
+}
+
+fn random_rect_pair(mm: usize, kk: usize, nn: usize, seed: u64) -> (Matrix<Fp>, Matrix<Fp>) {
     let mut rng = StdRng::seed_from_u64(seed);
     (
-        Matrix::random_fp(n, n, &mut rng),
-        Matrix::random_fp(n, n, &mut rng),
+        Matrix::random_fp(mm, kk, &mut rng),
+        Matrix::random_fp(kk, nn, &mut rng),
     )
 }
 
@@ -138,6 +144,90 @@ fn padded_engine_agrees_on_awkward_sizes_over_fp() {
             reference,
             "padded winograd n={n}"
         );
+    }
+}
+
+#[test]
+fn rectangular_schemes_agree_bit_exactly_over_fp() {
+    // Nontrivial rectangular ⟨m,k,n;r⟩ schemes on their native power shapes,
+    // against every classical kernel.
+    let cases = [
+        (strassen_2x2x4(), 4usize, 4usize, 16usize, 71u64),
+        (strassen_2x2x4(), 8, 8, 64, 72),
+        (winograd_2x4x2(), 4, 16, 4, 73),
+        (winograd_2x4x2(), 8, 64, 8, 74),
+        (classical_rect(2, 2, 3), 4, 4, 9, 75),
+    ];
+    for (scheme, mm, kk, nn, seed) in cases {
+        let (a, b) = random_rect_pair(mm, kk, nn, seed);
+        let reference = multiply_naive(&a, &b);
+        assert_eq!(multiply_ikj(&a, &b), reference, "ikj {mm}x{kk}x{nn}");
+        assert_eq!(
+            multiply_oblivious(&a, &b, 2),
+            reference,
+            "oblivious {mm}x{kk}x{nn}"
+        );
+        for cutoff in [1usize, 2, 4] {
+            assert_eq!(
+                multiply_scheme(&scheme, &a, &b, cutoff),
+                reference,
+                "{} {mm}x{kk}x{nn} cutoff={cutoff}",
+                scheme.name
+            );
+        }
+    }
+}
+
+#[test]
+fn tall_skinny_and_outer_product_shapes_over_fp() {
+    // m >> n (tall-skinny), k = 1-ish (outer product), and n >> m (wide):
+    // the shapes the rectangular generalization unlocks, pushed through both
+    // square and rectangular schemes.
+    let shapes = [
+        (64usize, 8usize, 4usize, 81u64), // tall-skinny
+        (16, 1, 16, 82),                  // pure outer product
+        (12, 2, 48, 83),                  // wide with thin inner
+        (4, 64, 4, 84),                   // deep inner (dot-product heavy)
+    ];
+    let schemes = [strassen(), winograd(), strassen_2x2x4(), winograd_2x4x2()];
+    for (mm, kk, nn, seed) in shapes {
+        let (a, b) = random_rect_pair(mm, kk, nn, seed);
+        let reference = multiply_naive(&a, &b);
+        for scheme in &schemes {
+            assert_eq!(
+                multiply_scheme(scheme, &a, &b, 2),
+                reference,
+                "{} {mm}x{kk}x{nn}",
+                scheme.name
+            );
+        }
+    }
+}
+
+#[test]
+fn non_divisible_rectangular_sizes_through_the_padded_path_over_fp() {
+    // Awkward sizes in all three dimensions at once: the per-level pad-crop
+    // path must stay the bilinear identity.
+    let shapes = [
+        (7usize, 5usize, 9usize, 91u64),
+        (13, 3, 6, 92),
+        (5, 17, 5, 93),
+        (9, 10, 11, 94),
+    ];
+    let schemes = [strassen(), strassen_2x2x4(), winograd_2x4x2()];
+    for (mm, kk, nn, seed) in shapes {
+        let (a, b) = random_rect_pair(mm, kk, nn, seed);
+        let reference = multiply_naive(&a, &b);
+        for scheme in &schemes {
+            for cutoff in [1usize, 3] {
+                assert_eq!(
+                    multiply_scheme_padded(scheme, &a, &b, cutoff),
+                    reference,
+                    "{} {mm}x{kk}x{nn} cutoff={cutoff}",
+                    scheme.name
+                );
+            }
+        }
     }
 }
 
