@@ -10,4 +10,5 @@ fn main() {
     println!("{}", fastmm_bench::e7_table1());
     println!("{}", fastmm_bench::e8_caps_optimality());
     println!("{}", fastmm_bench::e9_rectangular());
+    println!("{}", fastmm_bench::e10_parallel(512, &[1, 2, 4, 8]));
 }

@@ -1,5 +1,5 @@
 //! E3: regenerate the Lemma 4.3 expansion series (Figure 3 machinery).
-//! Pass a max k as argv[1] (default 5; 6 takes a few minutes in release).
+//! Pass a max k as `argv[1]` (default 5; 6 takes a few minutes in release).
 fn main() {
     let k = std::env::args()
         .nth(1)

@@ -1,0 +1,7 @@
+//! E10 — shared-memory parallel execution: speedup vs threads and
+//! effective words-moved vs the Section 1.1 bounds (`FASTMM_THREADS`-sized
+//! hardware permitting; the thread sweep is fixed at 1/2/4/8 so runs are
+//! comparable across machines).
+fn main() {
+    println!("{}", fastmm_bench::e10_parallel(1024, &[1, 2, 4, 8]));
+}

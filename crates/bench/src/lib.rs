@@ -7,6 +7,8 @@
 //! crossovers) are the reproduction target — absolute constants depend on
 //! the simulated machine.
 
+#![warn(missing_docs)]
+
 pub mod experiments;
 
 pub use experiments::*;

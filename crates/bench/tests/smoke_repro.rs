@@ -80,6 +80,51 @@ fn e9_rectangular_smoke() {
 }
 
 #[test]
+fn e10_parallel_smoke() {
+    // repro_parallel defaults to n = 1024 and threads 1/2/4/8; the shape of
+    // the report is already complete at n = 64 with two thread counts.
+    assert_report(
+        "e10",
+        &exp::e10_parallel(64, &[1, 2]),
+        "Parallel execution",
+        8,
+    );
+}
+
+#[test]
+fn e10_golden_header_and_bound_formulas() {
+    // Golden check: the speedup table header and both bound formulas must
+    // stay verbatim — downstream tooling greps for them, and a drifting
+    // formula column would silently decouple the report from Section 1.1.
+    let out = exp::e10_parallel(64, &[1, 2]);
+    for needle in [
+        "speedup=T(1 thread)/T(p)",
+        "bound=(n/sqrtM)^w0*M",
+        "per-thread=bound/p",
+        "bfs  tasks  peak_mem(w)",
+        "effective words moved (arena DFS recurrence) vs Section 1.1",
+    ] {
+        assert!(
+            out.contains(needle),
+            "e10: expected {needle:?} in output:\n{out}"
+        );
+    }
+    // every scheme of the e10 sweep appears on both the speedup and the
+    // words-moved side
+    for name in [
+        "strassen",
+        "winograd",
+        "strassen⊗⟨1,1,2⟩",
+        "⟨1,2,1⟩⊗winograd",
+    ] {
+        assert!(
+            out.matches(name).count() >= 2,
+            "e10: scheme {name} missing rows:\n{out}"
+        );
+    }
+}
+
+#[test]
 fn e9_reported_omega0_matches_closed_forms() {
     // Golden check: the ω₀ column of repro_rectangular must equal the
     // closed forms 3·log_{mkn} r to 1e-9 (the experiment prints 9 decimals,

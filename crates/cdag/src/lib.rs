@@ -17,6 +17,8 @@
 //! * [`bitset`] — compact vertex subsets for the expansion/partition
 //!   arguments.
 
+#![warn(missing_docs)]
+
 pub mod bitset;
 pub mod graph;
 pub mod layered;

@@ -26,6 +26,8 @@
 //! assert!(bound > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod bounds;
 pub mod pipeline;
 pub mod registry;
@@ -44,12 +46,20 @@ pub mod prelude {
         seq_bandwidth_lower_bound, seq_bandwidth_lower_bound_flops, seq_bandwidth_upper_bound,
         seq_latency_lower_bound, table1_closed_form, table1_lower_bound, MemoryRegime,
     };
-    pub use crate::pipeline::{dec_vertices, expansion_io_bound, ExpansionIoBound};
+    pub use crate::pipeline::{
+        dec_vertices, expansion_io_bound, parallel_exec_report, ExpansionIoBound,
+        ParallelExecReport,
+    };
     pub use crate::registry::{
         all_params, SchemeParams, CLASSICAL, CLASSICAL_2X2X3, LADERMAN, RECT_2X2X4, RECT_2X4X2,
         STRASSEN, STRASSEN_SQUARED,
     };
-    pub use fastmm_matrix::classical::{multiply_blocked, multiply_ikj, multiply_naive};
+    pub use fastmm_matrix::classical::{
+        multiply_blocked, multiply_ikj, multiply_kernel, multiply_naive,
+    };
+    pub use fastmm_matrix::parallel::{
+        multiply_scheme_parallel, plan_bfs_dfs, BfsDfsPlan, ParallelConfig, ScratchArena,
+    };
     pub use fastmm_matrix::recursive::{
         multiply_non_stationary, multiply_scheme, multiply_scheme_padded, multiply_strassen,
         multiply_winograd, scheme_op_count, scheme_op_count_mkn,

@@ -58,6 +58,28 @@ impl SchemeParams {
         self.m
     }
 
+    /// The CAPS-style BFS/DFS execution plan for multiplying an
+    /// `mm x kk` by `kk x nn` problem with this base case under `config`
+    /// (threads + memory budget; see
+    /// [`ParallelConfig`](fastmm_matrix::parallel::ParallelConfig)).
+    /// Delegates to [`fastmm_matrix::parallel::plan_bfs_dfs`], so abstract
+    /// entries (e.g. [`LADERMAN`]) get the same planner as executable
+    /// schemes.
+    pub fn exec_plan(
+        &self,
+        shape: (usize, usize, usize),
+        cutoff: usize,
+        config: &fastmm_matrix::parallel::ParallelConfig,
+    ) -> fastmm_matrix::parallel::BfsDfsPlan {
+        fastmm_matrix::parallel::plan_bfs_dfs(
+            (self.m, self.k, self.n),
+            self.r,
+            shape,
+            cutoff,
+            config,
+        )
+    }
+
     /// Extract parameters from an executable scheme.
     pub fn of_scheme(s: &BilinearScheme) -> SchemeParams {
         // leak the name so the struct stays Copy; schemes are few and static

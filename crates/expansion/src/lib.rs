@@ -14,6 +14,8 @@
 //!   (level homogeneity, recursion-tree heterogeneity) on concrete sets,
 //!   plus the Claim 2.1 small-set transfer of Corollary 4.4.
 
+#![warn(missing_docs)]
+
 pub mod certificate;
 pub mod exact;
 pub mod search;

@@ -90,6 +90,52 @@ pub fn accumulate_product<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut
     }
 }
 
+/// Output-tile width of [`multiply_kernel_into`]: 64 elements keeps one
+/// `C`-row tile plus one `B`-row tile inside an L1 line budget for `f64`
+/// while leaving the inner dimension unblocked (see bit-compat note below).
+const KERNEL_TILE: usize = 64;
+
+/// Cache-blocked accumulating micro-kernel: `C += A * B` on views, tiled
+/// over the output columns with the inner dimension streamed in ascending
+/// order. This is the base-case kernel of the recursive engines
+/// (sequential and parallel), replacing the plain [`multiply_ikj`] loop.
+///
+/// **Bit-compatibility:** per output element the floating-point operations
+/// are exactly those of [`multiply_ikj`], in the same order (`k`
+/// ascending) — tiling only the `i`/`j` loops never reassociates a dot
+/// product. Starting from a zeroed `C` the result is therefore
+/// bit-identical to `multiply_ikj`, which is what lets the parallel
+/// determinism suite compare engines bitwise. The speed comes from row
+/// slices (no per-element index arithmetic, bounds checks hoisted, inner
+/// loop autovectorizes) and from keeping the active `B`/`C` row tiles hot.
+pub fn multiply_kernel_into<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>, c: &mut MatMut<'_, T>) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for j0 in (0..n).step_by(KERNEL_TILE) {
+        let jmax = (j0 + KERNEL_TILE).min(n);
+        for i in 0..m {
+            let arow = a.row(i);
+            for (l, &aval) in arow.iter().enumerate().take(k) {
+                let brow = &b.row(l)[j0..jmax];
+                let crow = &mut c.row_mut(i)[j0..jmax];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv = cv.add(aval.mul(bv));
+                }
+            }
+        }
+    }
+}
+
+/// Allocating wrapper around [`multiply_kernel_into`]: `C = A * B` from a
+/// zeroed output (bit-identical to [`multiply_ikj`]).
+pub fn multiply_kernel<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    multiply_kernel_into(a.view(), b.view(), &mut c.view_mut());
+    c
+}
+
 /// Cache-oblivious recursive classical multiplication (Frigo et al. 1999):
 /// split the largest dimension in half until the problem is tiny, then run
 /// the straight-line kernel. `C += A * B`.
@@ -194,6 +240,47 @@ mod tests {
     fn blocked_tile_bigger_than_matrix() {
         let (a, b) = sample(6, 1);
         assert_eq!(multiply_blocked(&a, &b, 64), multiply_naive(&a, &b));
+    }
+
+    #[test]
+    fn kernel_matches_ikj_bitwise_f64() {
+        // The contract the parallel determinism suite builds on: the blocked
+        // micro-kernel is bit-identical to multiply_ikj, including shapes
+        // that straddle the tile boundary.
+        let mut rng = StdRng::seed_from_u64(123);
+        for (m, k, n) in [
+            (1usize, 1usize, 1usize),
+            (7, 5, 9),
+            (64, 64, 64),
+            (65, 3, 130),
+        ] {
+            let a = Matrix::<f64>::random(m, k, &mut rng);
+            let b = Matrix::<f64>::random(k, n, &mut rng);
+            let fast = multiply_kernel(&a, &b);
+            let reference = multiply_ikj(&a, &b);
+            assert_eq!(
+                fast.as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                reference
+                    .as_slice()
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "{m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn kernel_accumulates_like_accumulate_product() {
+        let (a, b) = sample(10, 42);
+        let mut c1 = Matrix::from_fn(10, 10, |i, j| (i + j) as i64);
+        let mut c2 = c1.clone();
+        multiply_kernel_into(a.view(), b.view(), &mut c1.view_mut());
+        accumulate_product(a.view(), b.view(), &mut c2.view_mut());
+        assert_eq!(c1, c2);
     }
 
     #[test]

@@ -234,6 +234,19 @@ pub struct MatRef<'a, T> {
 }
 
 impl<'a, T: Scalar> MatRef<'a, T> {
+    /// View a row-major slice as a full `rows x cols` matrix window.
+    /// Panics if the slice length is not `rows * cols`.
+    pub fn from_slice(data: &'a [T], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "slice length must be rows*cols");
+        MatRef {
+            data,
+            rows,
+            cols,
+            stride: cols,
+            off: 0,
+        }
+    }
+
     /// Number of rows of the window.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -286,6 +299,15 @@ impl<'a, T: Scalar> MatRef<'a, T> {
         self.block(bi * br, bj * bc, br, bc)
     }
 
+    /// Row `i` of the window as a contiguous slice (rows are contiguous in
+    /// any row-major window, whatever its stride).
+    #[inline]
+    pub fn row(&self, i: usize) -> &'a [T] {
+        debug_assert!(i < self.rows);
+        let start = self.off + i * self.stride;
+        &self.data[start..start + self.cols]
+    }
+
     /// Copy the window into an owned matrix.
     pub fn to_matrix(&self) -> Matrix<T> {
         Matrix::from_fn(self.rows, self.cols, |i, j| self.get(i, j))
@@ -302,6 +324,19 @@ pub struct MatMut<'a, T> {
 }
 
 impl<'a, T: Scalar> MatMut<'a, T> {
+    /// View a mutable row-major slice as a full `rows x cols` matrix window.
+    /// Panics if the slice length is not `rows * cols`.
+    pub fn from_slice(data: &'a mut [T], rows: usize, cols: usize) -> Self {
+        assert_eq!(data.len(), rows * cols, "slice length must be rows*cols");
+        MatMut {
+            rows,
+            cols,
+            stride: cols,
+            off: 0,
+            data,
+        }
+    }
+
     /// Number of rows of the window.
     #[inline]
     pub fn rows(&self) -> usize {
@@ -375,6 +410,14 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         );
         let (br, bc) = (self.rows / gr, self.cols / gc);
         self.block_mut(bi * br, bj * bc, br, bc)
+    }
+
+    /// Row `i` of the window as a contiguous mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        debug_assert!(i < self.rows);
+        let start = self.off + i * self.stride;
+        &mut self.data[start..start + self.cols]
     }
 
     /// Fill the window with zeros.

@@ -12,14 +12,21 @@
 //!   Section 5.1, with Brent-equation verification, straight-line programs
 //!   (Strassen's 18 vs Winograd's 15 additions), and tensor products;
 //! * [`recursive`] — the recursive Strassen-like engine and exact arithmetic
-//!   operation counts realizing `T(n) = m(n₀)·T(n/n₀) + O(n²) = Θ(n^{ω₀})`.
+//!   operation counts realizing `T(n) = m(n₀)·T(n/n₀) + O(n²) = Θ(n^{ω₀})`;
+//! * [`parallel`] — the shared-memory work-stealing engine with the
+//!   CAPS-style memory-aware BFS/DFS schedule, bit-identical to the
+//!   sequential engine at every thread count.
+
+#![warn(missing_docs)]
 
 pub mod classical;
 pub mod dense;
+pub mod parallel;
 pub mod recursive;
 pub mod scalar;
 pub mod scheme;
 
 pub use dense::{MatMut, MatRef, Matrix};
+pub use parallel::{multiply_scheme_parallel, plan_bfs_dfs, BfsDfsPlan, ParallelConfig};
 pub use scalar::{Fp, Scalar};
 pub use scheme::{classical_scheme, strassen, winograd, BilinearScheme};

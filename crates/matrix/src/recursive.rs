@@ -16,7 +16,7 @@
 //! back to the Θ(MKN) classical kernel at the top (the historical behavior,
 //! fixed here and locked in by `prop_schemes.rs`).
 
-use crate::classical::multiply_ikj;
+use crate::classical::{multiply_ikj, multiply_kernel};
 use crate::dense::Matrix;
 use crate::scalar::Scalar;
 use crate::scheme::BilinearScheme;
@@ -27,6 +27,23 @@ use crate::scheme::BilinearScheme;
 /// result cropped, so the fast recursion is used at every scale; the
 /// classical kernel runs only below `cutoff` (or when the scheme cannot
 /// shrink the problem further).
+///
+/// ```
+/// use fastmm_matrix::classical::multiply_naive;
+/// use fastmm_matrix::dense::Matrix;
+/// use fastmm_matrix::recursive::multiply_scheme;
+/// use fastmm_matrix::scheme::{strassen, strassen_2x2x4};
+///
+/// // Square scheme on a non-divisible shape: padded per level, exact.
+/// let a = Matrix::from_fn(7, 5, |i, j| (i * 5 + j) as i64);
+/// let b = Matrix::from_fn(5, 9, |i, j| (i as i64) - (j as i64));
+/// assert_eq!(multiply_scheme(&strassen(), &a, &b, 1), multiply_naive(&a, &b));
+///
+/// // Rectangular ⟨2,2,4;14⟩ on its native block grid.
+/// let a = Matrix::<i64>::identity(4);
+/// let b = Matrix::from_fn(4, 16, |i, j| (i * 16 + j) as i64);
+/// assert_eq!(multiply_scheme(&strassen_2x2x4(), &a, &b, 1), b);
+/// ```
 pub fn multiply_scheme<T: Scalar>(
     scheme: &BilinearScheme,
     a: &Matrix<T>,
@@ -46,7 +63,9 @@ fn multiply_rec<T: Scalar>(
     let (mm, kk, nn) = (a.rows(), a.cols(), b.cols());
     let (bm, bk, bn) = scheme.dims();
     if mm.max(kk).max(nn) <= cutoff {
-        return multiply_ikj(a, b);
+        // Cache-blocked micro-kernel; bit-identical to multiply_ikj (see
+        // its bit-compatibility contract), so all bitwise witnesses hold.
+        return multiply_kernel(a, b);
     }
     // Padded dimensions: the next block-grid multiples.
     let (pm, pk, pn) = (
@@ -57,7 +76,7 @@ fn multiply_rec<T: Scalar>(
     // One recursion level must shrink the element count, else stop (guards
     // degenerate dims like K = 1 under a k-splitting scheme).
     if (pm / bm) * (pk / bk) * (pn / bn) >= mm * kk * nn {
-        return multiply_ikj(a, b);
+        return multiply_kernel(a, b);
     }
     if (pm, pk, pn) != (mm, kk, nn) {
         let pad = |m: &Matrix<T>, rows: usize, cols: usize| {

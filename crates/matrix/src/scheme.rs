@@ -823,6 +823,18 @@ pub fn winograd_2x4x2() -> BilinearScheme {
 /// Registry of the executable schemes shipped with this crate — square and
 /// rectangular. Every entry is Brent-verified in tests, multiplies real
 /// matrices exactly over `F_p`, and round-trips through the CDAG tracer.
+///
+/// ```
+/// use fastmm_matrix::scheme::all_schemes;
+///
+/// let schemes = all_schemes();
+/// assert!(schemes.iter().any(|s| s.name == "strassen"));
+/// for s in &schemes {
+///     s.verify_brent().unwrap();      // computes matrix multiplication
+///     s.verify_slps().unwrap();       // SLPs match the flat coefficients
+///     assert!(s.omega0() <= 3.0 + 1e-12);
+/// }
+/// ```
 pub fn all_schemes() -> Vec<BilinearScheme> {
     vec![
         classical_scheme(2),

@@ -1,0 +1,132 @@
+//! Determinism suite: the parallel engine is **bit-identical** to the
+//! sequential engine — over `f64` (exact bit-pattern comparison, so any
+//! floating-point reassociation fails loudly) and over the prime field
+//! `F_p` (exact ring equality) — for every scheme in `all_schemes()`,
+//! across thread counts 1/2/4/8, on divisible and non-divisible shapes,
+//! and under memory budgets that force every BFS/DFS split the planner can
+//! choose.
+//!
+//! This is the contract that makes `multiply_scheme_parallel` a drop-in
+//! replacement: results can be compared, cached, and golden-tested without
+//! caring how many workers ran.
+
+use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::parallel::{multiply_scheme_parallel, ParallelConfig};
+use fastmm_matrix::recursive::multiply_scheme;
+use fastmm_matrix::scheme::{all_schemes, strassen, BilinearScheme};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Divisible and non-divisible shapes exercising a scheme's block grid:
+/// two clean levels, a prime-ish shape that pads at every level, and a
+/// skewed rectangle.
+fn shapes_for(scheme: &BilinearScheme) -> Vec<(usize, usize, usize)> {
+    let (bm, bk, bn) = scheme.dims();
+    vec![
+        (bm * bm * 2, bk * bk * 2, bn * bn * 2),
+        (bm * bm + 1, bk * bk + 1, bn * bn + 1),
+        (bm * 3 + 1, bk * 5, bn + 2),
+    ]
+}
+
+fn assert_f64_bit_identical(scheme: &BilinearScheme, mm: usize, kk: usize, nn: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::<f64>::random(mm, kk, &mut rng);
+    let b = Matrix::<f64>::random(kk, nn, &mut rng);
+    for cutoff in [1usize, 4] {
+        let seq = multiply_scheme(scheme, &a, &b, cutoff);
+        for threads in THREAD_COUNTS {
+            let par =
+                multiply_scheme_parallel(scheme, &a, &b, cutoff, &ParallelConfig::new(threads));
+            let same = par
+                .as_slice()
+                .iter()
+                .zip(seq.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(
+                same,
+                "{} {mm}x{kk}x{nn} cutoff={cutoff} threads={threads}: f64 bits differ",
+                scheme.name
+            );
+        }
+    }
+}
+
+fn assert_fp_identical(scheme: &BilinearScheme, mm: usize, kk: usize, nn: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let a = Matrix::random_fp(mm, kk, &mut rng);
+    let b = Matrix::random_fp(kk, nn, &mut rng);
+    let seq = multiply_scheme(scheme, &a, &b, 1);
+    for threads in THREAD_COUNTS {
+        let par = multiply_scheme_parallel(scheme, &a, &b, 1, &ParallelConfig::new(threads));
+        assert_eq!(
+            par, seq,
+            "{} {mm}x{kk}x{nn} threads={threads}: F_p mismatch",
+            scheme.name
+        );
+    }
+}
+
+#[test]
+fn every_scheme_is_bit_deterministic_over_f64() {
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            assert_f64_bit_identical(scheme, mm, kk, nn, (i * 100 + j) as u64);
+        }
+    }
+}
+
+#[test]
+fn every_scheme_is_deterministic_over_fp() {
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            assert_fp_identical(scheme, mm, kk, nn, (7000 + i * 100 + j) as u64);
+        }
+    }
+}
+
+#[test]
+fn determinism_holds_across_memory_budgets() {
+    // The budget moves the BFS/DFS switch point; it must never move a bit
+    // of the answer. Sweep from "no BFS level fits" to "everything fits".
+    let scheme = strassen();
+    let (mm, kk, nn) = (48usize, 48usize, 48usize);
+    let mut rng = StdRng::seed_from_u64(99);
+    let a = Matrix::<f64>::random(mm, kk, &mut rng);
+    let b = Matrix::<f64>::random(kk, nn, &mut rng);
+    let seq = multiply_scheme(&scheme, &a, &b, 2);
+    for budget in [1usize, 10_000, 100_000, usize::MAX] {
+        for threads in [2usize, 8] {
+            let cfg = ParallelConfig::new(threads).with_memory_budget(budget);
+            let par = multiply_scheme_parallel(&scheme, &a, &b, 2, &cfg);
+            let same = par
+                .as_slice()
+                .iter()
+                .zip(seq.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "budget={budget} threads={threads}: bits differ");
+        }
+    }
+}
+
+#[test]
+fn repeated_parallel_runs_are_self_identical() {
+    // Scheduling noise across runs of the *same* config must not show up
+    // either (it cannot, structurally — this is the canary).
+    let scheme = strassen();
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::<f64>::random(37, 41, &mut rng);
+    let b = Matrix::<f64>::random(41, 29, &mut rng);
+    let cfg = ParallelConfig::new(4);
+    let first = multiply_scheme_parallel(&scheme, &a, &b, 2, &cfg);
+    for _ in 0..3 {
+        let again = multiply_scheme_parallel(&scheme, &a, &b, 2, &cfg);
+        assert!(first
+            .as_slice()
+            .iter()
+            .zip(again.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+}

@@ -224,6 +224,50 @@ pub fn dfs_io_recurrence_mkn(
     level + scheme.r as f64 * dfs_io_recurrence_mkn(scheme, mm / bm, kk / bk, nn / bn, m)
 }
 
+/// Word traffic of the **arena-based** DFS engine
+/// (`fastmm_matrix::parallel`'s leaf recursion), which encodes and decodes
+/// in place instead of staging block copies and chained SLP temporaries:
+///
+/// * encoding `T_l` reads the `nnz(U_l)` source blocks directly from `A`
+///   and writes one block (`Σ_q [U[l][q] ≠ 0] + 1` block-transfers), and
+///   likewise `S_l` from `V`;
+/// * decoding product `l` performs, per nonzero of `W`'s column `l`, a
+///   read of `M_l` plus a read-modify-write of the `C` block (3 block
+///   transfers);
+/// * the base case moves `MK + KN + MN` words, as in
+///   [`dfs_io_recurrence_mkn`].
+///
+/// Compared with the SLP-streamed recurrence this charges per *coefficient
+/// application* rather than per straight-line op, which is exactly what
+/// the zero-allocation engine executes; experiment e10 (`repro_parallel`)
+/// prints it as the predicted words-moved column next to the
+/// `(n/√M)^{ω₀}·M` lower bound.
+pub fn dfs_arena_io_recurrence_mkn(
+    scheme: &BilinearScheme,
+    mm: usize,
+    kk: usize,
+    nn: usize,
+    m: usize,
+) -> f64 {
+    let (bm, bk, bn) = scheme.dims();
+    let (wa, wb, wc) = (mm * kk, kk * nn, mm * nn);
+    let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
+    if wa + wb + wc <= m || !divisible || bm * bk * bn == 1 {
+        return (wa + wb + wc) as f64;
+    }
+    let blk_a = ((mm / bm) * (kk / bk)) as f64;
+    let blk_b = ((kk / bk) * (nn / bn)) as f64;
+    let blk_c = ((mm / bm) * (nn / bn)) as f64;
+    let mut level = 0.0;
+    for l in 0..scheme.r {
+        level += (scheme.u.row_nnz(l) + 1) as f64 * blk_a;
+        level += (scheme.v.row_nnz(l) + 1) as f64 * blk_b;
+        let w_nnz = (0..bm * bn).filter(|&q| scheme.w.get(q, l) != 0).count();
+        level += 3.0 * w_nnz as f64 * blk_c;
+    }
+    level + scheme.r as f64 * dfs_arena_io_recurrence_mkn(scheme, mm / bm, kk / bk, nn / bn, m)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +405,59 @@ mod tests {
             );
         }
         assert!(ratios.last().unwrap() - 14.0 < 2.0, "ratios {ratios:?}");
+    }
+
+    #[test]
+    fn arena_recurrence_scales_by_r_and_pays_for_zero_staging() {
+        // Same Θ((n/√M)^{ω₀}·M) shape as the SLP recurrence: the per-level
+        // ratio converges to r once every level recurses.
+        let s = strassen();
+        let m = 3 * 8;
+        let io: Vec<f64> = (4..=7u32)
+            .map(|l| dfs_arena_io_recurrence_mkn(&s, 1 << l, 1 << l, 1 << l, m))
+            .collect();
+        let ratios: Vec<f64> = io.windows(2).map(|w| w[1] / w[0]).collect();
+        assert!(
+            (ratios.last().unwrap() - 7.0).abs() < 1.0,
+            "ratios {ratios:?} must converge to 7"
+        );
+        // In-place encoding re-reads source blocks that the SLP's chained
+        // temporaries would share, so it moves strictly *more* words —
+        // that extra traffic is the price of zero staging memory. Within
+        // a constant factor, though: same exponent.
+        for n in [32usize, 64] {
+            let arena = dfs_arena_io_recurrence_mkn(&s, n, n, n, m);
+            let slp = dfs_io_recurrence_mkn(&s, n, n, n, m);
+            assert!(arena > slp, "n={n}: arena {arena} !> slp {slp}");
+            assert!(arena < 3.0 * slp, "n={n}: arena {arena} not O(slp {slp})");
+        }
+    }
+
+    #[test]
+    fn arena_recurrence_one_level_hand_count() {
+        // One Strassen level on 2x2x2 with M below 12 (so the level splits)
+        // and 1x1 base blocks: per product l, (nnz(U_l)+1) + (nnz(V_l)+1)
+        // + 3*nnz(W^l), then 7 base cases of 3 words each.
+        let s = strassen();
+        let mut level = 0.0;
+        for l in 0..7 {
+            level += (s.u.row_nnz(l) + 1) as f64 + (s.v.row_nnz(l) + 1) as f64;
+            level += 3.0 * (0..4).filter(|&q| s.w.get(q, l) != 0).count() as f64;
+        }
+        let expect = level + 7.0 * 3.0;
+        assert_eq!(dfs_arena_io_recurrence_mkn(&s, 2, 2, 2, 4), expect);
+    }
+
+    #[test]
+    fn arena_recurrence_base_case_is_footprint() {
+        let s = strassen();
+        // fits in fast memory entirely
+        assert_eq!(dfs_arena_io_recurrence_mkn(&s, 8, 8, 8, 3 * 64), 192.0);
+        // non-divisible: charged as one streamed classical pass
+        assert_eq!(
+            dfs_arena_io_recurrence_mkn(&s, 3, 5, 7, 1),
+            (15 + 35 + 21) as f64
+        );
     }
 
     #[test]

@@ -12,14 +12,16 @@
 //! * [`lru`] + [`traced`] — a word-granularity LRU cache simulator for
 //!   cache-oblivious executions.
 
+#![warn(missing_docs)]
+
 pub mod explicit;
 pub mod lru;
 pub mod machine;
 pub mod traced;
 
 pub use explicit::{
-    dfs_io_recurrence, dfs_io_recurrence_mkn, multiply_blocked_explicit, multiply_dfs_explicit,
-    ExplicitRun,
+    dfs_arena_io_recurrence_mkn, dfs_io_recurrence, dfs_io_recurrence_mkn,
+    multiply_blocked_explicit, multiply_dfs_explicit, ExplicitRun,
 };
 pub use lru::LruCache;
 pub use machine::{IoStats, TwoLevelMachine};

@@ -64,6 +64,19 @@ impl CapsPlan {
     /// `log₇ p` BFS levels.
     ///
     /// Requirements: `p` a power of 7, `2^{D+L} | n`, and `p | (n/2^{D+L})²`.
+    ///
+    /// ```
+    /// use fastmm_parsim::caps::{CapsPlan, Step};
+    ///
+    /// // 7 ranks, one DFS step before the single BFS step: n must divide
+    /// // by 2^2 and 7 must divide (n/4)².
+    /// let plan = CapsPlan::new(7, 56, 1).unwrap();
+    /// assert_eq!(plan.steps, vec![Step::Dfs, Step::Bfs]);
+    /// assert_eq!(plan.mr, 14);
+    ///
+    /// // Invalid processor counts are rejected, not mis-scheduled.
+    /// assert!(CapsPlan::new(6, 56, 0).is_err());
+    /// ```
     pub fn new(p: usize, n: usize, dfs_steps: usize) -> Result<CapsPlan, String> {
         let mut l = 0usize;
         let mut q = p;

@@ -8,7 +8,9 @@
 //!
 //! Algorithms: Cannon's 2D ([`cannon`]), the 3D and 2.5D classical
 //! algorithms ([`grid3d`]), and CAPS, the communication-optimal parallel
-//! Strassen ([`caps`]).
+//! Strassen ([`caps`](mod@caps)).
+
+#![warn(missing_docs)]
 
 pub mod cannon;
 pub mod caps;

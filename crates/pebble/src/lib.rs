@@ -8,6 +8,8 @@
 //! replacement), producing the measured I/O that the bound must — and in
 //! tests provably does — stay below.
 
+#![warn(missing_docs)]
+
 pub mod executor;
 pub mod partition;
 pub mod schedule;

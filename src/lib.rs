@@ -16,7 +16,10 @@
 //! * [`parsim`] — distributed-memory simulation (Cannon, 2.5D, CAPS);
 //! * [`core`] — the paper's communication bounds and the expansion ⇒ I/O
 //!   pipeline;
-//! * [`bench`] — experiment harness behind the `repro_*` binaries.
+//! * [`bench`](mod@bench) — experiment harness behind the `repro_*`
+//!   binaries.
+
+#![warn(missing_docs)]
 
 pub use fastmm_bench as bench;
 pub use fastmm_core as core;

@@ -215,7 +215,7 @@ pub mod collection {
     use super::strategy::Strategy;
     use super::StdRng;
 
-    /// A count or range of counts for [`vec`].
+    /// A count or range of counts for [`vec`](fn@vec).
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,

@@ -121,7 +121,7 @@ pub mod distributions {
         fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
     }
 
-    /// The "natural" distribution used by [`Rng::gen`](super::Rng::gen):
+    /// The "natural" distribution used by [`Rng::gen`]:
     /// full-range integers, `[0, 1)` floats, fair booleans.
     #[derive(Clone, Copy, Debug, Default)]
     pub struct Standard;
