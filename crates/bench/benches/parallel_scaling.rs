@@ -1,18 +1,18 @@
-//! Scaling benchmark of the shared-memory parallel engine: sequential
-//! `multiply_scheme` vs `multiply_scheme_parallel` across thread counts on
-//! a 2048x2048 Strassen multiply (the acceptance target: 8 threads ≥ 3x
-//! sequential on 8-way hardware), plus a smaller sweep showing where task
-//! granularity stops paying.
+//! Scaling benchmark of the engines: the legacy copy-out sequential
+//! engine vs the arena-backed `multiply_scheme` (the PR 4 acceptance
+//! target: arena ≥ 1.3x legacy at 2048² with the tuned cutoff) vs
+//! `multiply_scheme_parallel` across thread counts on a 2048x2048
+//! Strassen multiply, plus a smaller sweep showing where task granularity
+//! stops paying.
 //!
-//! Reported speedups are bounded by the physical core count —
+//! Reported parallel speedups are bounded by the physical core count —
 //! `std::thread::available_parallelism` is printed so a 1-core CI box's
-//! flat curve is interpretable. `FASTMM_BENCH_FAST=1` drops to one sample
-//! per entry for smoke runs.
+//! flat curve is interpretable. `FASTMM_CUTOFF` pins the base-case size.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastmm_matrix::dense::Matrix;
 use fastmm_matrix::parallel::{multiply_scheme_parallel, ParallelConfig};
-use fastmm_matrix::recursive::multiply_scheme;
+use fastmm_matrix::recursive::{multiply_scheme, multiply_scheme_legacy};
 use fastmm_matrix::scheme::strassen;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -25,14 +25,17 @@ fn bench_parallel_scaling(c: &mut Criterion) {
             .unwrap_or(1)
     );
     let scheme = strassen();
-    let cutoff = 64;
+    let cutoff = fastmm_matrix::tune::default_cutoff();
     let mut group = c.benchmark_group("parallel_strassen");
     group.sample_size(3);
     for &n in &[512usize, 2048] {
         let mut rng = StdRng::seed_from_u64(n as u64);
         let a = Matrix::<f64>::random(n, n, &mut rng);
         let b = Matrix::<f64>::random(n, n, &mut rng);
-        group.bench_with_input(BenchmarkId::new("sequential", n), &n, |bch, _| {
+        group.bench_with_input(BenchmarkId::new("sequential_legacy", n), &n, |bch, _| {
+            bch.iter(|| multiply_scheme_legacy(&scheme, &a, &b, cutoff))
+        });
+        group.bench_with_input(BenchmarkId::new("sequential_arena", n), &n, |bch, _| {
             bch.iter(|| multiply_scheme(&scheme, &a, &b, cutoff))
         });
         for threads in [1usize, 2, 4, 8] {

@@ -11,4 +11,8 @@ fn main() {
     println!("{}", fastmm_bench::e8_caps_optimality());
     println!("{}", fastmm_bench::e9_rectangular());
     println!("{}", fastmm_bench::e10_parallel(512, &[1, 2, 4, 8]));
+    println!(
+        "{}",
+        fastmm_bench::e11_repro_perf(&[128, 256], Some("target/BENCH_seq.json"))
+    );
 }

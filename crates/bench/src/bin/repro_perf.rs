@@ -1,0 +1,22 @@
+//! E11 — sequential perf trajectory: arena engine vs the legacy copy-out
+//! engine, GFLOP/s and modeled words vs the Theorem 1.1 bound, plus the
+//! `BENCH_seq.json` machine-readable emit.
+//!
+//! Usage: `repro_perf [n...]` — problem sizes default to 256/512/1024;
+//! CI's perf-smoke job passes small sizes. `FASTMM_CUTOFF` pins the
+//! base-case cutoff.
+fn main() {
+    let ns: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let ns = if ns.is_empty() {
+        vec![256, 512, 1024]
+    } else {
+        ns
+    };
+    println!(
+        "{}",
+        fastmm_bench::e11_repro_perf(&ns, Some("target/BENCH_seq.json"))
+    );
+}

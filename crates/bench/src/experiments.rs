@@ -580,6 +580,122 @@ pub fn e10_parallel(n: usize, thread_counts: &[usize]) -> String {
     out
 }
 
+/// E11 — the sequential performance trajectory: an `n x scheme x engine`
+/// table of wall time, effective GFLOP/s (classical-equivalent `2n³`
+/// flops), and the default engine's modeled word traffic
+/// ([`fastmm_memsim::explicit::dfs_arena_io_recurrence_mkn`] via
+/// [`seq_exec_report`]) against the Theorem 1.1/1.3 floor — both evaluated
+/// at `M = 3·cutoff²`, where the recursion bottoms out.
+///
+/// Engines: `legacy` is the pre-arena copy-out recursion
+/// (`multiply_scheme_legacy`, kept as the golden baseline), `arena` is the
+/// default zero-allocation engine behind `multiply_scheme`. Every arena
+/// run is asserted **bit-identical** to the legacy run before either time
+/// is reported, so a speedup row can never come from a wrong product.
+/// Each engine gets one untimed warm-up (the run the bitwise check uses,
+/// so first-touch page faults and cache warm-up are charged to neither)
+/// and its reported time is the min of two timed repetitions. The cutoff
+/// is the tuned one (`FASTMM_CUTOFF` or the compiled default).
+///
+/// When `json_path` is `Some`, the table is also emitted as machine-
+/// readable JSON (`BENCH_seq.json`): one object per (scheme, n, engine)
+/// row — the artifact that starts the perf trajectory across PRs.
+pub fn e11_repro_perf(ns: &[usize], json_path: Option<&str>) -> String {
+    use std::time::Instant;
+    let mut out = String::new();
+    out.push_str("E11 Sequential perf trajectory: arena engine vs legacy copy-out engine\n");
+    out.push_str("  GFLOP/s uses classical-equivalent flops 2n^3; words model = arena DFS\n");
+    out.push_str("  recurrence at M=3*cutoff^2 vs bound=(n/sqrtM)^w0*M (Thm 1.1/1.3)\n");
+    out.push_str(
+        "  scheme                n     engine  cutoff  time(s)    GFLOP/s  vs_legacy  \
+         words_model     bound        model/bound\n",
+    );
+    let cutoff = resolve_cutoff(0);
+    let schemes = [strassen(), winograd()];
+    let mut json_rows: Vec<String> = Vec::new();
+    for scheme in &schemes {
+        for &n in ns {
+            let mut rng = StdRng::seed_from_u64(0xE11 + n as u64);
+            let a = Matrix::<f64>::random(n, n, &mut rng);
+            let b = Matrix::<f64>::random(n, n, &mut rng);
+            let flops = 2.0 * (n as f64).powi(3);
+            // Untimed warm-up runs: they feed the bitwise check and absorb
+            // first-touch/cache effects so neither engine is charged them.
+            let legacy = multiply_scheme_legacy(scheme, &a, &b, cutoff);
+            let arena = multiply_scheme(scheme, &a, &b, cutoff);
+            assert!(
+                arena
+                    .as_slice()
+                    .iter()
+                    .zip(legacy.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{} n={n}: arena output not bit-identical to legacy",
+                scheme.name
+            );
+            let time_min = |f: &dyn Fn() -> Matrix<f64>| {
+                (0..2)
+                    .map(|_| {
+                        let t = Instant::now();
+                        std::hint::black_box(f());
+                        t.elapsed().as_secs_f64()
+                    })
+                    .fold(f64::INFINITY, f64::min)
+            };
+            let legacy_secs = time_min(&|| multiply_scheme_legacy(scheme, &a, &b, cutoff));
+            let arena_secs = time_min(&|| multiply_scheme(scheme, &a, &b, cutoff));
+            let rep = seq_exec_report(scheme, n, cutoff);
+            for (engine, secs, vs_legacy) in [
+                ("legacy", legacy_secs, String::new()),
+                (
+                    "arena",
+                    arena_secs,
+                    format!("{:.2}x", legacy_secs / arena_secs),
+                ),
+            ] {
+                out.push_str(&format!(
+                    "  {:<21} {:<5} {:<7} {:<7} {:<10.4} {:<8.3} {:<10} {:<15.4e} {:<12.4e} {:.3}\n",
+                    scheme.name,
+                    n,
+                    engine,
+                    rep.cutoff,
+                    secs,
+                    flops / secs / 1e9,
+                    vs_legacy,
+                    rep.arena_words,
+                    rep.seq_bound_words,
+                    rep.arena_words / rep.seq_bound_words
+                ));
+                json_rows.push(format!(
+                    "  {{\"scheme\": {:?}, \"n\": {n}, \"engine\": {engine:?}, \
+                     \"cutoff\": {}, \"seconds\": {secs:.6}, \"gflops\": {:.4}, \
+                     \"words_model\": {:.1}, \"bound_words\": {:.1}}}",
+                    scheme.name,
+                    rep.cutoff,
+                    flops / secs / 1e9,
+                    rep.arena_words,
+                    rep.seq_bound_words
+                ));
+            }
+        }
+    }
+    out.push_str(
+        "  (every arena row is bitwise-verified against its legacy row before timing; \
+         model/bound flat across n = the Eq. 1 shape)\n",
+    );
+    if let Some(path) = json_path {
+        let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        // A failed emit must fail loudly: CI's perf-smoke job checks the
+        // file's presence, and a swallowed error plus a cached stale file
+        // would keep the gate green while the trajectory stops updating.
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        out.push_str(&format!("  machine-readable emit: {path}\n"));
+    }
+    out
+}
+
 /// E3 certificate drill-down: replay the Lemma 4.3 proof quantities on the
 /// best cut found for `Dec_k C`.
 pub fn e3_certificate_drilldown(k: usize) -> String {

@@ -125,6 +125,68 @@ fn e10_golden_header_and_bound_formulas() {
 }
 
 #[test]
+fn e11_perf_trajectory_smoke() {
+    // repro_perf defaults to n = 256/512/1024; the report's shape (and the
+    // internal arena-vs-legacy bitwise assertion) is complete at small n.
+    assert_report(
+        "e11",
+        &exp::e11_repro_perf(&[64, 96], None),
+        "Sequential perf trajectory",
+        8,
+    );
+}
+
+#[test]
+fn e11_golden_header_rows_and_json_emit() {
+    // Golden check: headline columns, both engines per (scheme, n), the
+    // bound formula, and a well-formed BENCH_seq.json emit. The bound
+    // formula string must stay verbatim (downstream tooling greps for it,
+    // as with e10).
+    let path = "target/test_BENCH_seq.json";
+    let out = exp::e11_repro_perf(&[64], Some(path));
+    for needle in [
+        "GFLOP/s",
+        "vs_legacy",
+        "words_model",
+        "bound=(n/sqrtM)^w0*M",
+        "bitwise-verified against its legacy row",
+        "machine-readable emit",
+    ] {
+        assert!(
+            out.contains(needle),
+            "e11: expected {needle:?} in output:\n{out}"
+        );
+    }
+    for scheme in ["strassen", "winograd"] {
+        for engine in ["legacy", "arena"] {
+            assert!(
+                out.lines()
+                    .any(|l| l.contains(scheme) && l.contains(engine)),
+                "e11: missing row {scheme}/{engine}:\n{out}"
+            );
+        }
+    }
+    let json = std::fs::read_to_string(path).expect("BENCH_seq.json written");
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    for needle in [
+        "\"engine\": \"arena\"",
+        "\"engine\": \"legacy\"",
+        "\"gflops\"",
+        "\"words_model\"",
+        "\"bound_words\"",
+        "\"n\": 64",
+    ] {
+        assert!(
+            json.contains(needle),
+            "BENCH_seq.json missing {needle}:\n{json}"
+        );
+    }
+    // one object per scheme x n x engine row
+    assert_eq!(json.matches("\"scheme\"").count(), 4);
+}
+
+#[test]
 fn e9_reported_omega0_matches_closed_forms() {
     // Golden check: the ω₀ column of repro_rectangular must equal the
     // closed forms 3·log_{mkn} r to 1e-9 (the experiment prints 9 decimals,

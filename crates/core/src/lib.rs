@@ -47,13 +47,14 @@ pub mod prelude {
         seq_latency_lower_bound, table1_closed_form, table1_lower_bound, MemoryRegime,
     };
     pub use crate::pipeline::{
-        dec_vertices, expansion_io_bound, parallel_exec_report, ExpansionIoBound,
-        ParallelExecReport,
+        dec_vertices, expansion_io_bound, parallel_exec_report, seq_exec_report, ExpansionIoBound,
+        ParallelExecReport, SeqExecReport,
     };
     pub use crate::registry::{
         all_params, SchemeParams, CLASSICAL, CLASSICAL_2X2X3, LADERMAN, RECT_2X2X4, RECT_2X4X2,
         STRASSEN, STRASSEN_SQUARED,
     };
+    pub use fastmm_matrix::arena::multiply_into;
     pub use fastmm_matrix::classical::{
         multiply_blocked, multiply_ikj, multiply_kernel, multiply_naive,
     };
@@ -61,12 +62,14 @@ pub mod prelude {
         multiply_scheme_parallel, plan_bfs_dfs, BfsDfsPlan, ParallelConfig, ScratchArena,
     };
     pub use fastmm_matrix::recursive::{
-        multiply_non_stationary, multiply_scheme, multiply_scheme_padded, multiply_strassen,
-        multiply_winograd, scheme_op_count, scheme_op_count_mkn,
+        multiply_non_stationary, multiply_scheme, multiply_scheme_legacy, multiply_scheme_padded,
+        multiply_scheme_tuned, multiply_strassen, multiply_winograd, scheme_op_count,
+        scheme_op_count_mkn,
     };
     pub use fastmm_matrix::scheme::{
         classical_rect, classical_scheme, strassen, strassen_2x2x4, winograd, winograd_2x4x2,
         BilinearScheme,
     };
+    pub use fastmm_matrix::tune::{calibrate_cutoff, default_cutoff, resolve_cutoff};
     pub use fastmm_matrix::{Fp, MatMut, MatRef, Matrix, Scalar};
 }

@@ -16,6 +16,7 @@
 
 use crate::registry::SchemeParams;
 use fastmm_matrix::parallel::{BfsDfsPlan, ParallelConfig};
+use fastmm_matrix::scheme::BilinearScheme;
 
 /// Number of vertices of the layered `Dec_k C`:
 /// `Σ_{j=0}^{k} t^{k-j} · r^j` with `t = m·n` outputs per component
@@ -113,6 +114,46 @@ pub fn parallel_exec_report(
     }
 }
 
+/// A sequential execution report tying the default (arena) engine back to
+/// the paper's bounds: the resolved base-case cutoff, the effective fast
+/// memory where the recursion bottoms out, the engine's modeled word
+/// traffic, and the Theorem 1.1/1.3 floor at that memory size.
+#[derive(Clone, Copy, Debug)]
+pub struct SeqExecReport {
+    /// The base-case cutoff the run uses (caller value, or the
+    /// `FASTMM_CUTOFF`/compiled default via `fastmm_matrix::tune`).
+    pub cutoff: usize,
+    /// Effective fast-memory words `3·cutoff²` — where the recursion
+    /// switches to the classical kernel, hence the `M` of the model.
+    pub memory_words: usize,
+    /// Modeled traffic of the arena engine
+    /// (`dfs_arena_io_recurrence_mkn` at `M = memory_words`).
+    pub arena_words: f64,
+    /// Theorem 1.1/1.3 bandwidth lower bound `(n/√M)^{ω₀}·M` at the same
+    /// `M` — the floor no schedule of this CDAG can beat.
+    pub seq_bound_words: f64,
+}
+
+/// Report the default sequential engine's modeled traffic for an
+/// `n x n x n` multiply with `scheme` against the Section 1.1 bound.
+/// `cutoff = 0` means "auto" (resolved through `fastmm_matrix::tune`, so
+/// `FASTMM_CUTOFF` applies). Experiment e11 (`repro_perf`) prints this
+/// next to measured GFLOP/s per engine.
+pub fn seq_exec_report(scheme: &BilinearScheme, n: usize, cutoff: usize) -> SeqExecReport {
+    let cutoff = fastmm_matrix::tune::resolve_cutoff(cutoff);
+    let memory_words = 3 * cutoff * cutoff;
+    let params = SchemeParams::of_scheme(scheme);
+    let arena_words =
+        fastmm_memsim::explicit::dfs_arena_io_recurrence_mkn(scheme, n, n, n, memory_words);
+    let seq_bound_words = crate::bounds::seq_bandwidth_lower_bound(params, n, memory_words);
+    SeqExecReport {
+        cutoff,
+        memory_words,
+        arena_words,
+        seq_bound_words,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +210,25 @@ mod tests {
         let b_small = expansion_io_bound(STRASSEN, 20, 1 << 6, h_lemma).unwrap();
         let b_large = expansion_io_bound(STRASSEN, 20, 1 << 14, h_lemma).unwrap();
         assert!(b_large.k > b_small.k);
+    }
+
+    #[test]
+    fn seq_report_models_default_engine_above_bound() {
+        let s = fastmm_matrix::scheme::strassen();
+        let rep = seq_exec_report(&s, 1024, 64);
+        assert_eq!(rep.cutoff, 64);
+        assert_eq!(rep.memory_words, 3 * 64 * 64);
+        assert!(rep.arena_words > rep.seq_bound_words, "{rep:?}");
+        // The model shares the Eq. 1 shape with the bound: the ratio stays
+        // within a constant factor across a size doubling.
+        let rep2 = seq_exec_report(&s, 2048, 64);
+        let (r1, r2) = (
+            rep.arena_words / rep.seq_bound_words,
+            rep2.arena_words / rep2.seq_bound_words,
+        );
+        assert!((r1 / r2 - 1.0).abs() < 0.15, "ratios {r1} vs {r2}");
+        // explicit cutoff wins over auto resolution
+        assert_eq!(seq_exec_report(&s, 256, 32).cutoff, 32);
     }
 
     #[test]

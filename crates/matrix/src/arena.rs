@@ -1,0 +1,397 @@
+//! The zero-allocation arena recursion — the single hot-path engine behind
+//! [`multiply_scheme`](crate::recursive::multiply_scheme),
+//! [`multiply_scheme_parallel`](crate::parallel::multiply_scheme_parallel)
+//! (both its `threads == 1` fast path and every DFS leaf of the BFS task
+//! tree), and
+//! [`multiply_non_stationary`](crate::recursive::multiply_non_stationary).
+//!
+//! The recursion ([`multiply_into`]) walks strided [`MatRef`]/[`MatMut`]
+//! views of the *original* operands instead of materializing block copies:
+//!
+//! * encoding `T_l = Σ_q U[l][q]·A_q` reads the source blocks straight
+//!   through grid views and accumulates into one preallocated arena buffer
+//!   via the fused AXPY row kernel [`crate::dense::axpy_row`]
+//!   ([`encode_a_into`]/[`encode_b_into`], shared with the parallel BFS
+//!   encoder);
+//! * each product `M_l` decodes by writing through strided `C` blocks
+//!   ([`decode_product_into`]) with no intermediate result matrix;
+//! * non-divisible levels zero-extend row-wise into the arena
+//!   ([`MatMut::zero_extend_from`]) instead of building an
+//!   element-at-a-time padded copy.
+//!
+//! Every temporary comes from — and returns to — a [`ScratchArena`], so
+//! after the first recursion warms the pool the hot path performs **zero
+//! heap allocation**. This makes the engine's measured word traffic track
+//! the in-place model
+//! `dfs_arena_io_recurrence_mkn` (crate `fastmm-memsim`) and hence the
+//! Equation (1) recurrence `IO(n) ≤ r·IO(n/n₀) + O(n²)` whose solution the
+//! paper's Theorem 1.1 lower-bounds.
+//!
+//! ## Bit-determinism
+//!
+//! The engine preserves the historical scalar arithmetic exactly: encode
+//! accumulates blocks in ascending `q`, products run in order
+//! `l = 0, 1, …, r-1`, decode accumulates `W`-column nonzeros in ascending
+//! `q`, and the base case is the cache-blocked kernel
+//! [`multiply_kernel_into`] (bit-identical to `multiply_ikj`). Outputs are
+//! therefore bit-identical to the legacy copy-out engine
+//! ([`multiply_scheme_legacy`](crate::recursive::multiply_scheme_legacy))
+//! at every cutoff and thread count — enforced by the determinism suite
+//! (`crates/matrix/tests/determinism.rs`).
+
+use crate::classical::multiply_kernel_into;
+use crate::dense::{MatMut, MatRef};
+use crate::scalar::Scalar;
+use crate::scheme::BilinearScheme;
+
+/// A pool of reusable scratch buffers — the arena backing the DFS hot
+/// path (per worker thread in the parallel engine).
+///
+/// [`ScratchArena::take`] hands out a zeroed buffer (recycling a returned
+/// one when available), [`ScratchArena::take_any`] one with unspecified
+/// contents for callers that overwrite every element, and
+/// [`ScratchArena::give`] returns a buffer. The recursion takes and gives
+/// in stack order with shapes fixed per depth, so after the first descent
+/// warms the pool every subsequent node runs without heap allocation.
+pub struct ScratchArena<T> {
+    pool: Vec<Vec<T>>,
+}
+
+impl<T: Scalar> ScratchArena<T> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        ScratchArena { pool: Vec::new() }
+    }
+
+    /// A zeroed buffer of `len` words, recycled from the pool when one is
+    /// available (its capacity is reused; no allocation once warm).
+    pub fn take(&mut self, len: usize) -> Vec<T> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, T::zero());
+        buf
+    }
+
+    /// A buffer of `len` words with **unspecified contents** (stale values
+    /// from a previous use are possible), for callers that overwrite every
+    /// element — e.g. the pad path, which zero-extends row-wise. Skips the
+    /// `memset` that [`ScratchArena::take`] pays.
+    pub fn take_any(&mut self, len: usize) -> Vec<T> {
+        let mut buf = self.pool.pop().unwrap_or_default();
+        if buf.len() >= len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, T::zero());
+        }
+        buf
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn give(&mut self, buf: Vec<T>) {
+        self.pool.push(buf);
+    }
+}
+
+impl<T: Scalar> Default for ScratchArena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Operand/product footprint `MK + KN + MN` of a subproblem shape.
+pub(crate) fn footprint(s: (usize, usize, usize)) -> usize {
+    s.0 * s.1 + s.1 * s.2 + s.0 * s.2
+}
+
+/// Next block-grid multiples of a shape under base dims `(bm, bk, bn)`.
+pub(crate) fn padded(
+    dims: (usize, usize, usize),
+    s: (usize, usize, usize),
+) -> (usize, usize, usize) {
+    (
+        s.0.div_ceil(dims.0) * dims.0,
+        s.1.div_ceil(dims.1) * dims.1,
+        s.2.div_ceil(dims.2) * dims.2,
+    )
+}
+
+/// Whether the recursion splits this shape rather than running the base
+/// kernel — the per-level test shared by the engine and the BFS planner.
+pub(crate) fn splits(dims: (usize, usize, usize), s: (usize, usize, usize), cutoff: usize) -> bool {
+    if s.0.max(s.1).max(s.2) <= cutoff {
+        return false;
+    }
+    let p = padded(dims, s);
+    (p.0 / dims.0) * (p.1 / dims.1) * (p.2 / dims.2) < s.0 * s.1 * s.2
+}
+
+/// Shape of the `r` subproblems one level down (after per-level padding).
+pub(crate) fn child_shape(
+    dims: (usize, usize, usize),
+    s: (usize, usize, usize),
+) -> (usize, usize, usize) {
+    let p = padded(dims, s);
+    (p.0 / dims.0, p.1 / dims.1, p.2 / dims.2)
+}
+
+/// Scratch words one DFS task needs below `shape`: per level, the three
+/// temporaries `(T_l, S_l, M_l)`, plus pad buffers on non-divisible levels.
+pub(crate) fn dfs_working_set(
+    dims: (usize, usize, usize),
+    shape: (usize, usize, usize),
+    cutoff: usize,
+) -> usize {
+    let mut total = 0usize;
+    let mut cur = shape;
+    while splits(dims, cur, cutoff) {
+        let p = padded(dims, cur);
+        if p != cur {
+            total = total.saturating_add(footprint(p));
+        }
+        let child = child_shape(dims, cur);
+        total = total.saturating_add(footprint(child));
+        cur = child;
+    }
+    total
+}
+
+/// Fused encode of product `l`'s left operand: `ta += Σ_q U[l][q] · A_q`,
+/// reading the `A` blocks through strided grid views and accumulating with
+/// [`crate::dense::axpy_row`]. `ta` must enter zeroed; blocks accumulate in
+/// ascending `q` (the bit-determinism contract). Shared by the sequential
+/// recursion, the non-stationary engine, and the parallel BFS encoder.
+#[inline]
+pub fn encode_a_into<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: MatRef<'_, T>,
+    l: usize,
+    ta: &mut MatMut<'_, T>,
+) {
+    let (bm, bk, _) = scheme.dims();
+    for (q, c) in scheme.u.row_entries(l) {
+        ta.accumulate_scaled(a.grid_block_rect(bm, bk, q / bk, q % bk), c);
+    }
+}
+
+/// Fused encode of product `l`'s right operand: `tb += Σ_q V[l][q] · B_q`
+/// (see [`encode_a_into`]).
+#[inline]
+pub fn encode_b_into<T: Scalar>(
+    scheme: &BilinearScheme,
+    b: MatRef<'_, T>,
+    l: usize,
+    tb: &mut MatMut<'_, T>,
+) {
+    let (_, bk, bn) = scheme.dims();
+    for (q, c) in scheme.v.row_entries(l) {
+        tb.accumulate_scaled(b.grid_block_rect(bk, bn, q / bn, q % bn), c);
+    }
+}
+
+/// Fused decode of product `l`: `C_q += W[q][l] · M_l` for every nonzero
+/// of `W`'s column `l`, writing through strided `C` grid blocks in
+/// ascending `q` — no intermediate result matrix is ever materialized.
+#[inline]
+pub fn decode_product_into<T: Scalar>(
+    scheme: &BilinearScheme,
+    m: MatRef<'_, T>,
+    l: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    let (bm, _, bn) = scheme.dims();
+    for (q, wc) in scheme.w.col_entries(l) {
+        c.grid_block_rect_mut(bm, bn, q / bn, q % bn)
+            .accumulate_scaled(m, wc);
+    }
+}
+
+/// The arena recursion: computes `c = a * b` into a **zeroed** `c` with
+/// `scheme`, padding per level on non-divisible shapes and running the
+/// cache-blocked base kernel below `cutoff`, with every temporary drawn
+/// from — and returned to — `arena`.
+///
+/// This is the engine [`multiply_scheme`](crate::recursive::multiply_scheme)
+/// wraps; call it directly to amortize one arena (and one output buffer)
+/// across many multiplies:
+///
+/// ```
+/// use fastmm_matrix::arena::{multiply_into, ScratchArena};
+/// use fastmm_matrix::dense::Matrix;
+/// use fastmm_matrix::scheme::strassen;
+///
+/// let a = Matrix::<i64>::identity(16);
+/// let b = Matrix::from_fn(16, 16, |i, j| (i * 16 + j) as i64);
+/// let mut arena = ScratchArena::new();
+/// let mut c = Matrix::zeros(16, 16);
+/// multiply_into(&strassen(), a.view(), b.view(), &mut c.view_mut(), 2, &mut arena);
+/// assert_eq!(c, b);
+/// ```
+pub fn multiply_into<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    cutoff: usize,
+    arena: &mut ScratchArena<T>,
+) {
+    let shape = (a.rows(), a.cols(), b.cols());
+    let dims = scheme.dims();
+    if !splits(dims, shape, cutoff) {
+        multiply_kernel_into(a, b, c);
+        return;
+    }
+    let (mm, kk, nn) = shape;
+    let (pm, pk, pn) = padded(dims, shape);
+    if (pm, pk, pn) != shape {
+        // Non-divisible level: zero-extend both operands row-wise into the
+        // arena (every element of the pad buffers is overwritten, so they
+        // are taken unzeroed), recurse at the padded shape, crop back.
+        let mut pa = arena.take_any(pm * pk);
+        MatMut::from_slice(&mut pa, pm, pk).zero_extend_from(a);
+        let mut pb = arena.take_any(pk * pn);
+        MatMut::from_slice(&mut pb, pk, pn).zero_extend_from(b);
+        let mut pc = arena.take(pm * pn);
+        multiply_into(
+            scheme,
+            MatRef::from_slice(&pa, pm, pk),
+            MatRef::from_slice(&pb, pk, pn),
+            &mut MatMut::from_slice(&mut pc, pm, pn),
+            cutoff,
+            arena,
+        );
+        c.copy_from(MatRef::from_slice(&pc, pm, pn).block(0, 0, mm, nn));
+        arena.give(pa);
+        arena.give(pb);
+        arena.give(pc);
+        return;
+    }
+    let (bm, bk, bn) = dims;
+    let (sm, sk, sn) = (mm / bm, kk / bk, nn / bn);
+    let mut ta = arena.take_any(sm * sk);
+    let mut tb = arena.take_any(sk * sn);
+    let mut mbuf = arena.take_any(sm * sn);
+    for l in 0..scheme.r {
+        ta.fill(T::zero());
+        encode_a_into(scheme, a, l, &mut MatMut::from_slice(&mut ta, sm, sk));
+        tb.fill(T::zero());
+        encode_b_into(scheme, b, l, &mut MatMut::from_slice(&mut tb, sk, sn));
+        mbuf.fill(T::zero());
+        multiply_into(
+            scheme,
+            MatRef::from_slice(&ta, sm, sk),
+            MatRef::from_slice(&tb, sk, sn),
+            &mut MatMut::from_slice(&mut mbuf, sm, sn),
+            cutoff,
+            arena,
+        );
+        decode_product_into(scheme, MatRef::from_slice(&mbuf, sm, sn), l, c);
+    }
+    arena.give(ta);
+    arena.give(tb);
+    arena.give(mbuf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::multiply_naive;
+    use crate::dense::Matrix;
+    use crate::scheme::{all_schemes, strassen};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn arena_recycles_buffers() {
+        let mut arena: ScratchArena<i64> = ScratchArena::new();
+        let b1 = arena.take(64);
+        let ptr = b1.as_ptr();
+        arena.give(b1);
+        let b2 = arena.take(64);
+        assert_eq!(b2.as_ptr(), ptr, "same allocation reused");
+        assert!(b2.iter().all(|&x| x == 0), "reissued buffer is zeroed");
+    }
+
+    #[test]
+    fn take_any_reuses_without_zeroing_contract() {
+        let mut arena: ScratchArena<i64> = ScratchArena::new();
+        let mut b = arena.take(8);
+        b.iter_mut().for_each(|x| *x = 7);
+        arena.give(b);
+        // contents unspecified but length exact and allocation reused
+        let b2 = arena.take_any(4);
+        assert_eq!(b2.len(), 4);
+        let b3 = arena.take_any(16);
+        assert_eq!(b3.len(), 16);
+    }
+
+    #[test]
+    fn multiply_into_is_exact_for_all_registry_schemes() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut arena = ScratchArena::new();
+        for scheme in all_schemes() {
+            let (bm, bk, bn) = scheme.dims();
+            let (mm, kk, nn) = (bm * bm + 1, bk * bk, bn * bn + 1);
+            let a = Matrix::random_fp(mm, kk, &mut rng);
+            let b = Matrix::random_fp(kk, nn, &mut rng);
+            let mut c = Matrix::zeros(mm, nn);
+            multiply_into(
+                &scheme,
+                a.view(),
+                b.view(),
+                &mut c.view_mut(),
+                1,
+                &mut arena,
+            );
+            assert_eq!(c, multiply_naive(&a, &b), "scheme {}", scheme.name);
+        }
+    }
+
+    #[test]
+    fn encode_decode_kernels_match_dense_reference() {
+        // One Strassen level by hand: encode/decode kernels vs the flat
+        // (U, V, W) definition evaluated through owned block copies.
+        let s = strassen();
+        let mut rng = StdRng::seed_from_u64(62);
+        let a = Matrix::<f64>::random(4, 4, &mut rng);
+        let b = Matrix::<f64>::random(4, 4, &mut rng);
+        let a_blocks: Vec<Matrix<f64>> = (0..4)
+            .map(|q| a.view().grid_block_rect(2, 2, q / 2, q % 2).to_matrix())
+            .collect();
+        let b_blocks: Vec<Matrix<f64>> = (0..4)
+            .map(|q| b.view().grid_block_rect(2, 2, q / 2, q % 2).to_matrix())
+            .collect();
+        let mut c_fast = Matrix::zeros(4, 4);
+        let mut c_ref = Matrix::zeros(4, 4);
+        for l in 0..s.r {
+            let mut ta = Matrix::zeros(2, 2);
+            encode_a_into(&s, a.view(), l, &mut ta.view_mut());
+            let mut tb = Matrix::zeros(2, 2);
+            encode_b_into(&s, b.view(), l, &mut tb.view_mut());
+            let mut ta_ref = Matrix::zeros(2, 2);
+            let mut tb_ref = Matrix::zeros(2, 2);
+            for q in 0..4 {
+                ta_ref
+                    .view_mut()
+                    .accumulate_scaled(a_blocks[q].view(), s.u.get(l, q));
+                tb_ref
+                    .view_mut()
+                    .accumulate_scaled(b_blocks[q].view(), s.v.get(l, q));
+            }
+            assert_eq!(ta, ta_ref, "l={l}: encode A");
+            assert_eq!(tb, tb_ref, "l={l}: encode B");
+            let m = multiply_naive(&ta, &tb);
+            decode_product_into(&s, m.view(), l, &mut c_fast.view_mut());
+            for q in 0..4 {
+                let wc = s.w.get(q, l);
+                if wc != 0 {
+                    c_ref
+                        .view_mut()
+                        .grid_block_rect_mut(2, 2, q / 2, q % 2)
+                        .accumulate_scaled(m.view(), wc);
+                }
+            }
+        }
+        let bits = |m: &Matrix<f64>| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&c_fast), bits(&c_ref), "decode reassociated");
+    }
+}

@@ -10,6 +10,41 @@ use crate::scalar::Scalar;
 use rand::distributions::{Distribution, Uniform};
 use rand::Rng;
 
+/// Fused AXPY row kernel: `dst[j] += c * src[j]` over contiguous row
+/// slices, with the coefficient dispatch hoisted out of the loop so each
+/// specialization (`c == ±1`, general `c`) is a branch-free loop the
+/// compiler autovectorizes.
+///
+/// **Bit-compatibility:** per element this performs exactly
+/// [`Scalar::add_scaled`] — `add` for `c == 1`, `sub` for `c == -1`, and
+/// `add(mul(from_i64(c)))` otherwise — in ascending `j`, so it is
+/// bit-identical to the historical per-element loop. It is the shared
+/// encode/decode kernel of both recursive engines (see
+/// [`crate::arena`]): every `T_l += U[l][q]·A_q` block accumulation and
+/// every `C_q += W[q][l]·M_l` decode runs through here, row by row.
+#[inline]
+pub fn axpy_row<T: Scalar>(dst: &mut [T], src: &[T], c: i64) {
+    debug_assert_eq!(dst.len(), src.len());
+    match c {
+        0 => {}
+        1 => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = d.add(s);
+            }
+        }
+        -1 => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = d.sub(s);
+            }
+        }
+        _ => {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = d.add_scaled(s, c);
+            }
+        }
+    }
+}
+
 /// An owning, row-major dense matrix.
 #[derive(Clone, PartialEq)]
 pub struct Matrix<T> {
@@ -420,36 +455,53 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         &mut self.data[start..start + self.cols]
     }
 
-    /// Fill the window with zeros.
+    /// Fill the window with zeros (row-wise `fill`, not per-element stores).
     pub fn fill_zero(&mut self) {
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                self.set(i, j, T::zero());
-            }
+            self.row_mut(i).fill(T::zero());
         }
     }
 
-    /// Copy `src` (same shape) into this window.
+    /// Copy `src` (same shape) into this window, one `copy_from_slice` per
+    /// row.
     pub fn copy_from(&mut self, src: MatRef<'_, T>) {
         assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                self.set(i, j, src.get(i, j));
-            }
+            self.row_mut(i).copy_from_slice(src.row(i));
         }
     }
 
-    /// `self += c * src` for a small integer coefficient `c`.
+    /// Zero-extension copy: `src` (no larger in either dimension) lands in
+    /// the top-left corner, everything else becomes zero. This is the
+    /// per-level padding primitive of the arena engine — row-wise
+    /// `copy_from_slice` plus `fill`, replacing the historical
+    /// element-by-element `from_fn` pad with its branch per element.
+    pub fn zero_extend_from(&mut self, src: MatRef<'_, T>) {
+        assert!(
+            src.rows() <= self.rows && src.cols() <= self.cols,
+            "source must fit in the window"
+        );
+        let (sr, sc) = (src.rows(), src.cols());
+        for i in 0..sr {
+            let row = self.row_mut(i);
+            row[..sc].copy_from_slice(src.row(i));
+            row[sc..].fill(T::zero());
+        }
+        for i in sr..self.rows {
+            self.row_mut(i).fill(T::zero());
+        }
+    }
+
+    /// `self += c * src` for a small integer coefficient `c`, one
+    /// [`axpy_row`] call per row (bit-identical to the historical
+    /// per-element loop; see the kernel's bit-compatibility note).
     pub fn accumulate_scaled(&mut self, src: MatRef<'_, T>, c: i64) {
         assert_eq!((self.rows, self.cols), (src.rows(), src.cols()));
         if c == 0 {
             return;
         }
         for i in 0..self.rows {
-            for j in 0..self.cols {
-                let v = self.get(i, j).add_scaled(src.get(i, j), c);
-                self.set(i, j, v);
-            }
+            axpy_row(self.row_mut(i), src.row(i), c);
         }
     }
 }
@@ -551,6 +603,38 @@ mod tests {
         let mut out: Matrix<i64> = Matrix::zeros(2, 2);
         out.view_mut().copy_from(q.view());
         assert_eq!(out.as_slice(), &[10, 11, 14, 15]);
+    }
+
+    #[test]
+    fn axpy_row_matches_per_element_add_scaled() {
+        use crate::scalar::Scalar;
+        let src = [1.5f64, -2.25, 0.125, 7.0];
+        for c in [-2i64, -1, 0, 1, 2] {
+            let mut fast = [10.0f64, -0.5, 3.25, 0.0];
+            let mut slow = fast;
+            axpy_row(&mut fast, &src, c);
+            for (d, &s) in slow.iter_mut().zip(&src) {
+                *d = d.add_scaled(s, c);
+            }
+            assert_eq!(
+                fast.map(f64::to_bits),
+                slow.map(f64::to_bits),
+                "c={c}: fused kernel reassociated"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_extend_from_pads_with_zeros() {
+        let src = Matrix::from_vec(2, 2, vec![1i64, 2, 3, 4]);
+        // dirty destination: every element must be overwritten
+        let mut dst = Matrix::from_fn(3, 4, |_, _| 9i64);
+        dst.view_mut().zero_extend_from(src.view());
+        assert_eq!(dst.as_slice(), &[1, 2, 0, 0, 3, 4, 0, 0, 0, 0, 0, 0]);
+        // equal shape degenerates to a plain copy
+        let mut same = Matrix::from_fn(2, 2, |_, _| 9i64);
+        same.view_mut().zero_extend_from(src.view());
+        assert_eq!(same, src);
     }
 
     #[test]

@@ -11,21 +11,31 @@
 //! * [`scheme`] — the bilinear `⟨n₀; m(n₀)⟩` framework of the paper's
 //!   Section 5.1, with Brent-equation verification, straight-line programs
 //!   (Strassen's 18 vs Winograd's 15 additions), and tensor products;
-//! * [`recursive`] — the recursive Strassen-like engine and exact arithmetic
-//!   operation counts realizing `T(n) = m(n₀)·T(n/n₀) + O(n²) = Θ(n^{ω₀})`;
+//! * [`arena`] — the zero-allocation strided arena recursion with fused
+//!   encode/decode row kernels: the single hot-path engine behind the
+//!   sequential, parallel, and non-stationary entry points;
+//! * [`recursive`] — the recursive Strassen-like entry points and exact
+//!   arithmetic operation counts realizing
+//!   `T(n) = m(n₀)·T(n/n₀) + O(n²) = Θ(n^{ω₀})` (plus the legacy copy-out
+//!   engine, kept as the bitwise golden reference);
 //! * [`parallel`] — the shared-memory work-stealing engine with the
 //!   CAPS-style memory-aware BFS/DFS schedule, bit-identical to the
-//!   sequential engine at every thread count.
+//!   sequential engine at every thread count;
+//! * [`tune`] — base-case cutoff selection (`FASTMM_CUTOFF`, calibration
+//!   micro-search).
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod classical;
 pub mod dense;
 pub mod parallel;
 pub mod recursive;
 pub mod scalar;
 pub mod scheme;
+pub mod tune;
 
+pub use arena::{multiply_into, ScratchArena};
 pub use dense::{MatMut, MatRef, Matrix};
 pub use parallel::{multiply_scheme_parallel, plan_bfs_dfs, BfsDfsPlan, ParallelConfig};
 pub use scalar::{Fp, Scalar};

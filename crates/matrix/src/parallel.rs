@@ -15,7 +15,13 @@
 //! * **DFS steps** (everything below) run inside a single task,
 //!   sequentially and allocation-free: every temporary comes from the
 //!   worker's [`ScratchArena`], so the hot path performs zero heap
-//!   allocation once the arena is warm.
+//!   allocation once the arena is warm. The DFS recursion itself is
+//!   [`crate::arena::multiply_into`] — the **same** engine behind the
+//!   sequential [`multiply_scheme`](crate::recursive::multiply_scheme),
+//!   and the BFS task encoder runs the same fused encode kernels
+//!   ([`crate::arena::encode_a_into`]/[`crate::arena::encode_b_into`]),
+//!   so there is exactly one copy of the encode/decode arithmetic in the
+//!   codebase.
 //!
 //! The BFS/DFS switch point is chosen by [`plan_bfs_dfs`]: expand
 //! breadth-first while the projected peak footprint fits the configurable
@@ -36,7 +42,11 @@
 //! determinism suite (`crates/matrix/tests/determinism.rs`) enforces this
 //! across schemes, thread counts, scalar types, and non-divisible shapes.
 
-use crate::classical::multiply_kernel_into;
+pub use crate::arena::ScratchArena;
+use crate::arena::{
+    child_shape, dfs_working_set, encode_a_into, encode_b_into, footprint, multiply_into, padded,
+    splits,
+};
 use crate::dense::{MatMut, MatRef, Matrix};
 use crate::scalar::Scalar;
 use crate::scheme::BilinearScheme;
@@ -110,45 +120,6 @@ impl Default for ParallelConfig {
     }
 }
 
-/// A pool of reusable scratch buffers — the per-worker arena backing the
-/// DFS hot path.
-///
-/// [`ScratchArena::take`] hands out a zeroed buffer (recycling a returned
-/// one when available), [`ScratchArena::give`] returns it. The DFS
-/// recursion takes and gives in stack order with shapes fixed per depth,
-/// so after the first task warms the pool every subsequent leaf runs
-/// without heap allocation.
-pub struct ScratchArena<T> {
-    pool: Vec<Vec<T>>,
-}
-
-impl<T: Scalar> ScratchArena<T> {
-    /// An empty arena.
-    pub fn new() -> Self {
-        ScratchArena { pool: Vec::new() }
-    }
-
-    /// A zeroed buffer of `len` words, recycled from the pool when one is
-    /// available (its capacity is reused; no allocation once warm).
-    pub fn take(&mut self, len: usize) -> Vec<T> {
-        let mut buf = self.pool.pop().unwrap_or_default();
-        buf.clear();
-        buf.resize(len, T::zero());
-        buf
-    }
-
-    /// Return a buffer to the pool for reuse.
-    pub fn give(&mut self, buf: Vec<T>) {
-        self.pool.push(buf);
-    }
-}
-
-impl<T: Scalar> Default for ScratchArena<T> {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
 /// The BFS/DFS schedule chosen for one multiply, with its memory
 /// accounting (all quantities in words).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,57 +138,6 @@ pub struct BfsDfsPlan {
     /// The budget the plan was sized against, with the auto default
     /// (`8 * footprint`) resolved — the `M` to evaluate bounds at.
     pub budget_words: usize,
-}
-
-/// Operand/product footprint `MK + KN + MN` of a subproblem shape.
-fn footprint(s: (usize, usize, usize)) -> usize {
-    s.0 * s.1 + s.1 * s.2 + s.0 * s.2
-}
-
-/// Next block-grid multiples of a shape under base dims `(bm, bk, bn)`.
-fn padded(dims: (usize, usize, usize), s: (usize, usize, usize)) -> (usize, usize, usize) {
-    (
-        s.0.div_ceil(dims.0) * dims.0,
-        s.1.div_ceil(dims.1) * dims.1,
-        s.2.div_ceil(dims.2) * dims.2,
-    )
-}
-
-/// Whether the recursion would split this shape rather than run the base
-/// kernel — the same test `multiply_scheme` applies per level.
-fn splits(dims: (usize, usize, usize), s: (usize, usize, usize), cutoff: usize) -> bool {
-    if s.0.max(s.1).max(s.2) <= cutoff {
-        return false;
-    }
-    let p = padded(dims, s);
-    (p.0 / dims.0) * (p.1 / dims.1) * (p.2 / dims.2) < s.0 * s.1 * s.2
-}
-
-/// Shape of the `r` subproblems one level down (after per-level padding).
-fn child_shape(dims: (usize, usize, usize), s: (usize, usize, usize)) -> (usize, usize, usize) {
-    let p = padded(dims, s);
-    (p.0 / dims.0, p.1 / dims.1, p.2 / dims.2)
-}
-
-/// Scratch words one DFS task needs below `shape`: per level, the three
-/// temporaries `(T_l, S_l, M_l)`, plus pad buffers on non-divisible levels.
-fn dfs_working_set(
-    dims: (usize, usize, usize),
-    shape: (usize, usize, usize),
-    cutoff: usize,
-) -> usize {
-    let mut total = 0usize;
-    let mut cur = shape;
-    while splits(dims, cur, cutoff) {
-        let p = padded(dims, cur);
-        if p != cur {
-            total = total.saturating_add(footprint(p));
-        }
-        let child = child_shape(dims, cur);
-        total = total.saturating_add(footprint(child));
-        cur = child;
-    }
-    total
 }
 
 /// Choose how many top recursion levels to run breadth-first: the
@@ -312,7 +232,7 @@ pub fn multiply_scheme_parallel<T: Scalar>(
     if threads == 1 || plan.bfs_levels == 0 {
         let mut arena = ScratchArena::new();
         let mut c = Matrix::zeros(shape.0, shape.2);
-        dfs_into(
+        multiply_into(
             scheme,
             a.view(),
             b.view(),
@@ -539,7 +459,7 @@ fn run_node<T: Scalar>(exec: &Exec<'_, T>, w: usize, v: usize, arena: &mut Scrat
             {
                 let guard = node.ops.read().unwrap();
                 let (a, b) = guard.as_ref().expect("leaf operands materialized");
-                dfs_into(
+                multiply_into(
                     exec.scheme,
                     MatRef::from_slice(a, node.mm, node.kk),
                     MatRef::from_slice(b, node.kk, node.nn),
@@ -620,8 +540,11 @@ fn combine<T: Scalar>(exec: &Exec<'_, T>, p: usize) {
 }
 
 /// Encode one child's operand pair `(T_l, S_l)` from the parent's
-/// operands, accumulating blocks in ascending `q` — the sequential
-/// engine's exact encode arithmetic.
+/// operands into fresh BFS-tree buffers, via the shared fused kernels
+/// ([`encode_a_into`]/[`encode_b_into`]) — the sequential engine's exact
+/// encode arithmetic, deduplicated (this function used to carry its own
+/// copy of the accumulate loops; a bitwise regression test in the tests
+/// module pins the shared kernels to that historical arithmetic).
 fn encode_child<T: Scalar>(
     scheme: &BilinearScheme,
     pa: MatRef<'_, T>,
@@ -629,137 +552,19 @@ fn encode_child<T: Scalar>(
     l: usize,
     shape: (usize, usize, usize),
 ) -> (Vec<T>, Vec<T>) {
-    let (bm, bk, bn) = scheme.dims();
     let (sm, sk, sn) = shape;
     let mut ta = vec![T::zero(); sm * sk];
-    {
-        let mut tm = MatMut::from_slice(&mut ta, sm, sk);
-        for q in 0..bm * bk {
-            tm.accumulate_scaled(
-                pa.grid_block_rect(bm, bk, q / bk, q % bk),
-                scheme.u.get(l, q),
-            );
-        }
-    }
+    encode_a_into(scheme, pa, l, &mut MatMut::from_slice(&mut ta, sm, sk));
     let mut tb = vec![T::zero(); sk * sn];
-    {
-        let mut tm = MatMut::from_slice(&mut tb, sk, sn);
-        for q in 0..bk * bn {
-            tm.accumulate_scaled(
-                pb.grid_block_rect(bk, bn, q / bn, q % bn),
-                scheme.v.get(l, q),
-            );
-        }
-    }
+    encode_b_into(scheme, pb, l, &mut MatMut::from_slice(&mut tb, sk, sn));
     (ta, tb)
 }
 
-/// Copy `src` into the top-left of a zeroed `rows x cols` buffer.
+/// Zero-extend `src` into a fresh `rows x cols` BFS-tree buffer.
 fn pad_copy<T: Scalar>(src: MatRef<'_, T>, rows: usize, cols: usize) -> Vec<T> {
     let mut out = vec![T::zero(); rows * cols];
-    for i in 0..src.rows() {
-        out[i * cols..i * cols + src.cols()].copy_from_slice(src.row(i));
-    }
+    MatMut::from_slice(&mut out, rows, cols).zero_extend_from(src);
     out
-}
-
-/// Copy `src` into the top-left of `dst` (already zeroed), for arena
-/// buffers.
-fn pad_into<T: Scalar>(src: MatRef<'_, T>, dst: &mut [T], cols: usize) {
-    for i in 0..src.rows() {
-        dst[i * cols..i * cols + src.cols()].copy_from_slice(src.row(i));
-    }
-}
-
-/// The sequential depth-first recursion on arena scratch: computes
-/// `c = a * b` into a **zeroed** `c`, performing the same scalar
-/// operations in the same order as
-/// [`multiply_scheme`](crate::recursive::multiply_scheme) (pad-per-level
-/// on non-divisible shapes, base kernel below `cutoff`), with every
-/// temporary drawn from — and returned to — `arena`.
-fn dfs_into<T: Scalar>(
-    scheme: &BilinearScheme,
-    a: MatRef<'_, T>,
-    b: MatRef<'_, T>,
-    c: &mut MatMut<'_, T>,
-    cutoff: usize,
-    arena: &mut ScratchArena<T>,
-) {
-    let shape = (a.rows(), a.cols(), b.cols());
-    let dims = scheme.dims();
-    if !splits(dims, shape, cutoff) {
-        multiply_kernel_into(a, b, c);
-        return;
-    }
-    let (mm, kk, nn) = shape;
-    let (pm, pk, pn) = padded(dims, shape);
-    if (pm, pk, pn) != shape {
-        let mut pa = arena.take(pm * pk);
-        pad_into(a, &mut pa, pk);
-        let mut pb = arena.take(pk * pn);
-        pad_into(b, &mut pb, pn);
-        let mut pc = arena.take(pm * pn);
-        dfs_into(
-            scheme,
-            MatRef::from_slice(&pa, pm, pk),
-            MatRef::from_slice(&pb, pk, pn),
-            &mut MatMut::from_slice(&mut pc, pm, pn),
-            cutoff,
-            arena,
-        );
-        c.copy_from(MatRef::from_slice(&pc, pm, pn).block(0, 0, mm, nn));
-        arena.give(pa);
-        arena.give(pb);
-        arena.give(pc);
-        return;
-    }
-    let (bm, bk, bn) = dims;
-    let (sm, sk, sn) = (mm / bm, kk / bk, nn / bn);
-    let mut ta = arena.take(sm * sk);
-    let mut tb = arena.take(sk * sn);
-    let mut mbuf = arena.take(sm * sn);
-    for l in 0..scheme.r {
-        ta.fill(T::zero());
-        {
-            let mut tm = MatMut::from_slice(&mut ta, sm, sk);
-            for q in 0..bm * bk {
-                tm.accumulate_scaled(
-                    a.grid_block_rect(bm, bk, q / bk, q % bk),
-                    scheme.u.get(l, q),
-                );
-            }
-        }
-        tb.fill(T::zero());
-        {
-            let mut tm = MatMut::from_slice(&mut tb, sk, sn);
-            for q in 0..bk * bn {
-                tm.accumulate_scaled(
-                    b.grid_block_rect(bk, bn, q / bn, q % bn),
-                    scheme.v.get(l, q),
-                );
-            }
-        }
-        mbuf.fill(T::zero());
-        dfs_into(
-            scheme,
-            MatRef::from_slice(&ta, sm, sk),
-            MatRef::from_slice(&tb, sk, sn),
-            &mut MatMut::from_slice(&mut mbuf, sm, sn),
-            cutoff,
-            arena,
-        );
-        let mref = MatRef::from_slice(&mbuf, sm, sn);
-        for q in 0..bm * bn {
-            let wc = scheme.w.get(q, l);
-            if wc != 0 {
-                c.grid_block_rect_mut(bm, bn, q / bn, q % bn)
-                    .accumulate_scaled(mref, wc);
-            }
-        }
-    }
-    arena.give(ta);
-    arena.give(tb);
-    arena.give(mbuf);
 }
 
 #[cfg(test)]
@@ -860,14 +665,47 @@ mod tests {
     }
 
     #[test]
-    fn arena_recycles_buffers() {
-        let mut arena: ScratchArena<i64> = ScratchArena::new();
-        let b1 = arena.take(64);
-        let ptr = b1.as_ptr();
-        arena.give(b1);
-        let b2 = arena.take(64);
-        assert_eq!(b2.as_ptr(), ptr, "same allocation reused");
-        assert!(b2.iter().all(|&x| x == 0), "reissued buffer is zeroed");
+    fn encode_child_matches_historical_encode_bitwise() {
+        // Satellite regression for the encode deduplication: the shared
+        // fused kernels must reproduce, bit for bit, the per-module encode
+        // loop `encode_child` used to carry (accumulate every q in
+        // ascending order, zeros skipped), for every registry scheme.
+        use crate::scheme::all_schemes;
+        let mut rng = StdRng::seed_from_u64(53);
+        for scheme in all_schemes() {
+            let (bm, bk, bn) = scheme.dims();
+            let (mm, kk, nn) = (bm * 3, bk * 3, bn * 3);
+            let a = Matrix::<f64>::random(mm, kk, &mut rng);
+            let b = Matrix::<f64>::random(kk, nn, &mut rng);
+            let shape = (mm / bm, kk / bk, nn / bn);
+            for l in 0..scheme.r {
+                let (ta, tb) = encode_child(&scheme, a.view(), b.view(), l, shape);
+                // the historical implementation, verbatim
+                let mut ta_old = vec![0.0f64; shape.0 * shape.1];
+                {
+                    let mut tm = MatMut::from_slice(&mut ta_old, shape.0, shape.1);
+                    for q in 0..bm * bk {
+                        tm.accumulate_scaled(
+                            a.view().grid_block_rect(bm, bk, q / bk, q % bk),
+                            scheme.u.get(l, q),
+                        );
+                    }
+                }
+                let mut tb_old = vec![0.0f64; shape.1 * shape.2];
+                {
+                    let mut tm = MatMut::from_slice(&mut tb_old, shape.1, shape.2);
+                    for q in 0..bk * bn {
+                        tm.accumulate_scaled(
+                            b.view().grid_block_rect(bk, bn, q / bn, q % bn),
+                            scheme.v.get(l, q),
+                        );
+                    }
+                }
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&ta), bits(&ta_old), "{} l={l}: T_l", scheme.name);
+                assert_eq!(bits(&tb), bits(&tb_old), "{} l={l}: S_l", scheme.name);
+            }
+        }
     }
 
     #[test]

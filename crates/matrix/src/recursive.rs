@@ -10,14 +10,27 @@
 //! a classical kernel runs (the practical "cut the recursion off and switch
 //! to the classical algorithm" hybrid of Section 5.2).
 //!
+//! [`multiply_scheme`] executes on the zero-allocation arena recursion of
+//! [`crate::arena`]: strided views over the original operands, fused
+//! encode/decode row kernels, per-level row-wise zero-extension on
+//! non-divisible shapes — the same engine the parallel DFS leaves run, so
+//! the traffic model `dfs_arena_io_recurrence_mkn` (crate `fastmm-memsim`)
+//! models the *default* engine. The historical copy-out recursion is kept
+//! as [`multiply_scheme_legacy`]: bit-identical output (enforced by the
+//! determinism suite), strictly more memory traffic — the golden witness
+//! and the perf baseline the arena engine is measured against.
+//!
 //! Dimensions that stop dividing mid-recursion are zero-padded *per level*
 //! up to the next block-grid multiple, recursed on, and cropped — so a
 //! non-divisible size costs one ring of zeros instead of silently falling
 //! back to the Θ(MKN) classical kernel at the top (the historical behavior,
 //! fixed here and locked in by `prop_schemes.rs`).
 
-use crate::classical::{multiply_ikj, multiply_kernel};
-use crate::dense::Matrix;
+use crate::arena::{
+    decode_product_into, encode_a_into, encode_b_into, multiply_into, ScratchArena,
+};
+use crate::classical::{multiply_kernel, multiply_kernel_into};
+use crate::dense::{MatMut, MatRef, Matrix};
 use crate::scalar::Scalar;
 use crate::scheme::BilinearScheme;
 
@@ -51,10 +64,48 @@ pub fn multiply_scheme<T: Scalar>(
     cutoff: usize,
 ) -> Matrix<T> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
-    multiply_rec(scheme, a, b, cutoff.max(1))
+    let mut arena = ScratchArena::new();
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    multiply_into(
+        scheme,
+        a.view(),
+        b.view(),
+        &mut c.view_mut(),
+        cutoff.max(1),
+        &mut arena,
+    );
+    c
 }
 
-fn multiply_rec<T: Scalar>(
+/// [`multiply_scheme`] at the tuned cutoff: `FASTMM_CUTOFF` if set, else
+/// the compiled default (see [`crate::tune`]). Prefer this entry point
+/// when you have no measured cutoff of your own.
+pub fn multiply_scheme_tuned<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+) -> Matrix<T> {
+    multiply_scheme(scheme, a, b, crate::tune::default_cutoff())
+}
+
+/// The historical copy-out engine, kept as the **golden reference**: it
+/// materializes every block with `to_matrix()`, heap-allocates `ta`/`tb`/
+/// `m`/`c` at every node, and pads via an element-at-a-time `from_fn` —
+/// exactly the pre-arena `multiply_scheme`. Its output is bit-identical to
+/// the arena engine at every cutoff (the determinism suite compares them
+/// across all registry schemes, scalar types, and shapes); its memory
+/// traffic is what the arena engine is benchmarked against (`repro_perf`).
+pub fn multiply_scheme_legacy<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &Matrix<T>,
+    b: &Matrix<T>,
+    cutoff: usize,
+) -> Matrix<T> {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    legacy_rec(scheme, a, b, cutoff.max(1))
+}
+
+fn legacy_rec<T: Scalar>(
     scheme: &BilinearScheme,
     a: &Matrix<T>,
     b: &Matrix<T>,
@@ -88,7 +139,7 @@ fn multiply_rec<T: Scalar>(
                 }
             })
         };
-        let c = multiply_rec(scheme, &pad(a, pm, pk), &pad(b, pk, pn), cutoff);
+        let c = legacy_rec(scheme, &pad(a, pm, pk), &pad(b, pk, pn), cutoff);
         return Matrix::from_fn(mm, nn, |i, j| c[(i, j)]);
     }
     let ta_cols = bm * bk;
@@ -113,7 +164,7 @@ fn multiply_rec<T: Scalar>(
             tb.view_mut()
                 .accumulate_scaled(blk.view(), scheme.v.get(l, q));
         }
-        let m = multiply_rec(scheme, &ta, &tb, cutoff);
+        let m = legacy_rec(scheme, &ta, &tb, cutoff);
         for q in 0..tc_cols {
             let wc = scheme.w.get(q, l);
             if wc != 0 {
@@ -169,50 +220,63 @@ pub fn multiply_winograd<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>, cutoff: usize)
 /// kernel finishes. Unlike [`multiply_scheme`], this keeps its documented
 /// fall-back-on-non-divisible contract (tested below) because a per-level
 /// scheme list pins the recursion shape explicitly.
+///
+/// Runs on the same arena recursion as [`multiply_scheme`] (strided views,
+/// fused encode/decode kernels, zero hot-path allocation once warm); the
+/// base kernel is bit-identical to `multiply_ikj`, so outputs match the
+/// historical block-copy implementation bit for bit.
 pub fn multiply_non_stationary<T: Scalar>(
     levels: &[&BilinearScheme],
     a: &Matrix<T>,
     b: &Matrix<T>,
 ) -> Matrix<T> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut arena = ScratchArena::new();
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    non_stationary_into(levels, a.view(), b.view(), &mut c.view_mut(), &mut arena);
+    c
+}
+
+fn non_stationary_into<T: Scalar>(
+    levels: &[&BilinearScheme],
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    arena: &mut ScratchArena<T>,
+) {
     let (mm, kk, nn) = (a.rows(), a.cols(), b.cols());
     let (Some(scheme), rest) = (levels.first(), levels.get(1..).unwrap_or(&[])) else {
-        return multiply_ikj(a, b);
+        multiply_kernel_into(a, b, c);
+        return;
     };
     let (bm, bk, bn) = scheme.dims();
     let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
     if !divisible || (mm / bm) * (kk / bk) * (nn / bn) >= mm * kk * nn {
-        return multiply_ikj(a, b);
+        multiply_kernel_into(a, b, c);
+        return;
     }
-    let a_blocks: Vec<Matrix<T>> = (0..bm * bk)
-        .map(|q| a.view().grid_block_rect(bm, bk, q / bk, q % bk).to_matrix())
-        .collect();
-    let b_blocks: Vec<Matrix<T>> = (0..bk * bn)
-        .map(|q| b.view().grid_block_rect(bk, bn, q / bn, q % bn).to_matrix())
-        .collect();
-    let mut c = Matrix::zeros(mm, nn);
+    let (sm, sk, sn) = (mm / bm, kk / bk, nn / bn);
+    let mut ta = arena.take_any(sm * sk);
+    let mut tb = arena.take_any(sk * sn);
+    let mut mbuf = arena.take_any(sm * sn);
     for l in 0..scheme.r {
-        let mut ta = Matrix::zeros(mm / bm, kk / bk);
-        let mut tb = Matrix::zeros(kk / bk, nn / bn);
-        for (q, blk) in a_blocks.iter().enumerate() {
-            ta.view_mut()
-                .accumulate_scaled(blk.view(), scheme.u.get(l, q));
-        }
-        for (q, blk) in b_blocks.iter().enumerate() {
-            tb.view_mut()
-                .accumulate_scaled(blk.view(), scheme.v.get(l, q));
-        }
-        let m = multiply_non_stationary(rest, &ta, &tb);
-        for q in 0..bm * bn {
-            let wc = scheme.w.get(q, l);
-            if wc != 0 {
-                c.view_mut()
-                    .grid_block_rect_mut(bm, bn, q / bn, q % bn)
-                    .accumulate_scaled(m.view(), wc);
-            }
-        }
+        ta.fill(T::zero());
+        encode_a_into(scheme, a, l, &mut MatMut::from_slice(&mut ta, sm, sk));
+        tb.fill(T::zero());
+        encode_b_into(scheme, b, l, &mut MatMut::from_slice(&mut tb, sk, sn));
+        mbuf.fill(T::zero());
+        non_stationary_into(
+            rest,
+            MatRef::from_slice(&ta, sm, sk),
+            MatRef::from_slice(&tb, sk, sn),
+            &mut MatMut::from_slice(&mut mbuf, sm, sn),
+            arena,
+        );
+        decode_product_into(scheme, MatRef::from_slice(&mbuf, sm, sn), l, c);
     }
-    c
+    arena.give(ta);
+    arena.give(tb);
+    arena.give(mbuf);
 }
 
 /// Exact arithmetic-operation counts of the recursive algorithm.
@@ -284,7 +348,7 @@ pub fn scheme_op_count_mkn(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::classical::multiply_naive;
+    use crate::classical::{multiply_ikj, multiply_naive};
     use crate::scalar::Fp;
     use crate::scheme::{
         all_schemes, classical_rect, classical_scheme, strassen, strassen_2x2x4, winograd,
@@ -595,6 +659,49 @@ mod tests {
         let b = Matrix::random_int(6, 6, 40, &mut rng);
         assert_eq!(
             multiply_non_stationary(&[&s, &s], &a, &b),
+            multiply_naive(&a, &b)
+        );
+    }
+
+    #[test]
+    fn arena_engine_is_bit_identical_to_legacy() {
+        // The unification contract in miniature (the full matrix lives in
+        // tests/determinism.rs): same bits as the copy-out engine over f64,
+        // divisible and non-divisible, across cutoffs.
+        let mut rng = StdRng::seed_from_u64(31);
+        for scheme in [strassen(), winograd(), strassen_2x2x4()] {
+            for (mm, kk, nn) in [(16usize, 16usize, 16usize), (13, 9, 21)] {
+                let a = Matrix::<f64>::random(mm, kk, &mut rng);
+                let b = Matrix::<f64>::random(kk, nn, &mut rng);
+                for cutoff in [1usize, 4, 64] {
+                    let arena = multiply_scheme(&scheme, &a, &b, cutoff);
+                    let legacy = multiply_scheme_legacy(&scheme, &a, &b, cutoff);
+                    assert!(
+                        arena
+                            .as_slice()
+                            .iter()
+                            .zip(legacy.as_slice())
+                            .all(|(x, y)| x.to_bits() == y.to_bits()),
+                        "{} {mm}x{kk}x{nn} cutoff={cutoff}: engines diverged",
+                        scheme.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tuned_entry_point_matches_explicit_default_cutoff() {
+        // multiply_scheme_tuned reads FASTMM_CUTOFF; hold the shared lock
+        // so the env-mutating test in tune.rs cannot race this getenv.
+        let _guard = crate::tune::CUTOFF_ENV_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut rng = StdRng::seed_from_u64(37);
+        let a = Matrix::random_int(20, 20, 30, &mut rng);
+        let b = Matrix::random_int(20, 20, 30, &mut rng);
+        assert_eq!(
+            multiply_scheme_tuned(&strassen(), &a, &b),
             multiply_naive(&a, &b)
         );
     }

@@ -88,6 +88,30 @@ impl Coeffs {
         (0..self.cols).filter(|&j| self.get(i, j) != 0).count()
     }
 
+    /// Nonzero `(column, coefficient)` pairs of row `i`, in ascending
+    /// column order, without allocating — the iteration the fused
+    /// encode/decode kernels run per product, so the hot path never scans
+    /// a coefficient twice nor heap-allocates a support list.
+    #[inline]
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
+        let row = &self.data[i * self.cols..(i + 1) * self.cols];
+        row.iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(j, &c)| (j, c))
+    }
+
+    /// Nonzero `(row, coefficient)` pairs of column `j`, in ascending row
+    /// order, without allocating — the decode-side analogue of
+    /// [`Coeffs::row_entries`] (`W` is stored `t x r`, so decoding product
+    /// `l` walks column `l`).
+    #[inline]
+    pub fn col_entries(&self, j: usize) -> impl Iterator<Item = (usize, i64)> + '_ {
+        (0..self.rows)
+            .map(move |i| (i, self.get(i, j)))
+            .filter(|&(_, c)| c != 0)
+    }
+
     /// Total number of nonzero entries.
     pub fn nnz(&self) -> usize {
         self.data.iter().filter(|&&v| v != 0).count()

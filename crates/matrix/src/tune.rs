@@ -1,0 +1,150 @@
+//! Base-case cutoff selection for the arena engine.
+//!
+//! The recursion switches to the cache-blocked classical kernel once every
+//! dimension is `≤ cutoff` — the practical "cut the recursion off" hybrid
+//! of the paper's Section 5.2. The arena engine changed the constant work
+//! per recursion level (no block copy-out, no per-node allocation), so the
+//! optimal cutoff differs from the legacy engine's; this module provides
+//! the selection policy:
+//!
+//! * [`cutoff_from_env`] — the `FASTMM_CUTOFF` environment override;
+//! * [`default_cutoff`] — env override or the compiled default
+//!   [`DEFAULT_CUTOFF`];
+//! * [`resolve_cutoff`] — an explicit caller value, else the default;
+//! * [`calibrate_cutoff`] — a timed micro-search over candidate cutoffs on
+//!   a probe problem, for machines where the compiled default is wrong.
+//!
+//! Changing the cutoff changes *where* the recursion stops, never the
+//! arithmetic order within either regime, so any cutoff yields a correct
+//! product — but outputs at different cutoffs are **not** bit-identical to
+//! each other over floats (the recursion reassociates), which is why the
+//! determinism suite pins engine pairs at equal cutoffs.
+
+use crate::arena::{multiply_into, ScratchArena};
+use crate::dense::Matrix;
+use crate::scheme::BilinearScheme;
+
+/// Compiled default base-case side: one `64 x 64` `f64` output tile plus
+/// its operand tiles sit comfortably in L2 while the classical kernel's
+/// inner loops stream L1-resident rows (see `KERNEL_TILE` in
+/// `classical.rs`).
+pub const DEFAULT_CUTOFF: usize = 64;
+
+/// The `FASTMM_CUTOFF` environment override, if set to a positive integer.
+pub fn cutoff_from_env() -> Option<usize> {
+    std::env::var("FASTMM_CUTOFF")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+}
+
+/// The cutoff the engines use when the caller does not pin one:
+/// `FASTMM_CUTOFF` if set, else [`DEFAULT_CUTOFF`].
+pub fn default_cutoff() -> usize {
+    cutoff_from_env().unwrap_or(DEFAULT_CUTOFF)
+}
+
+/// Resolve a caller-supplied cutoff: any positive value is used as-is;
+/// `0` means "auto" and defers to [`default_cutoff`].
+pub fn resolve_cutoff(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        default_cutoff()
+    }
+}
+
+/// Timed micro-search for the fastest base-case cutoff of `scheme` on this
+/// machine: runs the arena engine on a deterministic `probe_n x probe_n`
+/// `f64` multiply at each candidate in `{8, 16, 32, 64, 128} ∩ [1, probe_n]`
+/// (one warm-up, then one timed repetition per candidate, all through a
+/// shared pre-warmed arena) and returns the argmin.
+///
+/// The search is a measurement, so the returned value can vary across
+/// machines and runs — that is the point. Use it once per deployment and
+/// pin the winner via `FASTMM_CUTOFF`; never calibrate inside a path that
+/// needs run-to-run bit-reproducibility at unpinned cutoffs.
+pub fn calibrate_cutoff(scheme: &BilinearScheme, probe_n: usize) -> usize {
+    let probe_n = probe_n.max(8);
+    let a = Matrix::from_fn(probe_n, probe_n, |i, j| {
+        ((i * 31 + j * 17) % 61) as f64 / 61.0 - 0.5
+    });
+    let b = Matrix::from_fn(probe_n, probe_n, |i, j| {
+        ((i * 13 + j * 41) % 53) as f64 / 53.0 - 0.5
+    });
+    let mut arena: ScratchArena<f64> = ScratchArena::new();
+    let mut c = Matrix::zeros(probe_n, probe_n);
+    // Seed with the compiled constant, not default_cutoff(): calibration
+    // must not read FASTMM_CUTOFF (no env access ⇒ no race with tests or
+    // callers mutating the variable), and the loop below always runs at
+    // least once (probe_n >= 8), overwriting the seed.
+    let mut best = (f64::INFINITY, DEFAULT_CUTOFF.min(probe_n));
+    for &cutoff in [8usize, 16, 32, 64, 128].iter().filter(|&&c| c <= probe_n) {
+        // warm-up fills the arena pool and the caches
+        c.view_mut().fill_zero();
+        multiply_into(
+            scheme,
+            a.view(),
+            b.view(),
+            &mut c.view_mut(),
+            cutoff,
+            &mut arena,
+        );
+        c.view_mut().fill_zero();
+        let start = std::time::Instant::now();
+        multiply_into(
+            scheme,
+            a.view(),
+            b.view(),
+            &mut c.view_mut(),
+            cutoff,
+            &mut arena,
+        );
+        let secs = start.elapsed().as_secs_f64();
+        if secs < best.0 {
+            best = (secs, cutoff);
+        }
+    }
+    best.1
+}
+
+/// Serializes every test that touches **or reads** `FASTMM_CUTOFF`
+/// (`std::env::set_var` concurrent with `getenv` is a data race on
+/// glibc). Lock it in any test that mutates the variable or calls an
+/// env-reading path (`default_cutoff`, `multiply_scheme_tuned`).
+#[cfg(test)]
+pub(crate) static CUTOFF_ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::strassen;
+
+    #[test]
+    fn env_override_and_resolution() {
+        // The parallel module's env test touches FASTMM_THREADS/-MEMORY_
+        // BUDGET, a disjoint set; every FASTMM_CUTOFF toucher/reader in
+        // this binary holds CUTOFF_ENV_LOCK, so the set_var calls below
+        // cannot race a concurrent getenv.
+        let _guard = CUTOFF_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::remove_var("FASTMM_CUTOFF");
+        assert_eq!(cutoff_from_env(), None);
+        assert_eq!(default_cutoff(), DEFAULT_CUTOFF);
+        assert_eq!(resolve_cutoff(17), 17);
+        assert_eq!(resolve_cutoff(0), DEFAULT_CUTOFF);
+        std::env::set_var("FASTMM_CUTOFF", "48");
+        assert_eq!(cutoff_from_env(), Some(48));
+        assert_eq!(default_cutoff(), 48);
+        assert_eq!(resolve_cutoff(0), 48);
+        assert_eq!(resolve_cutoff(17), 17);
+        std::env::set_var("FASTMM_CUTOFF", "junk");
+        assert_eq!(cutoff_from_env(), None);
+        std::env::remove_var("FASTMM_CUTOFF");
+    }
+
+    #[test]
+    fn calibrate_returns_a_candidate_within_probe() {
+        let c = calibrate_cutoff(&strassen(), 64);
+        assert!([8, 16, 32, 64].contains(&c), "got {c}");
+    }
+}

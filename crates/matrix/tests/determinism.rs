@@ -1,18 +1,24 @@
-//! Determinism suite: the parallel engine is **bit-identical** to the
-//! sequential engine — over `f64` (exact bit-pattern comparison, so any
-//! floating-point reassociation fails loudly) and over the prime field
-//! `F_p` (exact ring equality) — for every scheme in `all_schemes()`,
-//! across thread counts 1/2/4/8, on divisible and non-divisible shapes,
-//! and under memory budgets that force every BFS/DFS split the planner can
-//! choose.
+//! Determinism suite: every engine is **bit-identical** to every other —
+//! over `f64` (exact bit-pattern comparison, so any floating-point
+//! reassociation fails loudly) and over the prime field `F_p` (exact ring
+//! equality) — for every scheme in `all_schemes()`:
 //!
-//! This is the contract that makes `multiply_scheme_parallel` a drop-in
-//! replacement: results can be compared, cached, and golden-tested without
-//! caring how many workers ran.
+//! * the parallel engine vs the sequential engine, across thread counts
+//!   1/2/4/8, divisible and non-divisible shapes, and memory budgets that
+//!   force every BFS/DFS split the planner can choose;
+//! * the arena-backed sequential engine (`multiply_scheme`) vs the legacy
+//!   copy-out engine (`multiply_scheme_legacy`, the golden witness kept
+//!   from before the arena unification), across cutoffs `{1, 8, 64}` —
+//!   so any reassociation introduced into the fused encode/decode kernels
+//!   or the row-wise pad path fails bitwise.
+//!
+//! This is the contract that makes the engines drop-in replacements for
+//! each other: results can be compared, cached, and golden-tested without
+//! caring which engine or how many workers ran.
 
 use fastmm_matrix::dense::Matrix;
 use fastmm_matrix::parallel::{multiply_scheme_parallel, ParallelConfig};
-use fastmm_matrix::recursive::multiply_scheme;
+use fastmm_matrix::recursive::{multiply_scheme, multiply_scheme_legacy};
 use fastmm_matrix::scheme::{all_schemes, strassen, BilinearScheme};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +89,58 @@ fn every_scheme_is_deterministic_over_fp() {
     for (i, scheme) in all_schemes().iter().enumerate() {
         for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
             assert_fp_identical(scheme, mm, kk, nn, (7000 + i * 100 + j) as u64);
+        }
+    }
+}
+
+/// Cutoffs pinning the arena-vs-legacy witnesses: full recursion, a
+/// mid-recursion switch, and the default-sized base case.
+const LEGACY_CUTOFFS: [usize; 3] = [1, 8, 64];
+
+#[test]
+fn arena_sequential_matches_legacy_golden_f64_bits() {
+    // The tentpole's hard constraint: the arena engine (strided views,
+    // fused kernels, row-wise pad) reproduces the legacy copy-out engine
+    // bit for bit on every registry scheme, including shapes that pad at
+    // every level.
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64((3000 + i * 100 + j) as u64);
+            let a = Matrix::<f64>::random(mm, kk, &mut rng);
+            let b = Matrix::<f64>::random(kk, nn, &mut rng);
+            for cutoff in LEGACY_CUTOFFS {
+                let arena = multiply_scheme(scheme, &a, &b, cutoff);
+                let legacy = multiply_scheme_legacy(scheme, &a, &b, cutoff);
+                let same = arena
+                    .as_slice()
+                    .iter()
+                    .zip(legacy.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits());
+                assert!(
+                    same,
+                    "{} {mm}x{kk}x{nn} cutoff={cutoff}: arena f64 bits differ from legacy",
+                    scheme.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn arena_sequential_matches_legacy_golden_fp() {
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64((5000 + i * 100 + j) as u64);
+            let a = Matrix::random_fp(mm, kk, &mut rng);
+            let b = Matrix::random_fp(kk, nn, &mut rng);
+            for cutoff in LEGACY_CUTOFFS {
+                assert_eq!(
+                    multiply_scheme(scheme, &a, &b, cutoff),
+                    multiply_scheme_legacy(scheme, &a, &b, cutoff),
+                    "{} {mm}x{kk}x{nn} cutoff={cutoff}: F_p mismatch vs legacy",
+                    scheme.name
+                );
+            }
         }
     }
 }

@@ -224,9 +224,12 @@ pub fn dfs_io_recurrence_mkn(
     level + scheme.r as f64 * dfs_io_recurrence_mkn(scheme, mm / bm, kk / bk, nn / bn, m)
 }
 
-/// Word traffic of the **arena-based** DFS engine
-/// (`fastmm_matrix::parallel`'s leaf recursion), which encodes and decodes
-/// in place instead of staging block copies and chained SLP temporaries:
+/// Word traffic of the **arena-based** DFS engine — since the engine
+/// unification this models the *default* sequential engine
+/// (`fastmm_matrix::recursive::multiply_scheme`), the parallel engine's
+/// `t = 1` fast path, and every DFS leaf of the BFS task tree
+/// (`fastmm_matrix::arena::multiply_into`): it encodes and decodes in
+/// place instead of staging block copies and chained SLP temporaries:
 ///
 /// * encoding `T_l` reads the `nnz(U_l)` source blocks directly from `A`
 ///   and writes one block (`Σ_q [U[l][q] ≠ 0] + 1` block-transfers), and
@@ -234,14 +237,21 @@ pub fn dfs_io_recurrence_mkn(
 /// * decoding product `l` performs, per nonzero of `W`'s column `l`, a
 ///   read of `M_l` plus a read-modify-write of the `C` block (3 block
 ///   transfers);
+/// * a **non-divisible level that still makes progress pads per level**,
+///   exactly like the engine: read both operands (`MK + KN`), write their
+///   row-wise zero-extensions (`M'K' + K'N'` at the padded shape), recurse
+///   at the padded shape, then crop (read the `M x N` window of the padded
+///   product, write `C`: `2·MN`). Padding therefore costs `O(n²)` extra
+///   words at the levels that need it — a fraction of that level's
+///   encode/decode traffic, never a doubling (asserted in tests);
 /// * the base case moves `MK + KN + MN` words, as in
 ///   [`dfs_io_recurrence_mkn`].
 ///
 /// Compared with the SLP-streamed recurrence this charges per *coefficient
 /// application* rather than per straight-line op, which is exactly what
-/// the zero-allocation engine executes; experiment e10 (`repro_parallel`)
-/// prints it as the predicted words-moved column next to the
-/// `(n/√M)^{ω₀}·M` lower bound.
+/// the zero-allocation engine executes; experiments e10 (`repro_parallel`)
+/// and e11 (`repro_perf`) print it as the predicted words-moved column
+/// next to the `(n/√M)^{ω₀}·M` lower bound.
 pub fn dfs_arena_io_recurrence_mkn(
     scheme: &BilinearScheme,
     mm: usize,
@@ -251,9 +261,22 @@ pub fn dfs_arena_io_recurrence_mkn(
 ) -> f64 {
     let (bm, bk, bn) = scheme.dims();
     let (wa, wb, wc) = (mm * kk, kk * nn, mm * nn);
-    let divisible = mm.is_multiple_of(bm) && kk.is_multiple_of(bk) && nn.is_multiple_of(bn);
-    if wa + wb + wc <= m || !divisible || bm * bk * bn == 1 {
+    if wa + wb + wc <= m || bm * bk * bn == 1 {
         return (wa + wb + wc) as f64;
+    }
+    let (pm, pk, pn) = (
+        mm.div_ceil(bm) * bm,
+        kk.div_ceil(bk) * bk,
+        nn.div_ceil(bn) * bn,
+    );
+    // The engine's progress guard: one level must shrink the element count.
+    if (pm / bm) * (pk / bk) * (pn / bn) >= mm * kk * nn {
+        return (wa + wb + wc) as f64;
+    }
+    if (pm, pk, pn) != (mm, kk, nn) {
+        let pad_in = (wa + pm * pk + wb + pk * pn) as f64;
+        let crop_out = (2 * wc) as f64;
+        return pad_in + crop_out + dfs_arena_io_recurrence_mkn(scheme, pm, pk, pn, m);
     }
     let blk_a = ((mm / bm) * (kk / bk)) as f64;
     let blk_b = ((kk / bk) * (nn / bn)) as f64;
@@ -453,10 +476,36 @@ mod tests {
         let s = strassen();
         // fits in fast memory entirely
         assert_eq!(dfs_arena_io_recurrence_mkn(&s, 8, 8, 8, 3 * 64), 192.0);
-        // non-divisible: charged as one streamed classical pass
-        assert_eq!(
-            dfs_arena_io_recurrence_mkn(&s, 3, 5, 7, 1),
-            (15 + 35 + 21) as f64
+        // no split can make progress: charged as one streamed classical pass
+        assert_eq!(dfs_arena_io_recurrence_mkn(&s, 1, 1, 1, 1), 3.0);
+    }
+
+    #[test]
+    fn arena_recurrence_pads_per_level_without_doubling_level0_traffic() {
+        // The model of the default engine's pad path (row-wise
+        // zero-extension in the arena, then crop): a 65³ Strassen multiply
+        // pads to 66³ at level 0, so its traffic is exactly the divisible
+        // 66³ run plus the level-0 pad words — read A and B (2·65²), write
+        // their zero-extensions (2·66²), and crop the product (2·65²).
+        let s = strassen();
+        let m = 3 * 16;
+        let with_pad = dfs_arena_io_recurrence_mkn(&s, 65, 65, 65, m);
+        let at_padded = dfs_arena_io_recurrence_mkn(&s, 66, 66, 66, m);
+        let overhead = 2.0 * (65 * 65 + 66 * 66) as f64 + 2.0 * (65 * 65) as f64;
+        assert_eq!(with_pad, overhead + at_padded);
+        // The words-moved guarantee of the fix: padding costs a *fraction*
+        // of that level's own encode/decode traffic — it no longer doubles
+        // level-0 traffic the way full-matrix staging (pad copy plus
+        // per-block copy-out of both padded operands) did in the legacy
+        // engine.
+        let level0 = at_padded - 7.0 * dfs_arena_io_recurrence_mkn(&s, 33, 33, 33, m);
+        assert!(
+            overhead < level0,
+            "pad overhead {overhead} must stay below the level-0 traffic {level0}"
+        );
+        assert!(
+            with_pad < 1.2 * at_padded,
+            "padding inflated total traffic: {with_pad} vs {at_padded}"
         );
     }
 
