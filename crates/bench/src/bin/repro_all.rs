@@ -15,4 +15,8 @@ fn main() {
         "{}",
         fastmm_bench::e11_repro_perf(&[128, 256], Some("target/BENCH_seq.json"))
     );
+    println!(
+        "{}",
+        fastmm_bench::e12_distributed(56, Some("target/BENCH_dist.json"))
+    );
 }

@@ -1,0 +1,26 @@
+//! E12 — distributed-memory execution on simulated ranks: CAPS, Cannon,
+//! and the generic block-exchange engine over `P ∈ {1, 4, 7, 49}`,
+//! measured words/rank vs the memory-dependent (Cor 1.2/1.4) and
+//! memory-independent (arXiv:1202.3177) lower bounds, with bitwise gather
+//! checks, plus the `BENCH_dist.json` machine-readable emit.
+//!
+//! Usage: `repro_distributed [n...]` — dimensions default to 56; each
+//! must be a multiple of 28 (Cannon grids 2 and 7, CAPS at p = 7 and 49).
+//! CI's `dist-smoke` job passes small sizes.
+fn main() {
+    // Malformed arguments abort loudly (same contract as the FASTMM_* env
+    // validation): a typo must not silently fall back to the default size.
+    let ns: Vec<usize> = std::env::args()
+        .skip(1)
+        .map(|a| {
+            a.parse()
+                .unwrap_or_else(|_| panic!("argument {a:?} is not a dimension (usize)"))
+        })
+        .collect();
+    let ns = if ns.is_empty() { vec![56] } else { ns };
+    for (i, &n) in ns.iter().enumerate() {
+        // one JSON per run; the last n wins the artifact slot
+        let json = (i + 1 == ns.len()).then_some("target/BENCH_dist.json");
+        println!("{}", fastmm_bench::e12_distributed(n, json));
+    }
+}

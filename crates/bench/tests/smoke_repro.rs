@@ -187,6 +187,85 @@ fn e11_golden_header_rows_and_json_emit() {
 }
 
 #[test]
+fn e12_distributed_smoke() {
+    // repro_distributed defaults to n = 56; the full report shape (all
+    // three tables plus the internal bitwise-gather and measured-vs-bound
+    // assertions) is complete at the smallest valid size n = 28.
+    assert_report(
+        "e12",
+        &exp::e12_distributed(28, None),
+        "Distributed-memory execution",
+        12,
+    );
+}
+
+#[test]
+fn e12_golden_bounds_headers_and_json_emit() {
+    // Golden check: the measured words/rank columns are checked against
+    // BOTH lower-bound formulas — the strings below are the formulas
+    // themselves and must stay verbatim (downstream tooling greps for
+    // them, as with e10/e11), and running the experiment executes the
+    // internal `measured >= bound` assertions for every p > 1 row plus
+    // the bitwise gather checks for every algorithm.
+    let path = "target/test_BENCH_dist.json";
+    let out = exp::e12_distributed(28, Some(path));
+    for needle in [
+        "memdep=(n/sqrtM)^w0*M/p",
+        "memindep=n^2/p^(2/w0)",
+        "caps/generic bitwise == multiply_scheme",
+        "cannon bitwise == replay",
+        "words/rank",
+        "meas/binding",
+        "CAPS DFS/BFS interleaving",
+        "every registry scheme (p = 7, bitwise-gathered)",
+        "machine-readable emit",
+    ] {
+        assert!(
+            out.contains(needle),
+            "e12: expected {needle:?} in output:\n{out}"
+        );
+    }
+    // the strong-scaling sweep covers all four rank counts for the
+    // generic engine, squares for cannon, powers of 7 for caps
+    for needle in [
+        "generic  strassen   1 ",
+        "generic  strassen   4 ",
+        "generic  strassen   7 ",
+        "generic  strassen   49",
+        "cannon   classical  4 ",
+        "cannon   classical  49",
+        "caps     strassen   7 ",
+        "caps     strassen   49",
+    ] {
+        assert!(
+            out.contains(needle),
+            "e12: missing strong-scaling row {needle:?}:\n{out}"
+        );
+    }
+    let json = std::fs::read_to_string(path).expect("BENCH_dist.json written");
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    for needle in [
+        "\"algo\": \"generic\"",
+        "\"algo\": \"cannon\"",
+        "\"algo\": \"caps\"",
+        "\"words_per_rank\"",
+        "\"mem_per_rank\"",
+        "\"bound_memdep\"",
+        "\"bound_memindep\"",
+        "\"critical_path\"",
+        "\"n\": 28",
+    ] {
+        assert!(
+            json.contains(needle),
+            "BENCH_dist.json missing {needle}:\n{json}"
+        );
+    }
+    // 4 generic + 3 cannon (p=1,4,49) + 3 caps (p=1,7,49) rows
+    assert_eq!(json.matches("\"algo\"").count(), 10);
+}
+
+#[test]
 fn e9_reported_omega0_matches_closed_forms() {
     // Golden check: the ω₀ column of repro_rectangular must equal the
     // closed forms 3·log_{mkn} r to 1e-9 (the experiment prints 9 decimals,

@@ -58,6 +58,25 @@ pub fn par_latency_lower_bound(params: SchemeParams, n: usize, m: usize, p: usiz
     par_bandwidth_lower_bound(params, n, m, p) / m as f64
 }
 
+/// The **memory-independent** parallel bandwidth lower bound of
+/// Ballard–Demmel–Holtz–Lipshitz–Schwartz, *Strong Scaling of Matrix
+/// Multiplication Algorithms and Memory-Independent Communication Lower
+/// Bounds* (arXiv:1202.3177): any load-balanced Strassen-like execution
+/// on `p` processors moves `Ω(n² / p^{2/ω₀})` words per processor —
+/// regardless of how much memory each processor has. For classical
+/// `ω₀ = 3` this is the familiar `n²/p^{2/3}` of the 3D regime; for
+/// Strassen it is `n²/p^{2/lg 7}`, the floor CAPS attains at `M = ∞`
+/// (its BFS-only words telescope to `6(n²/p^{2/ω₀} − n²/p)` sent per
+/// rank — `CapsPlan::words_sent_per_rank` in `fastmm-parsim`).
+///
+/// Together with the memory-dependent Corollary 1.2/1.4 bound
+/// ([`par_bandwidth_lower_bound`]) this delimits the strong-scaling
+/// range: the memory-dependent bound dominates while
+/// `p ≤ n²/M^{…}`, then perfect strong scaling must end.
+pub fn par_bandwidth_lower_bound_mem_independent(params: SchemeParams, n: usize, p: usize) -> f64 {
+    (n as f64).powi(2) / (p as f64).powf(2.0 / params.omega0())
+}
+
 /// The memory regimes of Table I.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum MemoryRegime {
@@ -196,6 +215,34 @@ mod tests {
         let b4 = rect_seq_bandwidth_lower_bound(RECT_2X2X4, 8, 4 * m);
         let expect = 4f64.powf(1.0 - RECT_2X2X4.omega0() / 2.0);
         assert!((b4 / b1 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mem_independent_bound_reference_values() {
+        // Strassen at p = 7^L: p^{2/ω₀} = 4^L exactly, so the bound is
+        // n²/4^L — the telescoped CAPS BFS-only form's leading term.
+        let s = strassen_params();
+        let n = 1 << 10;
+        let n2 = (n * n) as f64;
+        let b7 = par_bandwidth_lower_bound_mem_independent(s, n, 7);
+        assert!((b7 - n2 / 4.0).abs() < 1e-6, "{b7}");
+        let b49 = par_bandwidth_lower_bound_mem_independent(s, n, 49);
+        assert!((b49 - n2 / 16.0).abs() < 1e-6, "{b49}");
+        // classical ω₀ = 3: n²/p^{2/3} — the 3D-regime Table I row
+        let c = classical_params();
+        let bc = par_bandwidth_lower_bound_mem_independent(c, n, 64);
+        assert!((bc - n2 / 16.0).abs() < 1e-6, "{bc}");
+        assert!(
+            (bc - table1_closed_form(c, MemoryRegime::ThreeD, n, 64)).abs() < 1e-6,
+            "memory-independent classical == 3D regime closed form"
+        );
+        // a faster algorithm has the *higher* memory-independent floor? No:
+        // smaller ω₀ ⇒ larger 2/ω₀ ⇒ smaller bound — fast algorithms may
+        // strong-scale further.
+        assert!(
+            par_bandwidth_lower_bound_mem_independent(s, n, 49)
+                < par_bandwidth_lower_bound_mem_independent(c, n, 49)
+        );
     }
 
     #[test]

@@ -42,13 +42,14 @@ pub use fastmm_pebble as pebble;
 /// Convenient glob import for examples and tests.
 pub mod prelude {
     pub use crate::bounds::{
-        par_bandwidth_lower_bound, par_latency_lower_bound, rect_seq_bandwidth_lower_bound,
-        seq_bandwidth_lower_bound, seq_bandwidth_lower_bound_flops, seq_bandwidth_upper_bound,
-        seq_latency_lower_bound, table1_closed_form, table1_lower_bound, MemoryRegime,
+        par_bandwidth_lower_bound, par_bandwidth_lower_bound_mem_independent,
+        par_latency_lower_bound, rect_seq_bandwidth_lower_bound, seq_bandwidth_lower_bound,
+        seq_bandwidth_lower_bound_flops, seq_bandwidth_upper_bound, seq_latency_lower_bound,
+        table1_closed_form, table1_lower_bound, MemoryRegime,
     };
     pub use crate::pipeline::{
-        dec_vertices, expansion_io_bound, parallel_exec_report, seq_exec_report, ExpansionIoBound,
-        ParallelExecReport, SeqExecReport,
+        dec_vertices, dist_exec_report, expansion_io_bound, parallel_exec_report, seq_exec_report,
+        DistExecReport, ExpansionIoBound, ParallelExecReport, SeqExecReport,
     };
     pub use crate::registry::{
         all_params, SchemeParams, CLASSICAL, CLASSICAL_2X2X3, LADERMAN, RECT_2X2X4, RECT_2X4X2,
@@ -72,4 +73,8 @@ pub mod prelude {
     };
     pub use fastmm_matrix::tune::{calibrate_cutoff, default_cutoff, resolve_cutoff};
     pub use fastmm_matrix::{Fp, MatMut, MatRef, Matrix, Scalar};
+    pub use fastmm_parsim::{
+        caps_plan_for_budget, dist_caps, dist_multiply, CapsPlan, DistConfig, MachineConfig,
+        SpmdResult,
+    };
 }

@@ -114,6 +114,75 @@ pub fn parallel_exec_report(
     }
 }
 
+/// A distributed-memory execution report: one algorithm's *measured*
+/// per-rank traffic on the simulated machine against the two parallel
+/// communication floors — the memory-dependent Corollary 1.2/1.4 bound
+/// `(n/√M)^{ω₀}·M/p` evaluated at the run's own measured peak memory, and
+/// the memory-independent `n²/p^{2/ω₀}` bound of arXiv:1202.3177. The
+/// ratio columns of experiment e12 (`repro_distributed`) are exactly
+/// `max_words_per_rank / *_bound_words`, printed per `P` of the
+/// strong-scaling sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct DistExecReport {
+    /// Rank count of the run.
+    pub p: usize,
+    /// Problem dimension.
+    pub n: usize,
+    /// Measured max per-rank words (sent + received) —
+    /// `SpmdResult::max_words`, the parallel model's bandwidth cost.
+    pub max_words_per_rank: u64,
+    /// Measured max per-rank memory high-water mark (words) — the `M` the
+    /// memory-dependent bound is evaluated at.
+    pub max_mem_per_rank: usize,
+    /// Corollary 1.2/1.4 floor `(n/√M)^{ω₀}·M/p` at `M =`
+    /// [`DistExecReport::max_mem_per_rank`].
+    pub mem_dependent_bound_words: f64,
+    /// arXiv:1202.3177 floor `n²/p^{2/ω₀}` (no memory dependence).
+    pub mem_independent_bound_words: f64,
+    /// Critical-path time in the α-β(-γ) model.
+    pub critical_path_time: f64,
+}
+
+impl DistExecReport {
+    /// `measured / max(bounds)` — how far above the *binding* floor the
+    /// algorithm runs (≥ 1 for any correct load-balanced execution at
+    /// `p > 1`; a flat column across a sweep means the algorithm shares
+    /// the bound's shape).
+    pub fn ratio_to_binding_bound(&self) -> f64 {
+        let binding = self
+            .mem_dependent_bound_words
+            .max(self.mem_independent_bound_words);
+        self.max_words_per_rank as f64 / binding
+    }
+}
+
+/// Build a [`DistExecReport`] from a simulated run's statistics: evaluate
+/// both parallel floors for `params` at the run's measured peak memory.
+pub fn dist_exec_report<R>(
+    params: SchemeParams,
+    n: usize,
+    res: &fastmm_parsim::SpmdResult<R>,
+) -> DistExecReport {
+    let p = res.stats.len();
+    let max_mem = res.max_memory();
+    DistExecReport {
+        p,
+        n,
+        max_words_per_rank: res.max_words(),
+        max_mem_per_rank: max_mem,
+        mem_dependent_bound_words: crate::bounds::par_bandwidth_lower_bound(
+            params,
+            n,
+            max_mem.max(1),
+            p,
+        ),
+        mem_independent_bound_words: crate::bounds::par_bandwidth_lower_bound_mem_independent(
+            params, n, p,
+        ),
+        critical_path_time: res.critical_path_time(),
+    }
+}
+
 /// A sequential execution report tying the default (arena) engine back to
 /// the paper's bounds: the resolved base-case cutoff, the effective fast
 /// memory where the recursion bottoms out, the engine's modeled word
@@ -229,6 +298,35 @@ mod tests {
         assert!((r1 / r2 - 1.0).abs() < 0.15, "ratios {r1} vs {r2}");
         // explicit cutoff wins over auto resolution
         assert_eq!(seq_exec_report(&s, 256, 32).cutoff, 32);
+    }
+
+    #[test]
+    fn dist_report_evaluates_both_floors_from_measured_stats() {
+        use fastmm_matrix::dense::Matrix;
+        use fastmm_parsim::caps::CapsPlan;
+        use fastmm_parsim::{caps, MachineConfig};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let (p, n) = (7usize, 28usize);
+        let plan = CapsPlan::new(p, n, 0).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xD15);
+        let a = Matrix::<f64>::random(n, n, &mut rng);
+        let b = Matrix::<f64>::random(n, n, &mut rng);
+        let (_, res) = caps(MachineConfig::new(p), &plan, &a, &b);
+        let rep = dist_exec_report(STRASSEN, n, &res);
+        assert_eq!(rep.p, 7);
+        assert_eq!(rep.max_words_per_rank, 2 * plan.words_sent_per_rank());
+        assert_eq!(
+            rep.max_mem_per_rank as u64,
+            plan.projected_peak_words_per_rank()
+        );
+        // memory-independent floor at p = 7 is n²/4 exactly (ω₀ = lg 7)
+        assert!((rep.mem_independent_bound_words - (n * n) as f64 / 4.0).abs() < 1e-9);
+        // measured words beat neither floor
+        assert!(rep.max_words_per_rank as f64 >= rep.mem_dependent_bound_words);
+        assert!(rep.max_words_per_rank as f64 >= rep.mem_independent_bound_words);
+        assert!(rep.ratio_to_binding_bound() >= 1.0);
+        assert!(rep.critical_path_time > 0.0);
     }
 
     #[test]

@@ -99,15 +99,16 @@ impl<T: Scalar> Default for ScratchArena<T> {
 }
 
 /// Operand/product footprint `MK + KN + MN` of a subproblem shape.
-pub(crate) fn footprint(s: (usize, usize, usize)) -> usize {
+pub fn footprint(s: (usize, usize, usize)) -> usize {
     s.0 * s.1 + s.1 * s.2 + s.0 * s.2
 }
 
-/// Next block-grid multiples of a shape under base dims `(bm, bk, bn)`.
-pub(crate) fn padded(
-    dims: (usize, usize, usize),
-    s: (usize, usize, usize),
-) -> (usize, usize, usize) {
+/// Next block-grid multiples of a shape under base dims `(bm, bk, bn)` —
+/// the per-level zero-padding target of the engine. Public so external
+/// schedulers (the shared-memory BFS planner, the distributed-memory
+/// engine in `fastmm-parsim`) replicate the engine's recursion shape
+/// exactly instead of re-deriving it.
+pub fn padded(dims: (usize, usize, usize), s: (usize, usize, usize)) -> (usize, usize, usize) {
     (
         s.0.div_ceil(dims.0) * dims.0,
         s.1.div_ceil(dims.1) * dims.1,
@@ -116,8 +117,11 @@ pub(crate) fn padded(
 }
 
 /// Whether the recursion splits this shape rather than running the base
-/// kernel — the per-level test shared by the engine and the BFS planner.
-pub(crate) fn splits(dims: (usize, usize, usize), s: (usize, usize, usize), cutoff: usize) -> bool {
+/// kernel — the per-level test shared by the engine, the shared-memory
+/// BFS planner, and the distributed-memory engine. Any scheduler that
+/// mirrors the engine's recursion tree must use this exact predicate, or
+/// its outputs stop being bit-identical to [`multiply_into`].
+pub fn splits(dims: (usize, usize, usize), s: (usize, usize, usize), cutoff: usize) -> bool {
     if s.0.max(s.1).max(s.2) <= cutoff {
         return false;
     }
@@ -126,10 +130,7 @@ pub(crate) fn splits(dims: (usize, usize, usize), s: (usize, usize, usize), cuto
 }
 
 /// Shape of the `r` subproblems one level down (after per-level padding).
-pub(crate) fn child_shape(
-    dims: (usize, usize, usize),
-    s: (usize, usize, usize),
-) -> (usize, usize, usize) {
+pub fn child_shape(dims: (usize, usize, usize), s: (usize, usize, usize)) -> (usize, usize, usize) {
     let p = padded(dims, s);
     (p.0 / dims.0, p.1 / dims.1, p.2 / dims.2)
 }
@@ -291,6 +292,48 @@ pub fn multiply_into<T: Scalar>(
     arena.give(mbuf);
 }
 
+/// Rank-local entry point for distributed runtimes: multiply two flat
+/// row-major operand buffers (e.g. the payloads of incoming messages) and
+/// return the flat row-major product, running the same arena recursion as
+/// [`multiply_scheme`](crate::recursive::multiply_scheme) — so a
+/// distributed execution whose per-rank leaves call this is bit-identical
+/// to the sequential engine wherever the surrounding schedule preserves
+/// the encode/decode order (see the module docs' bit-determinism
+/// contract). `shape` is `(M, K, N)`; `a` must hold `M·K` words and `b`
+/// `K·N`.
+///
+/// ```
+/// use fastmm_matrix::arena::{multiply_flat, ScratchArena};
+/// use fastmm_matrix::scheme::strassen;
+///
+/// let a = vec![1.0f64, 0.0, 0.0, 1.0]; // 2x2 identity
+/// let b = vec![3.0f64, 4.0, 5.0, 6.0];
+/// let mut arena = ScratchArena::new();
+/// assert_eq!(multiply_flat(&strassen(), &a, &b, (2, 2, 2), 1, &mut arena), b);
+/// ```
+pub fn multiply_flat<T: Scalar>(
+    scheme: &BilinearScheme,
+    a: &[T],
+    b: &[T],
+    shape: (usize, usize, usize),
+    cutoff: usize,
+    arena: &mut ScratchArena<T>,
+) -> Vec<T> {
+    let (mm, kk, nn) = shape;
+    assert_eq!(a.len(), mm * kk, "left operand length");
+    assert_eq!(b.len(), kk * nn, "right operand length");
+    let mut c = vec![T::zero(); mm * nn];
+    multiply_into(
+        scheme,
+        MatRef::from_slice(a, mm, kk),
+        MatRef::from_slice(b, kk, nn),
+        &mut MatMut::from_slice(&mut c, mm, nn),
+        cutoff.max(1),
+        arena,
+    );
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +386,36 @@ mod tests {
                 &mut arena,
             );
             assert_eq!(c, multiply_naive(&a, &b), "scheme {}", scheme.name);
+        }
+    }
+
+    #[test]
+    fn multiply_flat_is_bit_identical_to_multiply_scheme() {
+        // The rank-local contract: a distributed leaf calling multiply_flat
+        // on message payloads computes exactly the sequential engine's bits.
+        let mut rng = StdRng::seed_from_u64(67);
+        let mut arena = ScratchArena::new();
+        for scheme in all_schemes() {
+            for (mm, kk, nn) in [(8usize, 8usize, 8usize), (7, 5, 9)] {
+                let a = Matrix::<f64>::random(mm, kk, &mut rng);
+                let b = Matrix::<f64>::random(kk, nn, &mut rng);
+                let flat = multiply_flat(
+                    &scheme,
+                    a.as_slice(),
+                    b.as_slice(),
+                    (mm, kk, nn),
+                    2,
+                    &mut arena,
+                );
+                let reference = crate::recursive::multiply_scheme(&scheme, &a, &b, 2);
+                assert!(
+                    flat.iter()
+                        .zip(reference.as_slice())
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "{} {mm}x{kk}x{nn}",
+                    scheme.name
+                );
+            }
         }
     }
 

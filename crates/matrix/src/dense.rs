@@ -216,6 +216,20 @@ impl Matrix<f64> {
         let dist = Uniform::new(-1.0, 1.0);
         Matrix::from_fn(rows, cols, |_, _| dist.sample(rng))
     }
+
+    /// Bit-pattern equality: same dimensions and every element's
+    /// `f64::to_bits` identical (so `-0.0 ≠ 0.0` and NaN payloads
+    /// compare exactly — stricter than `==`). The single-sourced check
+    /// behind every bit-determinism witness (arena vs legacy engine,
+    /// parallel vs sequential, distributed gather vs `multiply_scheme`).
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        (self.rows, self.cols) == (other.rows, other.cols)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
 }
 
 impl Matrix<i64> {

@@ -92,26 +92,71 @@ impl ParallelConfig {
     /// Build from the environment: `FASTMM_THREADS` overrides the thread
     /// count (default: [`std::thread::available_parallelism`]),
     /// `FASTMM_MEMORY_BUDGET` overrides the word budget (default: auto).
+    ///
+    /// Panics with the [`ParallelConfig::try_from_env`] error on malformed
+    /// values — a set-but-broken `FASTMM_*` variable aborts loudly instead
+    /// of silently running with a default the operator did not ask for.
     pub fn from_env() -> Self {
-        let threads = std::env::var("FASTMM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        let memory_budget = std::env::var("FASTMM_MEMORY_BUDGET")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(0);
-        ParallelConfig {
+        Self::try_from_env().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`ParallelConfig::from_env`]: rejects `FASTMM_THREADS` /
+    /// `FASTMM_MEMORY_BUDGET` values that are non-numeric, zero, or absurd
+    /// (threads above [`MAX_ENV_THREADS`], budgets above
+    /// [`MAX_ENV_MEMORY_WORDS`]) with an error naming the variable and the
+    /// accepted range. Zero is rejected rather than treated as "auto":
+    /// the auto behaviors are requested by *unsetting* the variable, and a
+    /// literal `0` historically fell through to a silent default.
+    pub fn try_from_env() -> Result<Self, String> {
+        let threads = match parse_env_positive("FASTMM_THREADS", MAX_ENV_THREADS)? {
+            Some(t) => t,
+            None => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        };
+        let memory_budget =
+            parse_env_positive("FASTMM_MEMORY_BUDGET", MAX_ENV_MEMORY_WORDS)?.unwrap_or(0);
+        Ok(ParallelConfig {
             threads,
             memory_budget,
             tasks_per_thread: 4,
-        }
+        })
     }
+}
+
+/// Largest thread count `FASTMM_THREADS` accepts (no machine this engine
+/// targets has more hardware threads; larger values are a typo).
+pub const MAX_ENV_THREADS: usize = 4096;
+
+/// Largest word budget `FASTMM_MEMORY_BUDGET` accepts: 2⁵⁰ words = 8 PiB
+/// of f64 — beyond any single-node memory, so larger values are a typo
+/// (e.g. a byte count pasted where words were expected, squared).
+pub const MAX_ENV_MEMORY_WORDS: usize = 1 << 50;
+
+/// Parse an optional positive-integer environment variable, shared by
+/// [`ParallelConfig::try_from_env`] and the distributed-memory
+/// `DistConfig` in `fastmm-parsim`. Returns `Ok(None)` when unset,
+/// `Ok(Some(v))` for `1 ..= max`, and a clear error otherwise — so a
+/// malformed value can never silently select a default.
+pub fn parse_env_positive(name: &str, max: usize) -> Result<Option<usize>, String> {
+    let Ok(raw) = std::env::var(name) else {
+        return Ok(None);
+    };
+    let v = raw
+        .trim()
+        .parse::<usize>()
+        .map_err(|_| format!("{name}={raw:?} is not a positive integer (expected 1..={max})"))?;
+    if v == 0 {
+        return Err(format!(
+            "{name}=0 is invalid: unset the variable for the auto default (expected 1..={max})"
+        ));
+    }
+    if v > max {
+        return Err(format!(
+            "{name}={v} is absurdly large (expected 1..={max}); refusing to run with it"
+        ));
+    }
+    Ok(Some(v))
 }
 
 impl Default for ParallelConfig {
@@ -709,20 +754,63 @@ mod tests {
     }
 
     #[test]
-    fn config_from_env_overrides_threads() {
+    fn config_from_env_overrides_threads_and_rejects_garbage() {
         // This is the only test in this binary touching FASTMM_* env vars
         // or calling from_env()/default(), so mutating the process
         // environment cannot race another test. Keep it that way: a second
-        // env-reading test here would need a shared lock.
+        // env-reading test here would need a shared lock. All rejection
+        // cases live here for the same reason.
         std::env::set_var("FASTMM_THREADS", "3");
         std::env::set_var("FASTMM_MEMORY_BUDGET", "12345");
         let cfg = ParallelConfig::from_env();
-        std::env::remove_var("FASTMM_THREADS");
-        std::env::remove_var("FASTMM_MEMORY_BUDGET");
         assert_eq!(cfg.threads, 3);
         assert_eq!(cfg.memory_budget, 12345);
+
+        // Zero, non-numeric, and absurd values are rejected with an error
+        // naming the variable — never silently replaced by a default.
+        for (bad, needle) in [
+            ("0", "FASTMM_THREADS=0"),
+            ("lots", "not a positive integer"),
+            ("-2", "not a positive integer"),
+            ("999999", "absurdly large"),
+        ] {
+            std::env::set_var("FASTMM_THREADS", bad);
+            let err = ParallelConfig::try_from_env().unwrap_err();
+            assert!(err.contains(needle), "threads={bad:?}: {err}");
+        }
+        std::env::remove_var("FASTMM_THREADS");
+        for (bad, needle) in [
+            ("0", "FASTMM_MEMORY_BUDGET=0"),
+            ("8GiB", "not a positive integer"),
+            ("9999999999999999999", "not a positive integer"), // > usize::MAX? no: > 2^50 check below
+        ] {
+            std::env::set_var("FASTMM_MEMORY_BUDGET", bad);
+            let err = ParallelConfig::try_from_env().unwrap_err();
+            assert!(
+                err.contains(needle) || err.contains("absurdly large"),
+                "budget={bad:?}: {err}"
+            );
+        }
+        std::env::set_var("FASTMM_MEMORY_BUDGET", (1u64 << 51).to_string());
+        let err = ParallelConfig::try_from_env().unwrap_err();
+        assert!(err.contains("absurdly large"), "{err}");
+        std::env::remove_var("FASTMM_MEMORY_BUDGET");
+
         let cfg = ParallelConfig::from_env();
         assert!(cfg.threads >= 1);
         assert_eq!(cfg.memory_budget, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "FASTMM_DOC_EXAMPLE")]
+    fn parse_env_positive_error_names_the_variable() {
+        // parse_env_positive is the shared primitive (also used by the
+        // distributed DistConfig); its error must carry the variable name.
+        // Uses a variable no other test reads, so no race with the test
+        // above.
+        std::env::set_var("FASTMM_DOC_EXAMPLE", "zero");
+        let r = parse_env_positive("FASTMM_DOC_EXAMPLE", 16);
+        std::env::remove_var("FASTMM_DOC_EXAMPLE");
+        panic!("{}", r.unwrap_err());
     }
 }

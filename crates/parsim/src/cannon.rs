@@ -1,6 +1,33 @@
 //! Cannon's 2D algorithm (Cannon 1969) — the classical "linear space"
 //! baseline of Table I: memory `M = Θ(n²/p)`, bandwidth `Θ(n²/√p)`,
 //! attaining the classical 2D lower bound `Ω(n²/p^{1/2})`.
+//!
+//! The initial distribution is *pre-skewed*: rank `(i, j)` starts with
+//! `A_{i,(i+j) mod q}` and `B_{(i+j) mod q,j}` — the placement Cannon's
+//! alignment phase would produce. Initial data layout is free in the
+//! Section 1.1 model (each processor may start with any balanced share),
+//! so with the skew folded into the layout every rank's communication is
+//! exactly the `q−1` shift rounds:
+//!
+//! > words sent per rank = words received per rank
+//! > `= 2(q−1)·(n/q)² = 2(√p − 1)·n²/p`
+//!
+//! — an *exact* closed form ([`cannon_words_per_rank`]), not an
+//! asymptotic, asserted rank-by-rank in tests and by the `dist-smoke` CI
+//! job via e12.
+//!
+//! ## Bitwise witness
+//!
+//! Rank `(i, j)` accumulates its `C` block over `k = (i+j), (i+j)+1, …`
+//! (mod `q`) — a per-rank *rotation* of the block-inner dimension, so the
+//! floating-point association differs from the canonical ascending-`k`
+//! classical product (and from `multiply_scheme`, which reassociates
+//! further). The determinism witness for Cannon is therefore the
+//! schedule-faithful sequential replay [`cannon_reference`]: the same
+//! block order and the same kernel, executed without any communication.
+//! Gathered output must equal it **bitwise** (asserted in tests and e12);
+//! agreement with `multiply_scheme` holds to rounding and is asserted
+//! with a tolerance.
 
 use crate::dist::{assemble_blocks, block_of, exact_sqrt, local_matmul_acc};
 use crate::machine::{run_spmd, MachineConfig, SpmdResult};
@@ -9,10 +36,40 @@ use fastmm_matrix::dense::Matrix;
 /// Per-rank output: grid coordinates and the local `C` block.
 pub type CBlock = (usize, usize, Vec<f64>);
 
-const TAG_SKEW_A: u64 = 1;
-const TAG_SKEW_B: u64 = 2;
 const TAG_SHIFT_A: u64 = 1000;
 const TAG_SHIFT_B: u64 = 2000;
+
+/// Exact words sent (= words received) per rank: `2(√p − 1)·n²/p`.
+/// Every rank moves exactly this much — Cannon is perfectly balanced once
+/// the skew is part of the initial layout.
+pub fn cannon_words_per_rank(p: usize, n: usize) -> u64 {
+    let q = exact_sqrt(p);
+    let bs = n / q;
+    (2 * (q - 1) * bs * bs) as u64
+}
+
+/// Schedule-faithful sequential replay of Cannon's arithmetic: block
+/// `(i, j)` accumulates `A_{i,k}·B_{k,j}` for `k = (i+j+s) mod q`,
+/// `s = 0, 1, …, q−1`, with the same `ikj` block kernel the ranks run.
+/// The distributed run's gathered product is bitwise identical to this.
+pub fn cannon_reference(a: &Matrix<f64>, b: &Matrix<f64>, q: usize) -> Matrix<f64> {
+    let n = a.rows();
+    let bs = n / q;
+    let mut blocks = Vec::with_capacity(q * q);
+    for i in 0..q {
+        for j in 0..q {
+            let mut c_loc = vec![0.0f64; bs * bs];
+            for s in 0..q {
+                let k = (i + j + s) % q;
+                let a_loc = block_of(a, q, i, k);
+                let b_loc = block_of(b, q, k, j);
+                local_matmul_acc(&mut c_loc, &a_loc, &b_loc, bs);
+            }
+            blocks.push((i, j, c_loc));
+        }
+    }
+    assemble_blocks(n, q, &blocks)
+}
 
 /// Run Cannon's algorithm on a `√p x √p` grid. `n` must be divisible by
 /// `√p`. Returns the assembled product and the run statistics.
@@ -32,25 +89,12 @@ pub fn cannon(
     let res = run_spmd(cfg, |rank| {
         let (i, j) = (rank.id / q, rank.id % q);
         let at = |ri: usize, rj: usize| ri * q + rj;
-        // initial distribution: rank (i,j) owns A_ij and B_ij
-        let mut a_loc = block_of(a, q, i, j);
-        let mut b_loc = block_of(b, q, i, j);
+        // pre-skewed initial distribution (free in the model): rank (i,j)
+        // owns A_{i,(i+j) mod q} and B_{(i+j) mod q,j}
+        let mut a_loc = block_of(a, q, i, (i + j) % q);
+        let mut b_loc = block_of(b, q, (i + j) % q, j);
         let mut c_loc = vec![0.0f64; bs * bs];
         rank.track_alloc(3 * bs * bs);
-
-        // skew: A_ij -> (i, j-i); B_ij -> (i-j, j)
-        if q > 1 {
-            if i > 0 {
-                let dst = at(i, (j + q - i) % q);
-                let src = at(i, (j + i) % q);
-                a_loc = rank.sendrecv(dst, TAG_SKEW_A, a_loc, src);
-            }
-            if j > 0 {
-                let dst = at((i + q - j) % q, j);
-                let src = at((i + j) % q, j);
-                b_loc = rank.sendrecv(dst, TAG_SKEW_B, b_loc, src);
-            }
-        }
 
         for step in 0..q {
             let flops = local_matmul_acc(&mut c_loc, &a_loc, &b_loc, bs);
@@ -97,17 +141,52 @@ mod tests {
     }
 
     #[test]
+    fn cannon_gather_is_bitwise_identical_to_replay() {
+        // The determinism witness: communication and distribution change
+        // nothing about the arithmetic — the gathered product equals the
+        // schedule-faithful sequential replay bit for bit.
+        for (p, n) in [(4usize, 8usize), (9, 12), (16, 16), (49, 28)] {
+            let q = exact_sqrt(p);
+            let (a, b) = sample(n, 100 + p as u64);
+            let (c, _) = cannon(MachineConfig::new(p), &a, &b);
+            assert!(
+                c.bits_eq(&cannon_reference(&a, &b, q)),
+                "p={p} n={n}: gathered product diverged from the replay"
+            );
+        }
+    }
+
+    #[test]
+    fn cannon_words_match_closed_form_exactly_per_rank() {
+        // The exactness contract: every rank sends and receives exactly
+        // 2(√p − 1)·n²/p words — no skew residue, no imbalance.
+        for (p, n) in [(4usize, 8usize), (9, 12), (16, 16), (49, 28)] {
+            let (a, b) = sample(n, 7 * p as u64);
+            let (_, res) = cannon(MachineConfig::new(p), &a, &b);
+            let want = cannon_words_per_rank(p, n);
+            let q = exact_sqrt(p);
+            let bs = n / q;
+            assert_eq!(want, (2 * (q - 1) * bs * bs) as u64);
+            for (r, s) in res.stats.iter().enumerate() {
+                assert_eq!(s.words_sent, want, "p={p} n={n} rank {r} sent");
+                assert_eq!(s.words_received, want, "p={p} n={n} rank {r} received");
+                assert_eq!(s.msgs_sent as usize, 2 * (q - 1), "p={p} rank {r} msgs");
+            }
+        }
+    }
+
+    #[test]
     fn cannon_bandwidth_scales_as_n2_over_sqrt_p() {
-        // words per rank ≈ 2(q-1+skew)·bs² ≈ 2n²/√p (counting both directions ~4x)
+        // 2(√p−1)n²/p per direction: p = 4 → n²/2, p = 16 → 3n²/8; the
+        // classical 2D shape n²/√p up to the (√p−1)/√p factor.
         let n = 24;
         let (a, b) = sample(n, 7);
         let (_, r4) = cannon(MachineConfig::new(4), &a, &b);
         let (_, r16) = cannon(MachineConfig::new(16), &a, &b);
-        let w4 = r4.max_words() as f64;
-        let w16 = r16.max_words() as f64;
-        // n²/√p: quadrupling p halves the per-rank words
-        let ratio = w4 / w16;
-        assert!((ratio - 2.0).abs() < 0.7, "ratio {ratio}");
+        assert_eq!(r4.max_words(), 2 * cannon_words_per_rank(4, n));
+        assert_eq!(r16.max_words(), 2 * cannon_words_per_rank(16, n));
+        let ratio = r4.max_words() as f64 / r16.max_words() as f64;
+        assert!((ratio - 4.0 / 3.0).abs() < 1e-9, "ratio {ratio}");
     }
 
     #[test]

@@ -1,19 +1,34 @@
 //! CAPS — Communication-Avoiding Parallel Strassen (Ballard, Demmel, Holtz,
-//! Rom, Schwartz; the "attained by" column of the Strassen-like side of
-//! Table I).
+//! Rom, Schwartz, arXiv:1202.3173; the "attained by" column of the
+//! Strassen-like side of Table I), generalized to any square `⟨2; r⟩`
+//! scheme (Strassen and Winograd at `r = 7`, classical at `r = 8`).
 //!
-//! `p = 7^L` ranks execute the Strassen recursion over distributed
-//! matrices. Two step types:
+//! `p = r^L` ranks execute the recursion over distributed matrices. Two
+//! step types:
 //!
-//! * **BFS step**: all 7 subproblems are solved *simultaneously* by 7
-//!   disjoint subgroups of `g/7` ranks each. The encoded operands
+//! * **BFS step**: all `r` subproblems are solved *simultaneously* by `r`
+//!   disjoint subgroups of `g/r` ranks each. The encoded operands
 //!   `T_l, S_l` are computed locally (the data layout keeps quadrant
 //!   addition communication-free) and then *shuffled*: each rank sends its
 //!   entire share of `(T_l, S_l)` to one rank of subgroup `l`. Memory grows
-//!   by `7/4` per BFS level — the communication-for-memory trade.
-//! * **DFS step**: the whole group solves the 7 subproblems *sequentially*.
-//!   No communication at all, shares shrink by 4 — used when memory is
-//!   scarce.
+//!   by `r/4` per BFS level — the communication-for-memory trade.
+//! * **DFS step**: the whole group solves the `r` subproblems
+//!   *sequentially*. No communication at all, shares shrink by 4 — used
+//!   when memory is scarce.
+//!
+//! ## Bit-determinism
+//!
+//! The execution preserves the sequential engine's scalar arithmetic
+//! exactly: encodes accumulate quadrants in ascending `q` (skipping
+//! zeros, like [`fastmm_matrix::arena::encode_a_into`]), products decode
+//! in ascending `l`, and the rank-local leaves run the arena engine
+//! ([`fastmm_matrix::arena::multiply_flat`]) at [`CapsPlan::local_cutoff`]
+//! — chosen so the distributed recursion composed with the local one *is*
+//! the recursion tree of
+//! [`multiply_scheme`](fastmm_matrix::recursive::multiply_scheme) at that
+//! cutoff. The gathered product is therefore **bitwise identical** to the
+//! sequential `multiply_scheme` output (enforced by tests here and by
+//! `tests/dist_exact.rs`).
 //!
 //! ## Data layout
 //!
@@ -33,26 +48,29 @@
 //! `share[q·len/4 .. (q+1)·len/4]`.
 
 use crate::machine::{run_spmd, MachineConfig, Rank, SpmdResult};
+use fastmm_matrix::arena::{multiply_flat, ScratchArena};
 use fastmm_matrix::dense::Matrix;
-use fastmm_matrix::recursive::{multiply_scheme, scheme_op_count};
+use fastmm_matrix::recursive::scheme_op_count;
 use fastmm_matrix::scheme::{strassen, BilinearScheme, Coeffs};
 
 /// One recursion step of the CAPS schedule.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Step {
-    /// Split the group 7 ways (communication, memory ×7/4).
+    /// Split the group `r` ways (communication, memory ×r/4).
     Bfs,
-    /// Serialize the 7 subproblems on the whole group (no communication).
+    /// Serialize the `r` subproblems on the whole group (no communication).
     Dfs,
 }
 
 /// A validated CAPS execution plan.
 #[derive(Clone, Debug)]
 pub struct CapsPlan {
-    /// Number of processors, `p = 7^L`.
+    /// Number of processors, `p = r^L`.
     pub p: usize,
     /// Matrix dimension.
     pub n: usize,
+    /// Scheme rank `r` (subproblems per recursion step; 7 for Strassen).
+    pub r: usize,
     /// The step sequence (DFS steps first, then the `L` BFS steps).
     pub steps: Vec<Step>,
     /// Base (residual) matrix size `n / 2^{|steps|}`.
@@ -60,8 +78,8 @@ pub struct CapsPlan {
 }
 
 impl CapsPlan {
-    /// Validate and build a plan with `dfs_steps` DFS levels before the
-    /// `log₇ p` BFS levels.
+    /// Validate and build a Strassen (`r = 7`) plan with `dfs_steps` DFS
+    /// levels before the `log₇ p` BFS levels.
     ///
     /// Requirements: `p` a power of 7, `2^{D+L} | n`, and `p | (n/2^{D+L})²`.
     ///
@@ -78,13 +96,23 @@ impl CapsPlan {
     /// assert!(CapsPlan::new(6, 56, 0).is_err());
     /// ```
     pub fn new(p: usize, n: usize, dfs_steps: usize) -> Result<CapsPlan, String> {
+        Self::with_rank(7, p, n, dfs_steps)
+    }
+
+    /// Validate and build a plan for a square `⟨2; r⟩` scheme:
+    /// [`CapsPlan::new`] generalized from Strassen's `r = 7` to any rank
+    /// (`r = 8` runs the classical scheme through the same machinery).
+    /// Requirements: `p` a power of `r`, `2^{D+L} | n`, and
+    /// `p | (n/2^{D+L})²`.
+    pub fn with_rank(r: usize, p: usize, n: usize, dfs_steps: usize) -> Result<CapsPlan, String> {
+        assert!(r >= 2, "scheme rank must be at least 2");
         let mut l = 0usize;
         let mut q = p;
         while q > 1 {
-            if !q.is_multiple_of(7) {
-                return Err(format!("p = {p} is not a power of 7"));
+            if !q.is_multiple_of(r) {
+                return Err(format!("p = {p} is not a power of {r}"));
             }
-            q /= 7;
+            q /= r;
             l += 1;
         }
         let s = dfs_steps + l;
@@ -100,13 +128,98 @@ impl CapsPlan {
         }
         let mut steps = vec![Step::Dfs; dfs_steps];
         steps.extend(vec![Step::Bfs; l]);
-        Ok(CapsPlan { p, n, steps, mr })
+        Ok(CapsPlan { p, n, r, steps, mr })
     }
 
-    /// A convenient valid dimension: `n = 2^{D+L} · 7^{⌈L/2⌉} · c`.
+    /// Plan for an executable square 2x2 scheme (`⟨2; r⟩`): the rank is
+    /// read off the scheme, everything else as [`CapsPlan::with_rank`].
+    pub fn for_scheme(
+        scheme: &BilinearScheme,
+        p: usize,
+        n: usize,
+        dfs_steps: usize,
+    ) -> Result<CapsPlan, String> {
+        if scheme.dims() != (2, 2, 2) {
+            return Err(format!(
+                "CAPS layout needs a square 2x2 base, got {}",
+                scheme.shape_string()
+            ));
+        }
+        Self::with_rank(scheme.r, p, n, dfs_steps)
+    }
+
+    /// A convenient valid dimension for **Strassen-shaped (`r = 7`)**
+    /// plans: `n = 2^{D+L} · 7^{⌈L/2⌉} · c`. For other ranks the `7`
+    /// factor does not satisfy [`CapsPlan::with_rank`]'s
+    /// `p | (n/2^{D+L})²` requirement — derive `n` from the target rank
+    /// instead (e.g. `2^{D+L} · r^{⌈L/2⌉} · c` when `r` is square-free).
     pub fn suggest_n(p: usize, dfs_steps: usize, c: usize) -> usize {
         let l = (p as f64).log(7.0).round() as usize;
         (1usize << (dfs_steps + l)) * 7usize.pow(l.div_ceil(2) as u32) * c.max(1)
+    }
+
+    /// The rank-local base-case cutoff the execution uses: `min(mr, 32)`.
+    /// Any value `≤ 2·mr − 1` keeps the distributed recursion aligned
+    /// with [`multiply_scheme`](fastmm_matrix::recursive::multiply_scheme)
+    /// at the same cutoff (the global levels all split, the local engine
+    /// continues identically below `mr`), so the gathered product is
+    /// bitwise identical to `multiply_scheme(scheme, a, b,
+    /// plan.local_cutoff())`.
+    pub fn local_cutoff(&self) -> usize {
+        self.mr.clamp(1, 32)
+    }
+
+    /// Closed-form words **sent** per rank by this plan (every rank sends
+    /// the same amount — the layout is perfectly balanced):
+    ///
+    /// `W(s, [Dfs, rest]) = r · W(s/4, rest)` (no communication, `r`
+    /// children at quarter shares) and
+    /// `W(s, [Bfs, rest]) = 3(r−1)·s/4 + W(r·s/4, rest)` (each rank ships
+    /// `r−1` encoded operand pairs of `2·s/4` words down plus `r−1`
+    /// product shares of `s/4` back up), starting from `s = n²/p`.
+    ///
+    /// For a BFS-only plan this telescopes to
+    /// `3(r−1)/(r−4) · (n²/p^{2/ω₀} − n²/p)` — the memory-independent
+    /// `n²/p^{2/ω₀}` communication form of arXiv:1202.3177 with an
+    /// explicit constant (`6(n²/p^{2/ω₀} − n²/p)` for Strassen's `r = 7`).
+    /// Words received equal words sent. Measured counters match this
+    /// closed form *exactly* (asserted in tests).
+    pub fn words_sent_per_rank(&self) -> u64 {
+        fn w(r: u64, share: u64, steps: &[Step]) -> u64 {
+            match steps.first() {
+                None => 0,
+                Some(Step::Dfs) => r * w(r, share / 4, &steps[1..]),
+                Some(Step::Bfs) => 3 * (r - 1) * (share / 4) + w(r, r * (share / 4), &steps[1..]),
+            }
+        }
+        w(
+            self.r as u64,
+            (self.n * self.n / self.p) as u64,
+            &self.steps,
+        )
+    }
+
+    /// Projected peak tracked words per rank, mirroring the execution's
+    /// memory accounting *exactly* (asserted against the measured
+    /// high-water mark in tests): a leaf holds `3s` (both operands plus
+    /// the product at share size `s`), a DFS step holds its operands and
+    /// output above the busiest child (`3s + peak(s/4)`), and a BFS step's
+    /// peak is the recursion on the `r/4`-times-larger shuffled share
+    /// (`max(2s, peak(rs/4))`) — the `r/4` memory blowup per BFS level
+    /// that DFS interleaving exists to avoid.
+    pub fn projected_peak_words_per_rank(&self) -> u64 {
+        fn g(r: u64, s: u64, steps: &[Step]) -> u64 {
+            match steps.first() {
+                None => 3 * s,
+                Some(Step::Dfs) => 3 * s + g(r, s / 4, &steps[1..]),
+                Some(Step::Bfs) => (2 * s).max(g(r, r * (s / 4), &steps[1..])),
+            }
+        }
+        g(
+            self.r as u64,
+            (self.n * self.n / self.p) as u64,
+            &self.steps,
+        )
     }
 }
 
@@ -184,6 +297,7 @@ fn encode_quarters(rank: &mut Rank, coeffs: &Coeffs, row: usize, src: &[f64]) ->
 
 struct CapsCtx<'a> {
     scheme: &'a BilinearScheme,
+    r: usize,
     mr: usize,
     local_cutoff: usize,
 }
@@ -192,6 +306,7 @@ struct CapsCtx<'a> {
 fn caps_node(
     ctx: &CapsCtx<'_>,
     rank: &mut Rank,
+    arena: &mut ScratchArena<f64>,
     group: &[usize],
     me: usize,
     a: Vec<f64>,
@@ -200,31 +315,32 @@ fn caps_node(
     steps: &[Step],
     depth: usize,
 ) -> Vec<f64> {
+    let r = ctx.r;
     if depth == steps.len() {
         assert_eq!(group.len(), 1, "plan must end with singleton groups");
         assert_eq!(m, ctx.mr);
-        // full local matrix, row-major (single path, residual = identity)
+        // full local matrix, row-major (single path, residual = identity):
+        // the rank-local leaf runs the arena engine, so the leaf bits are
+        // exactly the sequential engine's.
         let len = a.len();
         rank.track_alloc(len); // the local product C
-        let am = Matrix::from_vec(m, m, a);
-        let bm = Matrix::from_vec(m, m, b);
-        let c = multiply_scheme(ctx.scheme, &am, &bm, ctx.local_cutoff);
+        let c = multiply_flat(ctx.scheme, &a, &b, (m, m, m), ctx.local_cutoff, arena);
         let ops = scheme_op_count(ctx.scheme, m, ctx.local_cutoff);
         rank.compute(ops.total() as u64);
         rank.track_free(2 * len); // operands consumed
-        return c.as_slice().to_vec();
+        return c;
     }
     let qlen = a.len() / 4;
     match steps[depth] {
         Step::Dfs => {
             let mut c = vec![0.0f64; a.len()];
             rank.track_alloc(a.len());
-            for l in 0..7 {
+            for l in 0..r {
                 // operands of the child (the child frees them)
                 let ta = encode_quarters(rank, &ctx.scheme.u, l, &a);
                 let tb = encode_quarters(rank, &ctx.scheme.v, l, &b);
                 rank.track_alloc(2 * qlen);
-                let ml = caps_node(ctx, rank, group, me, ta, tb, m / 2, steps, depth + 1);
+                let ml = caps_node(ctx, rank, arena, group, me, ta, tb, m / 2, steps, depth + 1);
                 let mut flops = 0u64;
                 for q in 0..4 {
                     let w = ctx.scheme.w.get(q, l);
@@ -244,14 +360,14 @@ fn caps_node(
         }
         Step::Bfs => {
             let g = group.len();
-            let gp = g / 7;
+            let gp = g / r;
             let myclass = me % gp;
             let my_l = me / gp;
             let tag_down = 10_000 + depth as u64 * 16;
             let tag_up = 10_000 + depth as u64 * 16 + 1;
             // encode + scatter: one message per subproblem
             let mut self_piece: Option<(Vec<f64>, Vec<f64>)> = None;
-            for l in 0..7 {
+            for l in 0..r {
                 let ta = encode_quarters(rank, &ctx.scheme.u, l, &a);
                 let tb = encode_quarters(rank, &ctx.scheme.v, l, &b);
                 let tgt = l * gp + myclass;
@@ -265,13 +381,13 @@ fn caps_node(
             }
             rank.track_free(2 * a.len()); // a, b fully encoded and sent
 
-            // gather the 7 pieces of my subproblem
+            // gather the r pieces of my subproblem
             let clen = ctx.mr * ctx.mr / g;
             let n_paths = qlen / clen;
-            let mut new_a = vec![0.0f64; 7 * qlen];
-            let mut new_b = vec![0.0f64; 7 * qlen];
-            rank.track_alloc(2 * 7 * qlen);
-            for s in 0..7 {
+            let mut new_a = vec![0.0f64; r * qlen];
+            let mut new_b = vec![0.0f64; r * qlen];
+            rank.track_alloc(2 * r * qlen);
+            for s in 0..r {
                 let src = s * gp + myclass;
                 let (pa, pb): (Vec<f64>, Vec<f64>) = if src == me {
                     self_piece.take().expect("self piece present")
@@ -282,8 +398,8 @@ fn caps_node(
                 };
                 for path in 0..n_paths {
                     for v in 0..clen {
-                        new_a[path * 7 * clen + s + 7 * v] = pa[path * clen + v];
-                        new_b[path * 7 * clen + s + 7 * v] = pb[path * clen + v];
+                        new_a[path * r * clen + s + r * v] = pa[path * clen + v];
+                        new_b[path * r * clen + s + r * v] = pb[path * clen + v];
                     }
                 }
             }
@@ -292,6 +408,7 @@ fn caps_node(
             let c_sub = caps_node(
                 ctx,
                 rank,
+                arena,
                 &sub,
                 myclass,
                 new_a,
@@ -302,11 +419,11 @@ fn caps_node(
             );
             // inverse shuffle: return M_{my_l} pieces to the depth-i ranks
             let mut self_return: Option<Vec<f64>> = None;
-            for s in 0..7 {
+            for s in 0..r {
                 let mut piece = vec![0.0f64; qlen];
                 for path in 0..n_paths {
                     for v in 0..clen {
-                        piece[path * clen + v] = c_sub[path * 7 * clen + s + 7 * v];
+                        piece[path * clen + v] = c_sub[path * r * clen + s + r * v];
                     }
                 }
                 let tgt = s * gp + myclass;
@@ -316,13 +433,14 @@ fn caps_node(
                     rank.send(group[tgt], tag_up, piece);
                 }
             }
-            rank.track_free(7 * qlen); // c_sub scattered back
+            rank.track_free(r * qlen); // c_sub scattered back
 
-            // receive all seven product shares and decode
+            // receive all r product shares and decode in ascending l — the
+            // sequential engine's decode order, so bit-determinism holds.
             let mut c = vec![0.0f64; qlen * 4];
             rank.track_alloc(qlen * 4);
             let mut flops = 0u64;
-            for l in 0..7 {
+            for l in 0..r {
                 let src = l * gp + myclass;
                 let ml: Vec<f64> = if src == me {
                     self_return.take().expect("self return present")
@@ -346,25 +464,42 @@ fn caps_node(
     }
 }
 
-/// Run CAPS per `plan` and assemble/verify the product.
+/// Run CAPS with Strassen per `plan` and assemble the product.
 pub fn caps(
     cfg: MachineConfig,
     plan: &CapsPlan,
     a: &Matrix<f64>,
     b: &Matrix<f64>,
 ) -> (Matrix<f64>, SpmdResult<Vec<f64>>) {
+    caps_scheme(cfg, &strassen(), plan, a, b)
+}
+
+/// Run CAPS with any square `⟨2; r⟩` scheme per `plan` (built by
+/// [`CapsPlan::for_scheme`]) and assemble the product. The gathered
+/// product is bitwise identical to `multiply_scheme(scheme, a, b,
+/// plan.local_cutoff())` — see the module docs.
+pub fn caps_scheme(
+    cfg: MachineConfig,
+    scheme: &BilinearScheme,
+    plan: &CapsPlan,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> (Matrix<f64>, SpmdResult<Vec<f64>>) {
     assert_eq!(cfg.p, plan.p);
+    assert_eq!(scheme.dims(), (2, 2, 2), "CAPS layout needs a 2x2 base");
+    assert_eq!(scheme.r, plan.r, "plan was built for a different rank");
     let n = plan.n;
     assert_eq!(a.rows(), n);
     assert_eq!(b.rows(), n);
     let levels = plan.steps.len();
-    let scheme = strassen();
     let res = run_spmd(cfg, |rank| {
         let ctx = CapsCtx {
-            scheme: &scheme,
+            scheme,
+            r: plan.r,
             mr: plan.mr,
-            local_cutoff: 32,
+            local_cutoff: plan.local_cutoff(),
         };
+        let mut arena = ScratchArena::new();
         let group: Vec<usize> = (0..plan.p).collect();
         let a_share = extract_share(a, levels, plan.mr, plan.p, rank.id);
         let b_share = extract_share(b, levels, plan.mr, plan.p, rank.id);
@@ -372,6 +507,7 @@ pub fn caps(
         caps_node(
             &ctx,
             rank,
+            &mut arena,
             &group,
             rank.id,
             a_share,
@@ -492,6 +628,120 @@ mod tests {
         let (c, res) = caps(MachineConfig::new(1), &plan, &a, &b);
         assert!(c.max_abs_diff(&multiply_naive(&a, &b), |x| x) < 1e-9);
         assert_eq!(res.max_words(), 0);
+    }
+
+    fn assert_bitwise(c: &Matrix<f64>, want: &Matrix<f64>, label: &str) {
+        assert!(
+            c.bits_eq(want),
+            "{label}: gathered product not bitwise identical"
+        );
+    }
+
+    #[test]
+    fn caps_gather_is_bitwise_identical_to_multiply_scheme() {
+        // The tentpole contract: the distributed product, gathered, is
+        // bit-for-bit the sequential engine's output at the plan's local
+        // cutoff — for BFS-only, DFS+BFS, and p = 49 plans.
+        use fastmm_matrix::recursive::multiply_scheme;
+        for (p, n, dfs) in [
+            (7usize, 28usize, 0usize),
+            (7, 56, 1),
+            (49, 28, 0),
+            (1, 16, 2),
+        ] {
+            let plan = CapsPlan::new(p, n, dfs).unwrap();
+            let (a, b) = sample(n, (p + n + dfs) as u64);
+            let (c, _) = caps(MachineConfig::new(p), &plan, &a, &b);
+            let want = multiply_scheme(&strassen(), &a, &b, plan.local_cutoff());
+            assert_bitwise(&c, &want, &format!("p={p} n={n} dfs={dfs}"));
+        }
+    }
+
+    #[test]
+    fn caps_runs_winograd_and_classical_through_the_same_layout() {
+        use fastmm_matrix::recursive::multiply_scheme;
+        use fastmm_matrix::scheme::{classical_scheme, winograd};
+        // winograd: r = 7, same plans as strassen
+        let w = winograd();
+        let plan = CapsPlan::for_scheme(&w, 7, 28, 0).unwrap();
+        let (a, b) = sample(28, 11);
+        let (c, _) = caps_scheme(MachineConfig::new(7), &w, &plan, &a, &b);
+        assert_bitwise(
+            &c,
+            &multiply_scheme(&w, &a, &b, plan.local_cutoff()),
+            "winograd p=7",
+        );
+        // classical ⟨2;8⟩: r = 8, p = 8 — the generalized machinery
+        let c8 = classical_scheme(2);
+        let plan = CapsPlan::for_scheme(&c8, 8, 16, 0).unwrap();
+        let (a, b) = sample(16, 12);
+        let (c, res) = caps_scheme(MachineConfig::new(8), &c8, &plan, &a, &b);
+        assert_bitwise(
+            &c,
+            &multiply_scheme(&c8, &a, &b, plan.local_cutoff()),
+            "classical p=8",
+        );
+        // and its words match the closed form too
+        for s in &res.stats {
+            assert_eq!(s.words_sent, plan.words_sent_per_rank());
+        }
+        // rectangular base cases are rejected, not mis-laid-out
+        assert!(CapsPlan::for_scheme(&fastmm_matrix::scheme::strassen_2x2x4(), 14, 28, 0).is_err());
+    }
+
+    #[test]
+    fn measured_words_match_closed_form_exactly() {
+        // Every rank's measured sent *and* received words equal
+        // CapsPlan::words_sent_per_rank — including plans that interleave
+        // DFS and BFS steps.
+        for (p, n, dfs) in [
+            (7usize, 14usize, 0usize),
+            (7, 28, 1),
+            (7, 56, 2),
+            (49, 28, 0),
+            (49, 56, 1),
+        ] {
+            let plan = CapsPlan::new(p, n, dfs).unwrap();
+            let (a, b) = sample(n, (3 * p + n) as u64);
+            let (_, res) = caps(MachineConfig::new(p), &plan, &a, &b);
+            let want = plan.words_sent_per_rank();
+            for (r, s) in res.stats.iter().enumerate() {
+                assert_eq!(s.words_sent, want, "p={p} n={n} dfs={dfs} rank {r} sent");
+                assert_eq!(
+                    s.words_received, want,
+                    "p={p} n={n} dfs={dfs} rank {r} received"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_only_words_match_memory_independent_form() {
+        // M = ∞ regime (BFS-only): the closed form telescopes to
+        // 6·(n²/p^{2/ω₀} − n²/p) sent per rank, i.e. the memory-independent
+        // n²/p^{2/ω₀} communication shape of arXiv:1202.3177 — measured
+        // words sit within the predicted constant [6, 12) of that bound
+        // (sent+received doubles the 6).
+        let omega0 = 7f64.log2();
+        for (p, n) in [(7usize, 28usize), (49, 28), (49, 56)] {
+            let plan = CapsPlan::new(p, n, 0).unwrap();
+            let (a, b) = sample(n, (p ^ n) as u64);
+            let (_, res) = caps(MachineConfig::new(p), &plan, &a, &b);
+            let n2 = (n * n) as f64;
+            let mem_indep = n2 / (p as f64).powf(2.0 / omega0);
+            let closed = 6.0 * (mem_indep - n2 / p as f64);
+            let measured = res.stats[0].words_sent as f64;
+            assert!(
+                (measured - closed).abs() < 1e-6,
+                "p={p} n={n}: measured {measured} vs telescoped closed form {closed}"
+            );
+            let total = (res.stats[0].words_sent + res.stats[0].words_received) as f64;
+            let ratio = total / mem_indep;
+            assert!(
+                (4.0..12.0).contains(&ratio),
+                "p={p} n={n}: total/mem_indep = {ratio} outside the predicted constant"
+            );
+        }
     }
 
     #[test]

@@ -7,16 +7,21 @@
 //! quantities Corollaries 1.2/1.4 and Table I bound.
 //!
 //! Algorithms: Cannon's 2D ([`cannon`]), the 3D and 2.5D classical
-//! algorithms ([`grid3d`]), and CAPS, the communication-optimal parallel
-//! Strassen ([`caps`](mod@caps)).
+//! algorithms ([`grid3d`]), CAPS, the communication-optimal parallel
+//! Strassen ([`caps`](mod@caps)), and the generic distributed-memory
+//! execution engine ([`exec`]) that runs *every* registry scheme on any
+//! rank count by actual block exchange, bit-identical to the sequential
+//! engine.
 
 #![warn(missing_docs)]
 
 pub mod cannon;
 pub mod caps;
 pub mod dist;
+pub mod exec;
 pub mod grid3d;
 pub mod machine;
 
-pub use caps::{caps, CapsPlan, Step};
+pub use caps::{caps, caps_scheme, CapsPlan, Step};
+pub use exec::{caps_plan_for_budget, dist_caps, dist_multiply, DistConfig};
 pub use machine::{run_spmd, MachineConfig, Rank, RankStats, SpmdResult};

@@ -199,6 +199,35 @@ impl Rank {
         self.mem_now -= words;
     }
 
+    /// Deterministic step barrier over `group` (must contain this rank):
+    /// a dissemination barrier of `⌈log₂ g⌉` rounds of **zero-word**
+    /// messages. No rank leaves before every rank has entered, and the
+    /// max-propagating receive rule of the virtual clocks means all
+    /// clocks in the group align to the slowest member (plus the α rounds)
+    /// — so phases separated by a barrier are deterministic *steps* of the
+    /// simulation: counters attributed to a phase can never leak into the
+    /// next one. Zero-word messages cost `α` each and increment the
+    /// message counters but move no words, so bandwidth accounting is
+    /// unaffected.
+    pub fn barrier(&mut self, group: &[usize], tag: u64) {
+        let me = group
+            .iter()
+            .position(|&r| r == self.id)
+            .expect("rank not in group");
+        let g = group.len();
+        let mut step = 1usize;
+        let mut round = 0u64;
+        while step < g {
+            let to = group[(me + step) % g];
+            let from = group[(me + g - step) % g];
+            self.send(to, tag + round, Vec::new());
+            let got = self.recv(from, tag + round);
+            debug_assert!(got.is_empty());
+            step *= 2;
+            round += 1;
+        }
+    }
+
     /// Binomial-tree broadcast within the ranks `group` (must contain this
     /// rank; `group[0]` is the root). Root passes `Some(data)`.
     pub fn bcast(&mut self, group: &[usize], tag: u64, data: Option<Vec<f64>>) -> Vec<f64> {
@@ -495,6 +524,46 @@ mod tests {
         for r in 0..4 {
             assert_eq!(res.outputs[r], vec![0.0, 10.0, 20.0, 30.0], "rank {r}");
         }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks_and_moves_no_words() {
+        // Rank 2 arrives late (large compute); after the barrier every
+        // rank's clock is at least rank 2's arrival time, and no words
+        // moved.
+        let cfg = MachineConfig {
+            p: 5,
+            alpha: 1.0,
+            beta: 0.01,
+            gamma: 1.0,
+        };
+        let res = run_spmd(cfg, |rank| {
+            if rank.id == 2 {
+                rank.compute(1000); // clock 1000
+            }
+            let group: Vec<usize> = (0..rank.p).collect();
+            rank.barrier(&group, 77);
+            0
+        });
+        for s in &res.stats {
+            assert!(s.clock >= 1000.0, "clock {} below the straggler", s.clock);
+            assert_eq!(s.words_sent + s.words_received, 0);
+            assert_eq!(s.msgs_sent, 3, "dissemination rounds for g=5");
+        }
+    }
+
+    #[test]
+    fn barrier_on_subgroup_and_singleton() {
+        let cfg = MachineConfig::new(4);
+        let res = run_spmd(cfg, |rank| {
+            if rank.id < 2 {
+                rank.barrier(&[0, 1], 5);
+            }
+            rank.barrier(&[rank.id], 9); // singleton: no-op
+            rank.id
+        });
+        assert_eq!(res.stats[0].msgs_sent, 1);
+        assert_eq!(res.stats[3].msgs_sent, 0);
     }
 
     #[test]
