@@ -2,8 +2,10 @@
 //! Strassen crossover that motivates the paper's communication analysis.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fastmm_matrix::arena::ScratchArena;
 use fastmm_matrix::classical::{multiply_blocked, multiply_ikj, multiply_oblivious};
 use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::pack::{multiply_packed_into, multiply_packed_into_scalar};
 use fastmm_matrix::recursive::{multiply_strassen, multiply_winograd};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,6 +31,23 @@ fn bench_kernels(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("winograd_c32", n), &n, |bch, _| {
             bch.iter(|| multiply_winograd(&a, &b, 32))
+        });
+        // The packed BLIS-style base-case kernel (SIMD-dispatched, and its
+        // forced-portable fallback) — the rows the e11 trajectory tracks.
+        let mut arena: ScratchArena<f64> = ScratchArena::new();
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = Matrix::<f64>::zeros(n, n);
+                multiply_packed_into(a.view(), b.view(), &mut c.view_mut(), &mut arena);
+                c
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("packed_portable", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut c = Matrix::<f64>::zeros(n, n);
+                multiply_packed_into_scalar(a.view(), b.view(), &mut c.view_mut(), &mut arena);
+                c
+            })
         });
     }
     group.finish();

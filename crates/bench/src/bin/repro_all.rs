@@ -13,10 +13,16 @@ fn main() {
     println!("{}", fastmm_bench::e10_parallel(512, &[1, 2, 4, 8]));
     println!(
         "{}",
-        fastmm_bench::e11_repro_perf(&[128, 256], Some("target/BENCH_seq.json"))
+        fastmm_bench::e11_repro_perf(
+            &[128, 256],
+            Some(&fastmm_bench::bench_artifact_path("BENCH_seq.json"))
+        )
     );
     println!(
         "{}",
-        fastmm_bench::e12_distributed(56, Some("target/BENCH_dist.json"))
+        fastmm_bench::e12_distributed(
+            56,
+            Some(&fastmm_bench::bench_artifact_path("BENCH_dist.json"))
+        )
     );
 }

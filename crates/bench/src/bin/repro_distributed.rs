@@ -20,7 +20,8 @@ fn main() {
     let ns = if ns.is_empty() { vec![56] } else { ns };
     for (i, &n) in ns.iter().enumerate() {
         // one JSON per run; the last n wins the artifact slot
-        let json = (i + 1 == ns.len()).then_some("target/BENCH_dist.json");
+        let path = fastmm_bench::bench_artifact_path("BENCH_dist.json");
+        let json = (i + 1 == ns.len()).then_some(path.as_str());
         println!("{}", fastmm_bench::e12_distributed(n, json));
     }
 }

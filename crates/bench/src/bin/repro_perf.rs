@@ -1,6 +1,8 @@
-//! E11 — sequential perf trajectory: arena engine vs the legacy copy-out
-//! engine, GFLOP/s and modeled words vs the Theorem 1.1 bound, plus the
-//! `BENCH_seq.json` machine-readable emit.
+//! E11 — sequential perf trajectory: the packed micro-kernel engine vs
+//! the arena-ikj and legacy copy-out engines, GFLOP/s and modeled words
+//! vs the Theorem 1.1 bound, plus the `BENCH_seq.json` machine-readable
+//! emit at the repository root (committed, so the trajectory diffs
+//! across PRs).
 //!
 //! Usage: `repro_perf [n...]` — problem sizes default to 256/512/1024;
 //! CI's perf-smoke job passes small sizes. `FASTMM_CUTOFF` pins the
@@ -17,6 +19,9 @@ fn main() {
     };
     println!(
         "{}",
-        fastmm_bench::e11_repro_perf(&ns, Some("target/BENCH_seq.json"))
+        fastmm_bench::e11_repro_perf(
+            &ns,
+            Some(&fastmm_bench::bench_artifact_path("BENCH_seq.json"))
+        )
     );
 }

@@ -598,50 +598,91 @@ pub fn e10_parallel(n: usize, thread_counts: &[usize]) -> String {
 /// at `M = 3·cutoff²`, where the recursion bottoms out.
 ///
 /// Engines: `legacy` is the pre-arena copy-out recursion
-/// (`multiply_scheme_legacy`, kept as the golden baseline), `arena` is the
-/// default zero-allocation engine behind `multiply_scheme`. Every arena
-/// run is asserted **bit-identical** to the legacy run before either time
-/// is reported, so a speedup row can never come from a wrong product.
-/// Each engine gets one untimed warm-up (the run the bitwise check uses,
-/// so first-touch page faults and cache warm-up are charged to neither)
-/// and its reported time is the min of two timed repetitions. The cutoff
-/// is the tuned one (`FASTMM_CUTOFF` or the compiled default).
+/// (`multiply_scheme_legacy`, kept as the golden baseline), `arena-ikj`
+/// is the zero-allocation arena recursion with the old cache-blocked ikj
+/// base case ([`fastmm_matrix::arena::multiply_into_unpacked`], kept so
+/// the trajectory across PRs separates "arena recursion" from "packed
+/// kernel" gains), and `packed` is the default engine behind
+/// `multiply_scheme` — arena recursion bottoming out in the BLIS-style
+/// packed micro-kernel ([`fastmm_matrix::pack`]), whose active SIMD
+/// dispatch level is printed in the header.
+///
+/// Every engine's product is checked against the legacy run before any
+/// time is reported: `arena-ikj` must be **bit-identical** in every
+/// build, `packed` is bit-identical in the default build (under the
+/// opt-in `fma` feature it fuses multiply-adds, so it is checked to a
+/// tolerance instead). A speedup row can never come from a wrong
+/// product. Each engine gets one untimed warm-up (the run the check
+/// uses, so first-touch page faults and cache warm-up are charged to
+/// nobody) and its reported time is the min of two timed repetitions.
+/// The cutoff is the tuned one (`FASTMM_CUTOFF` or the compiled
+/// default).
 ///
 /// When `json_path` is `Some`, the table is also emitted as machine-
 /// readable JSON (`BENCH_seq.json`): one object per (scheme, n, engine)
-/// row — the artifact that starts the perf trajectory across PRs.
+/// row — the artifact that tracks the perf trajectory across PRs.
 pub fn e11_repro_perf(ns: &[usize], json_path: Option<&str>) -> String {
+    use fastmm_matrix::arena::{multiply_into_unpacked, ScratchArena};
+    use fastmm_matrix::pack::active_simd_level;
     use std::time::Instant;
+    let simd = active_simd_level();
+    let fused = cfg!(feature = "fma");
     let mut out = String::new();
-    out.push_str("E11 Sequential perf trajectory: arena engine vs legacy copy-out engine\n");
-    out.push_str("  GFLOP/s uses classical-equivalent flops 2n^3; words model = arena DFS\n");
-    out.push_str("  recurrence at M=3*cutoff^2 vs bound=(n/sqrtM)^w0*M (Thm 1.1/1.3)\n");
+    out.push_str("E11 Sequential perf trajectory: packed micro-kernel vs arena-ikj vs legacy\n");
+    out.push_str(&format!(
+        "  simd={simd} fma={fused}; GFLOP/s uses classical-equivalent flops 2n^3; words\n"
+    ));
+    out.push_str("  model = arena DFS recurrence at M=3*cutoff^2 vs bound=(n/sqrtM)^w0*M\n");
     out.push_str(
-        "  scheme                n     engine  cutoff  time(s)    GFLOP/s  vs_legacy  \
+        "  scheme                n     engine     cutoff  time(s)    GFLOP/s  vs_legacy  \
          words_model     bound        model/bound\n",
     );
     let cutoff = resolve_cutoff(0);
     let schemes = [strassen(), winograd()];
     let mut json_rows: Vec<String> = Vec::new();
+    let arena_ikj = |scheme: &BilinearScheme, a: &Matrix<f64>, b: &Matrix<f64>, cutoff: usize| {
+        let mut arena = ScratchArena::new();
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        multiply_into_unpacked(
+            scheme,
+            a.view(),
+            b.view(),
+            &mut c.view_mut(),
+            cutoff,
+            &mut arena,
+        );
+        c
+    };
     for scheme in &schemes {
         for &n in ns {
             let mut rng = StdRng::seed_from_u64(0xE11 + n as u64);
             let a = Matrix::<f64>::random(n, n, &mut rng);
             let b = Matrix::<f64>::random(n, n, &mut rng);
             let flops = 2.0 * (n as f64).powi(3);
-            // Untimed warm-up runs: they feed the bitwise check and absorb
-            // first-touch/cache effects so neither engine is charged them.
+            // Untimed warm-up runs: they feed the correctness checks and
+            // absorb first-touch/cache effects, charged to no engine.
             let legacy = multiply_scheme_legacy(scheme, &a, &b, cutoff);
-            let arena = multiply_scheme(scheme, &a, &b, cutoff);
+            let ikj = arena_ikj(scheme, &a, &b, cutoff);
+            let packed = multiply_scheme(scheme, &a, &b, cutoff);
             assert!(
-                arena
-                    .as_slice()
-                    .iter()
-                    .zip(legacy.as_slice())
-                    .all(|(x, y)| x.to_bits() == y.to_bits()),
-                "{} n={n}: arena output not bit-identical to legacy",
+                ikj.bits_eq(&legacy),
+                "{} n={n}: arena-ikj output not bit-identical to legacy",
                 scheme.name
             );
+            if fused {
+                let tol = 1e-9 * n as f64;
+                assert!(
+                    packed.max_abs_diff(&legacy, |x| x) < tol,
+                    "{} n={n}: packed (fma) output drifted past {tol:e} from legacy",
+                    scheme.name
+                );
+            } else {
+                assert!(
+                    packed.bits_eq(&legacy),
+                    "{} n={n}: packed output not bit-identical to legacy",
+                    scheme.name
+                );
+            }
             let time_min = |f: &dyn Fn() -> Matrix<f64>| {
                 (0..2)
                     .map(|_| {
@@ -652,18 +693,24 @@ pub fn e11_repro_perf(ns: &[usize], json_path: Option<&str>) -> String {
                     .fold(f64::INFINITY, f64::min)
             };
             let legacy_secs = time_min(&|| multiply_scheme_legacy(scheme, &a, &b, cutoff));
-            let arena_secs = time_min(&|| multiply_scheme(scheme, &a, &b, cutoff));
+            let ikj_secs = time_min(&|| arena_ikj(scheme, &a, &b, cutoff));
+            let packed_secs = time_min(&|| multiply_scheme(scheme, &a, &b, cutoff));
             let rep = seq_exec_report(scheme, n, cutoff);
             for (engine, secs, vs_legacy) in [
                 ("legacy", legacy_secs, String::new()),
                 (
-                    "arena",
-                    arena_secs,
-                    format!("{:.2}x", legacy_secs / arena_secs),
+                    "arena-ikj",
+                    ikj_secs,
+                    format!("{:.2}x", legacy_secs / ikj_secs),
+                ),
+                (
+                    "packed",
+                    packed_secs,
+                    format!("{:.2}x", legacy_secs / packed_secs),
                 ),
             ] {
                 out.push_str(&format!(
-                    "  {:<21} {:<5} {:<7} {:<7} {:<10.4} {:<8.3} {:<10} {:<15.4e} {:<12.4e} {:.3}\n",
+                    "  {:<21} {:<5} {:<10} {:<7} {:<10.4} {:<8.3} {:<10} {:<15.4e} {:<12.4e} {:.3}\n",
                     scheme.name,
                     n,
                     engine,
@@ -677,7 +724,8 @@ pub fn e11_repro_perf(ns: &[usize], json_path: Option<&str>) -> String {
                 ));
                 json_rows.push(format!(
                     "  {{\"scheme\": {:?}, \"n\": {n}, \"engine\": {engine:?}, \
-                     \"cutoff\": {}, \"seconds\": {secs:.6}, \"gflops\": {:.4}, \
+                     \"cutoff\": {}, \"simd\": \"{simd}\", \"fma\": {fused}, \
+                     \"seconds\": {secs:.6}, \"gflops\": {:.4}, \
                      \"words_model\": {:.1}, \"bound_words\": {:.1}}}",
                     scheme.name,
                     rep.cutoff,
@@ -689,8 +737,8 @@ pub fn e11_repro_perf(ns: &[usize], json_path: Option<&str>) -> String {
         }
     }
     out.push_str(
-        "  (every arena row is bitwise-verified against its legacy row before timing; \
-         model/bound flat across n = the Eq. 1 shape)\n",
+        "  (every engine row is verified against its legacy row before timing — bitwise \
+         unless fma fuses; model/bound flat across n = the Eq. 1 shape)\n",
     );
     if let Some(path) = json_path {
         let json = format!("[\n{}\n]\n", json_rows.join(",\n"));

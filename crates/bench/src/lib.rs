@@ -12,3 +12,14 @@
 pub mod experiments;
 
 pub use experiments::*;
+
+/// Absolute path of a benchmark artifact at the **repository root**
+/// (`BENCH_seq.json`, `BENCH_dist.json`). The repo root is two levels
+/// above this crate's manifest, resolved at compile time — stable no
+/// matter which directory the binary is invoked from, unlike the old
+/// `target/`-relative paths that landed wherever the CWD happened to
+/// be. The emitted files are committed, so the perf trajectory diffs
+/// across PRs.
+pub fn bench_artifact_path(name: &str) -> String {
+    format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"))
+}

@@ -138,8 +138,8 @@ fn e11_perf_trajectory_smoke() {
 
 #[test]
 fn e11_golden_header_rows_and_json_emit() {
-    // Golden check: headline columns, both engines per (scheme, n), the
-    // bound formula, and a well-formed BENCH_seq.json emit. The bound
+    // Golden check: headline columns, all three engines per (scheme, n),
+    // the bound formula, and a well-formed BENCH_seq.json emit. The bound
     // formula string must stay verbatim (downstream tooling greps for it,
     // as with e10).
     let path = "target/test_BENCH_seq.json";
@@ -148,8 +148,9 @@ fn e11_golden_header_rows_and_json_emit() {
         "GFLOP/s",
         "vs_legacy",
         "words_model",
+        "simd=",
         "bound=(n/sqrtM)^w0*M",
-        "bitwise-verified against its legacy row",
+        "verified against its legacy row",
         "machine-readable emit",
     ] {
         assert!(
@@ -158,7 +159,7 @@ fn e11_golden_header_rows_and_json_emit() {
         );
     }
     for scheme in ["strassen", "winograd"] {
-        for engine in ["legacy", "arena"] {
+        for engine in ["legacy", "arena-ikj", "packed"] {
             assert!(
                 out.lines()
                     .any(|l| l.contains(scheme) && l.contains(engine)),
@@ -170,8 +171,10 @@ fn e11_golden_header_rows_and_json_emit() {
     assert!(json.trim_start().starts_with('['));
     assert!(json.trim_end().ends_with(']'));
     for needle in [
-        "\"engine\": \"arena\"",
         "\"engine\": \"legacy\"",
+        "\"engine\": \"arena-ikj\"",
+        "\"engine\": \"packed\"",
+        "\"simd\"",
         "\"gflops\"",
         "\"words_model\"",
         "\"bound_words\"",
@@ -183,7 +186,7 @@ fn e11_golden_header_rows_and_json_emit() {
         );
     }
     // one object per scheme x n x engine row
-    assert_eq!(json.matches("\"scheme\"").count(), 4);
+    assert_eq!(json.matches("\"scheme\"").count(), 6);
 }
 
 #[test]

@@ -232,6 +232,30 @@ impl Matrix<f64> {
     }
 }
 
+impl Matrix<f32> {
+    /// Uniform random matrix in `[-1, 1)` — sampled at `f64` precision and
+    /// rounded to `f32` (the vendored rand shim has no native `f32`
+    /// sampler; the rounding is deterministic, which is all the
+    /// determinism witnesses need). Named `random_f32` rather than
+    /// `random`: a second inherent `random` would make every
+    /// inference-typed `Matrix::random(..)` call site ambiguous (E0034).
+    pub fn random_f32(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let dist = Uniform::new(-1.0f64, 1.0);
+        Matrix::from_fn(rows, cols, |_, _| dist.sample(rng) as f32)
+    }
+
+    /// `f32` analog of the `f64` [`Matrix::bits_eq`]: same dimensions and
+    /// every element's `f32::to_bits` identical.
+    pub fn bits_eq(&self, other: &Self) -> bool {
+        (self.rows, self.cols) == (other.rows, other.cols)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
 impl Matrix<i64> {
     /// Random small-integer matrix (entries in `[-bound, bound]`), handy for
     /// exact cross-algorithm comparisons.

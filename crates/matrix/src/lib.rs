@@ -14,6 +14,9 @@
 //! * [`arena`] — the zero-allocation strided arena recursion with fused
 //!   encode/decode row kernels: the single hot-path engine behind the
 //!   sequential, parallel, and non-stationary entry points;
+//! * [`pack`] — the BLIS-style packed micro-kernel base case (runtime
+//!   SIMD dispatch, bit-identical to `multiply_ikj` in the default
+//!   build) shared by every engine through [`arena::multiply_into`];
 //! * [`recursive`] — the recursive Strassen-like entry points and exact
 //!   arithmetic operation counts realizing
 //!   `T(n) = m(n₀)·T(n/n₀) + O(n²) = Θ(n^{ω₀})` (plus the legacy copy-out
@@ -29,6 +32,7 @@
 pub mod arena;
 pub mod classical;
 pub mod dense;
+pub mod pack;
 pub mod parallel;
 pub mod recursive;
 pub mod scalar;
@@ -37,6 +41,7 @@ pub mod tune;
 
 pub use arena::{multiply_into, ScratchArena};
 pub use dense::{MatMut, MatRef, Matrix};
+pub use pack::{active_simd_level, multiply_packed_into, multiply_packed_into_scalar};
 pub use parallel::{multiply_scheme_parallel, plan_bfs_dfs, BfsDfsPlan, ParallelConfig};
 pub use scalar::{Fp, Scalar};
 pub use scheme::{classical_scheme, strassen, winograd, BilinearScheme};

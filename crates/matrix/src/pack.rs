@@ -1,0 +1,534 @@
+//! BLIS-style packed micro-kernel — the near-peak base case of every
+//! engine.
+//!
+//! [`multiply_packed_into`] computes `C += A·B` with the classic five-loop
+//! GEMM structure (Goto/van de Geijn; BLIS): the operands are repacked into
+//! contiguous panels drawn from the shared [`ScratchArena`], and an
+//! `MR x NR` register tile of `C` is accumulated by a branch-free inner
+//! loop the compiler autovectorizes. Loop nest, outermost first:
+//!
+//! * `jc` over `N` in [`NC`]-wide column slabs (keeps the packed `B` slab
+//!   L2/L3-resident),
+//! * `pc` over `K` in [`KC`]-deep blocks — `B`'s slab is packed here into
+//!   `NR`-wide micro-panels (`bp[k·NR + jr]`),
+//! * `ic` over `M` in [`MC`]-tall blocks — `A`'s block is packed into
+//!   `MR`-tall micro-panels (`ap[k·MR + ir]`),
+//! * `jr`/`ir` over the packed micro-panels, each pair running the
+//!   micro-kernel: `kc` rank-1 updates of an `MR x NR` accumulator held in
+//!   registers, reading one `MR`-column of `ap` and one `NR`-row of `bp`
+//!   per step — unit-stride, aligned, no bounds checks in the hot loop.
+//!
+//! Edge tiles are zero-padded *inside the packed panels* (never in `C`):
+//! lanes beyond the true `mr/nr` extent compute garbage-times-zero that is
+//! simply never stored back.
+//!
+//! ## Bit-determinism contract
+//!
+//! Per output element the floating-point operations are **exactly** those
+//! of [`multiply_ikj`](crate::classical::multiply_ikj): the element is
+//! loaded from `C`, products are accumulated in ascending `k`, and the
+//! result is stored. The `KC` blocking stores and reloads `C` between
+//! `k`-blocks, which splits the chain of additions across iterations but
+//! never reorders or reassociates it; the `MC`/`NC`/`MR`/`NR` blocking
+//! only permutes *which* output element is processed when, and dot
+//! products of distinct output elements are independent. Starting from any
+//! `C`, the default build is therefore bit-identical to
+//! [`multiply_kernel_into`] (and,
+//! from a zeroed `C`, to `multiply_ikj`) for every [`Scalar`] — which is
+//! what lets the arena engine swap this kernel in without disturbing a
+//! single bitwise promise in the determinism suite.
+//!
+//! The SIMD story is runtime dispatch, not intrinsics: the generic body is
+//! recompiled under `#[target_feature(enable = "avx512f")]` and
+//! `"avx2"` wrappers and the best one is selected per call with
+//! `is_x86_feature_detected!`. IEEE-754 `+`/`×` are exactly rounded, so
+//! the vectorized instantiations produce the same bits as the portable
+//! one — witnessed by [`multiply_packed_into_scalar`], the forced-portable
+//! entry the determinism suite compares against the dispatched path.
+//!
+//! Under the **`fma` cargo feature** (off by default) the floats override
+//! [`Scalar::mul_add`] with a hardware fused multiply-add: roughly 2-3x
+//! more throughput on FMA hardware and *more* accurate (one rounding per
+//! update instead of two), but a different well-defined result — so the
+//! cross-engine witnesses against the unfused kernels are feature-gated
+//! off while the packed-SIMD-vs-packed-portable witnesses remain (fused
+//! ops are exactly rounded too, so dispatch still cannot change bits).
+
+use crate::arena::ScratchArena;
+use crate::classical::multiply_kernel_into;
+use crate::dense::{MatMut, MatRef};
+use crate::scalar::Scalar;
+
+/// Depth of one packed `k`-block: `KC` rank-1 updates run per micro-tile
+/// before `C` is stored back. `256` keeps one `MR`-tall `A` micro-panel
+/// (`8·256` f64 = 16 KiB) plus one `NR`-wide `B` micro-panel in L1 with
+/// room for the `C` tile.
+pub const KC: usize = 256;
+
+/// Height of one packed `A` block: `MC x KC` f64 = 128 KiB, L2-resident
+/// while a full `B` slab streams against it.
+pub const MC: usize = 64;
+
+/// Width of one packed `B` slab: bounds the packed-`B` working set
+/// (`NC x KC` words) so it stays cache-resident across all `ic` blocks.
+pub const NC: usize = 2048;
+
+/// Shapes with every dimension at or below this edge skip packing and run
+/// the legacy cache-blocked kernel directly — at these sizes the `O(mk +
+/// kn)` pack traffic costs more than it saves, and the two kernels are
+/// bit-identical so the switch is invisible to the determinism suite.
+const PACK_MIN: usize = 8;
+
+/// Instruction-set level the packed kernel's runtime dispatch selected.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// The portable body compiled for the baseline target (still
+    /// autovectorized, e.g. SSE2 on x86-64).
+    Portable,
+    /// 256-bit AVX2 instantiation.
+    Avx2,
+    /// 512-bit AVX-512F instantiation.
+    Avx512,
+}
+
+impl std::fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SimdLevel::Portable => "portable",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512f",
+        })
+    }
+}
+
+/// The instruction-set level [`multiply_packed_into`] will dispatch to on
+/// this machine (detection is cached by the standard library, so calling
+/// this per multiply is cheap).
+pub fn active_simd_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return SimdLevel::Avx512;
+        }
+        if is_x86_feature_detected!("avx2") {
+            return SimdLevel::Avx2;
+        }
+    }
+    SimdLevel::Portable
+}
+
+/// Pack one `MR`-tall micro-panel of `A` (`rows i0 .. i0+mr_eff`, inner
+/// range `p0 .. p0+kc`) into `ap` in column-of-panel-major order
+/// (`ap[k·MR + ir]`), zero-filling the `ir >= mr_eff` edge lanes.
+#[inline(always)]
+fn pack_a_panel<T: Scalar, const MR: usize>(
+    a: MatRef<'_, T>,
+    i0: usize,
+    mr_eff: usize,
+    p0: usize,
+    kc: usize,
+    ap: &mut [T],
+) {
+    for ir in 0..mr_eff {
+        let row = &a.row(i0 + ir)[p0..p0 + kc];
+        for (k, &v) in row.iter().enumerate() {
+            ap[k * MR + ir] = v;
+        }
+    }
+    for ir in mr_eff..MR {
+        for k in 0..kc {
+            ap[k * MR + ir] = T::zero();
+        }
+    }
+}
+
+/// Pack one `NR`-wide micro-panel of `B` (columns `j0 .. j0+nr_eff`, inner
+/// range `p0 .. p0+kc`) into `bp` row-major (`bp[k·NR + jr]`),
+/// zero-filling the `jr >= nr_eff` edge lanes.
+#[inline(always)]
+fn pack_b_panel<T: Scalar, const NR: usize>(
+    b: MatRef<'_, T>,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nr_eff: usize,
+    bp: &mut [T],
+) {
+    for k in 0..kc {
+        let dst = &mut bp[k * NR..(k + 1) * NR];
+        dst[..nr_eff].copy_from_slice(&b.row(p0 + k)[j0..j0 + nr_eff]);
+        dst[nr_eff..].fill(T::zero());
+    }
+}
+
+/// The micro-kernel: `kc` rank-1 updates of the `MR x NR` register
+/// accumulator from one packed `A` micro-panel and one packed `B`
+/// micro-panel. The fixed-size array reborrows lift every bounds check
+/// out of the loop, so the two inner loops compile to straight-line
+/// vector code under the dispatch wrappers.
+#[inline(always)]
+fn micro_kernel<T: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    ap: &[T],
+    bp: &[T],
+    acc: &mut [[T; NR]; MR],
+) {
+    for (ak, bk) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        let ak: &[T; MR] = ak.try_into().unwrap();
+        let bk: &[T; NR] = bk.try_into().unwrap();
+        for ir in 0..MR {
+            let av = ak[ir];
+            for jr in 0..NR {
+                acc[ir][jr] = av.mul_add(bk[jr], acc[ir][jr]);
+            }
+        }
+    }
+}
+
+/// The five-loop macro-kernel over pre-sized pack buffers. `C += A·B`;
+/// see the module docs for the loop structure and the bit-determinism
+/// argument. `#[inline(always)]` so the `#[target_feature]` wrappers
+/// below recompile the whole nest (packing included) at their ISA level.
+#[inline(always)]
+fn packed_body<T: Scalar, const MR: usize, const NR: usize>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    ap: &mut [T],
+    bp: &mut [T],
+) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    for jc in (0..n).step_by(NC) {
+        let nc = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kc = KC.min(k - pc);
+            for (pj, j0) in (jc..jc + nc).step_by(NR).enumerate() {
+                let nr_eff = NR.min(jc + nc - j0);
+                pack_b_panel::<T, NR>(
+                    b,
+                    pc,
+                    kc,
+                    j0,
+                    nr_eff,
+                    &mut bp[pj * kc * NR..(pj + 1) * kc * NR],
+                );
+            }
+            for ic in (0..m).step_by(MC) {
+                let mc = MC.min(m - ic);
+                for (pi, i0) in (ic..ic + mc).step_by(MR).enumerate() {
+                    let mr_eff = MR.min(ic + mc - i0);
+                    pack_a_panel::<T, MR>(
+                        a,
+                        i0,
+                        mr_eff,
+                        pc,
+                        kc,
+                        &mut ap[pi * kc * MR..(pi + 1) * kc * MR],
+                    );
+                }
+                for (pj, j0) in (jc..jc + nc).step_by(NR).enumerate() {
+                    let nr_eff = NR.min(jc + nc - j0);
+                    let bpan = &bp[pj * kc * NR..(pj + 1) * kc * NR];
+                    for (pi, i0) in (ic..ic + mc).step_by(MR).enumerate() {
+                        let mr_eff = MR.min(ic + mc - i0);
+                        let apan = &ap[pi * kc * MR..(pi + 1) * kc * MR];
+                        let mut acc = [[T::zero(); NR]; MR];
+                        {
+                            let cv = c.as_ref();
+                            for (ir, row) in acc.iter_mut().enumerate().take(mr_eff) {
+                                row[..nr_eff].copy_from_slice(&cv.row(i0 + ir)[j0..j0 + nr_eff]);
+                            }
+                        }
+                        micro_kernel::<T, MR, NR>(kc, apan, bpan, &mut acc);
+                        for (ir, row) in acc.iter().enumerate().take(mr_eff) {
+                            c.row_mut(i0 + ir)[j0..j0 + nr_eff].copy_from_slice(&row[..nr_eff]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// AVX-512F instantiation of the macro-kernel.
+///
+/// Safety: caller must have verified `avx512f` support at runtime (the
+/// dispatch in [`run_tile`] does).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn packed_body_avx512<T: Scalar, const MR: usize, const NR: usize>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    ap: &mut [T],
+    bp: &mut [T],
+) {
+    packed_body::<T, MR, NR>(a, b, c, ap, bp)
+}
+
+/// AVX2 instantiation of the macro-kernel.
+///
+/// Safety: caller must have verified `avx2` support at runtime (the
+/// dispatch in [`run_tile`] does).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn packed_body_avx2<T: Scalar, const MR: usize, const NR: usize>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    ap: &mut [T],
+    bp: &mut [T],
+) {
+    packed_body::<T, MR, NR>(a, b, c, ap, bp)
+}
+
+/// Size the pack buffers from the arena and run the macro-kernel at the
+/// detected (or forced-portable) ISA level. The buffers cover one `A`
+/// block (`≤ MC x KC`, rounded up to whole `MR` panels) and one `B` slab
+/// (`≤ KC x NC`, rounded up to whole `NR` panels); every element is
+/// written before it is read, so they are taken unzeroed.
+fn run_tile<T: Scalar, const MR: usize, const NR: usize>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    arena: &mut ScratchArena<T>,
+    force_portable: bool,
+) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let kc_cap = KC.min(k);
+    let ap_len = MC.min(m).div_ceil(MR) * MR * kc_cap;
+    let bp_len = NC.min(n).div_ceil(NR) * NR * kc_cap;
+    let mut ap = arena.take_any(ap_len);
+    let mut bp = arena.take_any(bp_len);
+    match (force_portable, active_simd_level()) {
+        #[cfg(target_arch = "x86_64")]
+        // Safety: the matched level was detected on this CPU.
+        (false, SimdLevel::Avx512) => unsafe {
+            packed_body_avx512::<T, MR, NR>(a, b, c, &mut ap, &mut bp)
+        },
+        #[cfg(target_arch = "x86_64")]
+        // Safety: as above.
+        (false, SimdLevel::Avx2) => unsafe {
+            packed_body_avx2::<T, MR, NR>(a, b, c, &mut ap, &mut bp)
+        },
+        _ => packed_body::<T, MR, NR>(a, b, c, &mut ap, &mut bp),
+    }
+    arena.give(ap);
+    arena.give(bp);
+}
+
+/// Shared entry logic: shape checks, the tiny-shape fall-through to the
+/// legacy kernel, and the `(MR, NR)` tile dispatch. Associated consts
+/// cannot parameterize array lengths on stable, so the supported tiles
+/// are monomorphized explicitly: `(8, 8)` (f64), `(8, 16)` (f32), and the
+/// conservative `(4, 4)` every other scalar (integers, `Fp`) uses — any
+/// unlisted combination also runs `(4, 4)`.
+fn dispatch<T: Scalar>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    arena: &mut ScratchArena<T>,
+    force_portable: bool,
+) {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    assert_eq!(c.rows(), a.rows());
+    assert_eq!(c.cols(), b.cols());
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    if m.max(k).max(n) <= PACK_MIN {
+        multiply_kernel_into(a, b, c);
+        return;
+    }
+    match (T::MR, T::NR) {
+        (8, 8) => run_tile::<T, 8, 8>(a, b, c, arena, force_portable),
+        (8, 16) => run_tile::<T, 8, 16>(a, b, c, arena, force_portable),
+        _ => run_tile::<T, 4, 4>(a, b, c, arena, force_portable),
+    }
+}
+
+/// Packed accumulating product `C += A·B` — the base-case kernel of the
+/// recursive engines ([`crate::arena::multiply_into`], the parallel DFS
+/// leaves, the distributed rank-local
+/// [`multiply_flat`](crate::arena::multiply_flat)). Dispatches to the
+/// fastest instruction-set instantiation the CPU supports; bit-identical
+/// to [`multiply_kernel_into`]
+/// at every shape (see the module docs), so swapping it in changes no
+/// engine's output bits in the default build.
+pub fn multiply_packed_into<T: Scalar>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    arena: &mut ScratchArena<T>,
+) {
+    dispatch(a, b, c, arena, false);
+}
+
+/// [`multiply_packed_into`] with the runtime SIMD dispatch forced off —
+/// the portable scalar-fallback body every machine runs the same way.
+/// The determinism suite compares this against the dispatched entry
+/// bitwise; a divergence would mean an instantiation reassociated.
+pub fn multiply_packed_into_scalar<T: Scalar>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: &mut MatMut<'_, T>,
+    arena: &mut ScratchArena<T>,
+) {
+    dispatch(a, b, c, arena, true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[cfg(not(feature = "fma"))]
+    use crate::classical::multiply_ikj;
+    use crate::classical::multiply_naive;
+    use crate::dense::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Shapes that cross every blocking boundary: below `PACK_MIN`, around
+    /// `MR`/`NR` edges, across `MC`, and across `KC`.
+    const SHAPES: [(usize, usize, usize); 7] = [
+        (1, 1, 1),
+        (7, 5, 9),
+        (16, 16, 16),
+        (23, 31, 17),
+        (65, 64, 66),
+        (70, 300, 96),
+        (5, 257, 3),
+    ];
+
+    fn packed<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        let mut arena = ScratchArena::new();
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        multiply_packed_into(a.view(), b.view(), &mut c.view_mut(), &mut arena);
+        c
+    }
+
+    fn packed_portable<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> Matrix<T> {
+        let mut arena = ScratchArena::new();
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        multiply_packed_into_scalar(a.view(), b.view(), &mut c.view_mut(), &mut arena);
+        c
+    }
+
+    #[test]
+    fn packed_matches_dispatched_portable_bitwise_f64() {
+        // SIMD dispatch must never change bits: +/x are exactly rounded,
+        // so every instantiation of the same op sequence agrees.
+        let mut rng = StdRng::seed_from_u64(71);
+        for &(m, k, n) in &SHAPES {
+            let a = Matrix::<f64>::random(m, k, &mut rng);
+            let b = Matrix::<f64>::random(k, n, &mut rng);
+            assert!(
+                packed(&a, &b).bits_eq(&packed_portable(&a, &b)),
+                "{m}x{k}x{n}: dispatch changed bits"
+            );
+        }
+    }
+
+    #[cfg(not(feature = "fma"))]
+    #[test]
+    fn packed_matches_ikj_bitwise_f64() {
+        // The contract the arena engine's determinism promises build on.
+        let mut rng = StdRng::seed_from_u64(72);
+        for &(m, k, n) in &SHAPES {
+            let a = Matrix::<f64>::random(m, k, &mut rng);
+            let b = Matrix::<f64>::random(k, n, &mut rng);
+            assert!(
+                packed(&a, &b).bits_eq(&multiply_ikj(&a, &b)),
+                "{m}x{k}x{n}: packed f64 bits differ from ikj"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_is_exact_over_fp() {
+        let mut rng = StdRng::seed_from_u64(73);
+        for &(m, k, n) in &SHAPES {
+            let a = Matrix::random_fp(m, k, &mut rng);
+            let b = Matrix::random_fp(k, n, &mut rng);
+            let c = packed(&a, &b);
+            assert_eq!(c, multiply_naive(&a, &b), "{m}x{k}x{n}: Fp mismatch");
+            assert_eq!(c, packed_portable(&a, &b), "{m}x{k}x{n}: Fp dispatch");
+        }
+    }
+
+    #[test]
+    fn packed_accumulates_into_nonzero_c() {
+        // C += A·B semantics, bit-identical to the legacy kernel even when
+        // C enters dirty (the KC blocking reloads C between k-blocks).
+        let mut rng = StdRng::seed_from_u64(74);
+        let (m, k, n) = (33, 300, 21);
+        let a = Matrix::<f64>::random(m, k, &mut rng);
+        let b = Matrix::<f64>::random(k, n, &mut rng);
+        let init = Matrix::<f64>::random(m, n, &mut rng);
+        let mut c1 = init.clone();
+        let mut c2 = init;
+        let mut arena = ScratchArena::new();
+        multiply_packed_into(a.view(), b.view(), &mut c1.view_mut(), &mut arena);
+        multiply_kernel_into(a.view(), b.view(), &mut c2.view_mut());
+        #[cfg(not(feature = "fma"))]
+        assert!(c1.bits_eq(&c2), "accumulation diverged from legacy kernel");
+        #[cfg(feature = "fma")]
+        assert!(c1.max_abs_diff(&c2, |x| x) < 1e-9 * k as f64);
+    }
+
+    #[test]
+    fn packed_reads_strided_views_and_writes_strided_outputs() {
+        // The engines hand the kernel windows of larger allocations; the
+        // pack loops must honor the stride on both operands and C.
+        let mut rng = StdRng::seed_from_u64(75);
+        let big_a = Matrix::<f64>::random(40, 40, &mut rng);
+        let big_b = Matrix::<f64>::random(40, 40, &mut rng);
+        let a = big_a.view().block(3, 5, 20, 17);
+        let b = big_b.view().block(1, 2, 17, 30);
+        let mut arena = ScratchArena::new();
+        let mut cbig = Matrix::<f64>::zeros(32, 40);
+        multiply_packed_into(
+            a,
+            b,
+            &mut cbig.view_mut().block_mut(4, 6, 20, 30),
+            &mut arena,
+        );
+        let mut cref = Matrix::<f64>::zeros(20, 30);
+        multiply_kernel_into(a, b, &mut cref.view_mut());
+        for i in 0..32 {
+            for j in 0..40 {
+                let inside = (4..24).contains(&i) && (6..36).contains(&j);
+                let want = if inside { cref[(i - 4, j - 6)] } else { 0.0 };
+                // Inside the window: bit-identical to the legacy kernel in
+                // the default build, tolerance under `fma` (fused vs
+                // unfused). Outside: exactly zero in both builds — the
+                // kernel must never write past its window.
+                #[cfg(not(feature = "fma"))]
+                assert_eq!(cbig[(i, j)].to_bits(), want.to_bits(), "({i},{j})");
+                #[cfg(feature = "fma")]
+                if inside {
+                    assert!((cbig[(i, j)] - want).abs() < 1e-12, "({i},{j})");
+                } else {
+                    assert_eq!(cbig[(i, j)].to_bits(), 0.0f64.to_bits(), "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_panels_layout_and_zero_fill() {
+        let a = Matrix::from_fn(3, 4, |i, j| (i * 10 + j) as i64);
+        let mut ap = [-1i64; 4 * 2 * 2];
+        // rows 1..3 (mr_eff = 2 of MR = 4... use MR = 4 with 2 valid rows)
+        pack_a_panel::<i64, 4>(a.view(), 1, 2, 1, 2, &mut ap[..4 * 2]);
+        // column-of-panel-major: k-th column holds rows i0..i0+MR
+        assert_eq!(&ap[..8], &[11, 21, 0, 0, 12, 22, 0, 0]);
+        let mut bp = [-1i64; 4 * 2];
+        pack_b_panel::<i64, 4>(a.view(), 1, 2, 2, 2, &mut bp);
+        assert_eq!(&bp, &[12, 13, 0, 0, 22, 23, 0, 0]);
+    }
+
+    #[test]
+    fn active_level_is_detected_once_and_displayable() {
+        let l = active_simd_level();
+        assert_eq!(l, active_simd_level());
+        assert!(["portable", "avx2", "avx512f"].contains(&l.to_string().as_str()));
+    }
+}

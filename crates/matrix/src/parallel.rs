@@ -18,7 +18,9 @@
 //!   allocation once the arena is warm. The DFS recursion itself is
 //!   [`crate::arena::multiply_into`] — the **same** engine behind the
 //!   sequential [`multiply_scheme`](crate::recursive::multiply_scheme),
-//!   and the BFS task encoder runs the same fused encode kernels
+//!   so every DFS leaf bottoms out in the packed SIMD micro-kernel
+//!   ([`crate::pack`]) with pack panels drawn from the worker's own
+//!   arena, and the BFS task encoder runs the same fused encode kernels
 //!   ([`crate::arena::encode_a_into`]/[`crate::arena::encode_b_into`]),
 //!   so there is exactly one copy of the encode/decode arithmetic in the
 //!   codebase.

@@ -663,11 +663,14 @@ mod tests {
         );
     }
 
+    #[cfg(not(feature = "fma"))]
     #[test]
     fn arena_engine_is_bit_identical_to_legacy() {
         // The unification contract in miniature (the full matrix lives in
         // tests/determinism.rs): same bits as the copy-out engine over f64,
-        // divisible and non-divisible, across cutoffs.
+        // divisible and non-divisible, across cutoffs. Under the `fma`
+        // feature the packed base case fuses multiply-adds while the legacy
+        // kernel does not, so the engines legitimately diverge bitwise.
         let mut rng = StdRng::seed_from_u64(31);
         for scheme in [strassen(), winograd(), strassen_2x2x4()] {
             for (mm, kk, nn) in [(16usize, 16usize, 16usize), (13, 9, 21)] {

@@ -44,10 +44,34 @@ pub trait Scalar: Copy + Clone + PartialEq + Debug + Send + Sync + 'static {
             _ => self.add(other.mul(Self::from_i64(c))),
         }
     }
+
+    /// `self * a + b` — the accumulation step of the packed micro-kernel
+    /// ([`crate::pack`]). The default is the unfused `b + self·a` (one
+    /// rounding per operation over floats), which keeps the packed kernel
+    /// bit-identical to the historical `multiply_ikj` ordering. The floats
+    /// override this with a hardware fused multiply-add **only** under the
+    /// `fma` cargo feature (single rounding — faster and more accurate,
+    /// but a *different* well-defined result, so the cross-engine bitwise
+    /// witnesses against the unfused kernels are feature-gated off).
+    #[inline]
+    fn mul_add(self, a: Self, b: Self) -> Self {
+        b.add(self.mul(a))
+    }
+
+    /// Micro-tile rows (`MR`) of the packed micro-kernel for this scalar:
+    /// the base case accumulates an `MR x NR` register block of `C` per
+    /// inner loop. Tuned per type — wide enough to saturate the SIMD
+    /// units for floats, conservative for scalars whose multiply cannot
+    /// vectorize (the prime field's `u128` product). See
+    /// [`crate::pack`] for the supported `(MR, NR)` combinations.
+    const MR: usize = 4;
+    /// Micro-tile columns (`NR`) of the packed micro-kernel; `NR`
+    /// consecutive output columns form the vectorized lane dimension.
+    const NR: usize = 4;
 }
 
 macro_rules! impl_scalar_float {
-    ($t:ty) => {
+    ($t:ty, $mr:expr, $nr:expr) => {
         impl Scalar for $t {
             #[inline]
             fn zero() -> Self {
@@ -77,12 +101,25 @@ macro_rules! impl_scalar_float {
             fn from_i64(v: i64) -> Self {
                 v as $t
             }
+            // Fused multiply-add, opt-in: single rounding per update is
+            // faster and more accurate but not bit-compatible with the
+            // unfused default — see the trait method's contract.
+            #[cfg(feature = "fma")]
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                <$t>::mul_add(self, a, b)
+            }
+            // Micro-tile sized so one accumulator block fills the vector
+            // register file at this element width (8 x 512-bit rows of
+            // f64, or 8 rows x 2 registers of f32) without spilling.
+            const MR: usize = $mr;
+            const NR: usize = $nr;
         }
     };
 }
 
-impl_scalar_float!(f32);
-impl_scalar_float!(f64);
+impl_scalar_float!(f32, 8, 16);
+impl_scalar_float!(f64, 8, 8);
 
 macro_rules! impl_scalar_int {
     ($t:ty) => {

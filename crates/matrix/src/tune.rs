@@ -1,13 +1,20 @@
 //! Base-case cutoff selection for the arena engine.
 //!
-//! The recursion switches to the cache-blocked classical kernel once every
-//! dimension is `≤ cutoff` — the practical "cut the recursion off" hybrid
-//! of the paper's Section 5.2. The arena engine changed the constant work
-//! per recursion level (no block copy-out, no per-node allocation), so the
-//! optimal cutoff differs from the legacy engine's; this module provides
-//! the selection policy:
+//! The recursion switches to the packed micro-kernel
+//! ([`crate::pack::multiply_packed_into`]) once every dimension is
+//! `≤ cutoff` — the practical "cut the recursion off" hybrid of the
+//! paper's Section 5.2. The packed kernel's GFLOP/s keeps *rising* with
+//! the base-case side (register tiling and packing amortize better on
+//! deeper inner dimensions), while one more recursion level saves only
+//! `1 - r/(m·k·n)` of the flops (12.5% for Strassen), so the optimal
+//! cutoff is much larger than the old cache-blocked kernel's; this module
+//! provides the selection policy:
 //!
-//! * [`cutoff_from_env`] — the `FASTMM_CUTOFF` environment override;
+//! * [`cutoff_from_env`] / [`try_cutoff_from_env`] — the `FASTMM_CUTOFF`
+//!   environment override, validated through the same
+//!   [`parse_env_positive`] path as `FASTMM_THREADS` /
+//!   `FASTMM_MEMORY_BUDGET`: non-numeric, zero, or absurd values are
+//!   rejected with an error naming the variable, never silently defaulted;
 //! * [`default_cutoff`] — env override or the compiled default
 //!   [`DEFAULT_CUTOFF`];
 //! * [`resolve_cutoff`] — an explicit caller value, else the default;
@@ -22,24 +29,45 @@
 
 use crate::arena::{multiply_into, ScratchArena};
 use crate::dense::Matrix;
+use crate::parallel::parse_env_positive;
 use crate::scheme::BilinearScheme;
 
-/// Compiled default base-case side: one `64 x 64` `f64` output tile plus
-/// its operand tiles sit comfortably in L2 while the classical kernel's
-/// inner loops stream L1-resident rows (see `KERNEL_TILE` in
-/// `classical.rs`).
-pub const DEFAULT_CUTOFF: usize = 64;
+/// Compiled default base-case side, sized against the packed micro-kernel
+/// ([`crate::pack`]): its measured f64 throughput roughly doubles from a
+/// `64³` to a `256³` base case (the packed panels amortize over a deeper
+/// inner dimension), which outweighs the `r/(m·k·n)` flop saving of one
+/// more recursion level, while a `256²` output tile plus pack buffers
+/// still fits L2. The old cache-blocked kernel's default was 64.
+pub const DEFAULT_CUTOFF: usize = 256;
 
-/// The `FASTMM_CUTOFF` environment override, if set to a positive integer.
+/// Largest cutoff `FASTMM_CUTOFF` accepts. A base case this size is
+/// already far beyond any cache (3·65536² words ≈ 100 GiB of f64), so
+/// larger values are a typo — most likely a matrix dimension or a byte
+/// count pasted where a block side was expected.
+pub const MAX_ENV_CUTOFF: usize = 1 << 16;
+
+/// The `FASTMM_CUTOFF` environment override: `Ok(None)` when unset,
+/// `Ok(Some(v))` for `1 ..= `[`MAX_ENV_CUTOFF`], and an error naming the
+/// variable otherwise — same contract and shared parser
+/// ([`parse_env_positive`]) as the `FASTMM_THREADS` /
+/// `FASTMM_MEMORY_BUDGET` validation. A malformed value can never
+/// silently select the compiled default (it historically did, which made
+/// typos like `FASTMM_CUTOFF=64k` invisible in perf numbers).
+pub fn try_cutoff_from_env() -> Result<Option<usize>, String> {
+    parse_env_positive("FASTMM_CUTOFF", MAX_ENV_CUTOFF)
+}
+
+/// Panicking form of [`try_cutoff_from_env`], mirroring
+/// [`ParallelConfig::from_env`](crate::parallel::ParallelConfig::from_env):
+/// a malformed `FASTMM_CUTOFF` aborts with the validation error rather
+/// than running an entire benchmark at a default the user did not ask for.
 pub fn cutoff_from_env() -> Option<usize> {
-    std::env::var("FASTMM_CUTOFF")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&c| c > 0)
+    try_cutoff_from_env().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// The cutoff the engines use when the caller does not pin one:
-/// `FASTMM_CUTOFF` if set, else [`DEFAULT_CUTOFF`].
+/// `FASTMM_CUTOFF` if set (panicking if malformed), else
+/// [`DEFAULT_CUTOFF`].
 pub fn default_cutoff() -> usize {
     cutoff_from_env().unwrap_or(DEFAULT_CUTOFF)
 }
@@ -54,11 +82,25 @@ pub fn resolve_cutoff(requested: usize) -> usize {
     }
 }
 
+/// Candidate cutoffs [`calibrate_cutoff`] times, ascending. 256 entered
+/// with the packed micro-kernel, whose throughput still rises there.
+pub const CALIBRATE_CANDIDATES: [usize; 6] = [8, 16, 32, 64, 128, 256];
+
 /// Timed micro-search for the fastest base-case cutoff of `scheme` on this
-/// machine: runs the arena engine on a deterministic `probe_n x probe_n`
-/// `f64` multiply at each candidate in `{8, 16, 32, 64, 128} ∩ [1, probe_n]`
-/// (one warm-up, then one timed repetition per candidate, all through a
-/// shared pre-warmed arena) and returns the argmin.
+/// machine: runs the arena engine (and therefore the packed micro-kernel
+/// base case) on a deterministic `probe_n x probe_n` `f64` multiply at
+/// each candidate in [`CALIBRATE_CANDIDATES`]` ∩ [1, probe_n]` and returns
+/// the argmin.
+///
+/// **Repetition policy:** each candidate gets one untimed warm-up (fills
+/// the arena pool and the caches) followed by **three timed repetitions
+/// scored by their minimum** — the min, not the mean, because timing
+/// noise on a shared machine is strictly additive (preemption, cache
+/// eviction), so the smallest sample is the best estimate of the true
+/// cost. A single-repetition argmin (the pre-fix behavior) flipped
+/// run-to-run under that noise. Ties break toward the **smaller** cutoff,
+/// deterministically: candidates are visited in ascending order and a
+/// later candidate must be *strictly* faster to displace the incumbent.
 ///
 /// The search is a measurement, so the returned value can vary across
 /// machines and runs — that is the point. Use it once per deployment and
@@ -74,33 +116,32 @@ pub fn calibrate_cutoff(scheme: &BilinearScheme, probe_n: usize) -> usize {
     });
     let mut arena: ScratchArena<f64> = ScratchArena::new();
     let mut c = Matrix::zeros(probe_n, probe_n);
+    let mut run = |cutoff: usize| {
+        c.view_mut().fill_zero();
+        multiply_into(
+            scheme,
+            a.view(),
+            b.view(),
+            &mut c.view_mut(),
+            cutoff,
+            &mut arena,
+        );
+    };
     // Seed with the compiled constant, not default_cutoff(): calibration
     // must not read FASTMM_CUTOFF (no env access ⇒ no race with tests or
     // callers mutating the variable), and the loop below always runs at
     // least once (probe_n >= 8), overwriting the seed.
     let mut best = (f64::INFINITY, DEFAULT_CUTOFF.min(probe_n));
-    for &cutoff in [8usize, 16, 32, 64, 128].iter().filter(|&&c| c <= probe_n) {
-        // warm-up fills the arena pool and the caches
-        c.view_mut().fill_zero();
-        multiply_into(
-            scheme,
-            a.view(),
-            b.view(),
-            &mut c.view_mut(),
-            cutoff,
-            &mut arena,
-        );
-        c.view_mut().fill_zero();
-        let start = std::time::Instant::now();
-        multiply_into(
-            scheme,
-            a.view(),
-            b.view(),
-            &mut c.view_mut(),
-            cutoff,
-            &mut arena,
-        );
-        let secs = start.elapsed().as_secs_f64();
+    for &cutoff in CALIBRATE_CANDIDATES.iter().filter(|&&c| c <= probe_n) {
+        run(cutoff); // untimed warm-up
+        let mut secs = f64::INFINITY;
+        for _ in 0..3 {
+            let start = std::time::Instant::now();
+            run(cutoff);
+            secs = secs.min(start.elapsed().as_secs_f64());
+        }
+        // Strict `<` plus ascending candidate order = deterministic
+        // tie-break toward the smaller cutoff.
         if secs < best.0 {
             best = (secs, cutoff);
         }
@@ -137,14 +178,44 @@ mod tests {
         assert_eq!(default_cutoff(), 48);
         assert_eq!(resolve_cutoff(0), 48);
         assert_eq!(resolve_cutoff(17), 17);
-        std::env::set_var("FASTMM_CUTOFF", "junk");
-        assert_eq!(cutoff_from_env(), None);
         std::env::remove_var("FASTMM_CUTOFF");
+    }
+
+    #[test]
+    fn malformed_cutoff_is_rejected_not_defaulted() {
+        // The bugfix under test: zero, non-numeric, negative, fractional,
+        // and absurdly large values must produce an error naming the
+        // variable — the historical behavior silently fell back to the
+        // default, hiding typos from every perf measurement.
+        let _guard = CUTOFF_ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for bad in ["junk", "0", "-3", "1.5", "", " ", "99999999"] {
+            std::env::set_var("FASTMM_CUTOFF", bad);
+            let err = try_cutoff_from_env()
+                .expect_err(&format!("FASTMM_CUTOFF={bad:?} must be rejected"));
+            assert!(
+                err.contains("FASTMM_CUTOFF"),
+                "error must name the variable: {err}"
+            );
+        }
+        // boundary: the max is accepted, one past it is not
+        std::env::set_var("FASTMM_CUTOFF", MAX_ENV_CUTOFF.to_string());
+        assert_eq!(try_cutoff_from_env(), Ok(Some(MAX_ENV_CUTOFF)));
+        std::env::set_var("FASTMM_CUTOFF", (MAX_ENV_CUTOFF + 1).to_string());
+        assert!(try_cutoff_from_env().is_err());
+        std::env::remove_var("FASTMM_CUTOFF");
+        assert_eq!(try_cutoff_from_env(), Ok(None));
     }
 
     #[test]
     fn calibrate_returns_a_candidate_within_probe() {
         let c = calibrate_cutoff(&strassen(), 64);
         assert!([8, 16, 32, 64].contains(&c), "got {c}");
+    }
+
+    #[test]
+    fn calibrate_candidates_are_ascending_for_the_tie_break() {
+        // The documented tie-break (toward the smaller cutoff) relies on
+        // visiting candidates in ascending order with a strict `<`.
+        assert!(CALIBRATE_CANDIDATES.windows(2).all(|w| w[0] < w[1]));
     }
 }

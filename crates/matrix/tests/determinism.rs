@@ -12,13 +12,30 @@
 //!   so any reassociation introduced into the fused encode/decode kernels
 //!   or the row-wise pad path fails bitwise.
 //!
+//! * the packed micro-kernel (`pack::multiply_packed_into`, the base case
+//!   every engine shares) vs its forced-portable scalar fallback and vs
+//!   `multiply_ikj`, across `all_schemes()` × {`f64` bit-pattern, `f32`,
+//!   `F_p`} × non-divisible shapes — both at the kernel level (the shapes
+//!   the engines hand the base case) and through the full engine at
+//!   cutoffs `{1, 8, 64}`.
+//!
 //! This is the contract that makes the engines drop-in replacements for
 //! each other: results can be compared, cached, and golden-tested without
 //! caring which engine or how many workers ran.
+//!
+//! Witnesses that compare the packed (fusable) path against the unfused
+//! legacy kernels are gated on `not(feature = "fma")`: the opt-in fused
+//! multiply-add is a different well-defined result. The
+//! dispatch-vs-portable witnesses stay on under the feature — SIMD
+//! selection must never change bits, fused or not.
 
+use fastmm_matrix::arena::ScratchArena;
+use fastmm_matrix::classical::multiply_ikj;
 use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::pack::{multiply_packed_into, multiply_packed_into_scalar};
 use fastmm_matrix::parallel::{multiply_scheme_parallel, ParallelConfig};
 use fastmm_matrix::recursive::{multiply_scheme, multiply_scheme_legacy};
+use fastmm_matrix::scalar::Scalar;
 use fastmm_matrix::scheme::{all_schemes, strassen, BilinearScheme};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -97,6 +114,7 @@ fn every_scheme_is_deterministic_over_fp() {
 /// mid-recursion switch, and the default-sized base case.
 const LEGACY_CUTOFFS: [usize; 3] = [1, 8, 64];
 
+#[cfg(not(feature = "fma"))]
 #[test]
 fn arena_sequential_matches_legacy_golden_f64_bits() {
     // The tentpole's hard constraint: the arena engine (strided views,
@@ -138,6 +156,114 @@ fn arena_sequential_matches_legacy_golden_fp() {
                     multiply_scheme(scheme, &a, &b, cutoff),
                     multiply_scheme_legacy(scheme, &a, &b, cutoff),
                     "{} {mm}x{kk}x{nn} cutoff={cutoff}: F_p mismatch vs legacy",
+                    scheme.name
+                );
+            }
+        }
+    }
+}
+
+/// Run the packed kernel (dispatched and forced-portable) on one shape.
+fn packed_pair<T: Scalar>(a: &Matrix<T>, b: &Matrix<T>) -> (Matrix<T>, Matrix<T>) {
+    let mut arena = ScratchArena::new();
+    let mut dispatched = Matrix::zeros(a.rows(), b.cols());
+    multiply_packed_into(a.view(), b.view(), &mut dispatched.view_mut(), &mut arena);
+    let mut portable = Matrix::zeros(a.rows(), b.cols());
+    multiply_packed_into_scalar(a.view(), b.view(), &mut portable.view_mut(), &mut arena);
+    (dispatched, portable)
+}
+
+#[test]
+fn packed_kernel_witnesses_f64_bits() {
+    // Kernel-level: on every scheme's divisible and non-divisible shapes
+    // (the shapes the engines hand the base case), the dispatched packed
+    // kernel, its portable fallback, and multiply_ikj agree to the bit.
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64((9000 + i * 100 + j) as u64);
+            let a = Matrix::<f64>::random(mm, kk, &mut rng);
+            let b = Matrix::<f64>::random(kk, nn, &mut rng);
+            let (dispatched, portable) = packed_pair(&a, &b);
+            assert!(
+                dispatched.bits_eq(&portable),
+                "{} {mm}x{kk}x{nn}: SIMD dispatch changed f64 bits",
+                scheme.name
+            );
+            #[cfg(not(feature = "fma"))]
+            assert!(
+                dispatched.bits_eq(&multiply_ikj(&a, &b)),
+                "{} {mm}x{kk}x{nn}: packed f64 bits differ from ikj",
+                scheme.name
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_kernel_witnesses_f32_bits() {
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64((11000 + i * 100 + j) as u64);
+            let a = Matrix::<f32>::random_f32(mm, kk, &mut rng);
+            let b = Matrix::<f32>::random_f32(kk, nn, &mut rng);
+            let (dispatched, portable) = packed_pair(&a, &b);
+            assert!(
+                dispatched.bits_eq(&portable),
+                "{} {mm}x{kk}x{nn}: SIMD dispatch changed f32 bits",
+                scheme.name
+            );
+            #[cfg(not(feature = "fma"))]
+            assert!(
+                dispatched.bits_eq(&multiply_ikj(&a, &b)),
+                "{} {mm}x{kk}x{nn}: packed f32 bits differ from ikj",
+                scheme.name
+            );
+        }
+    }
+}
+
+#[test]
+fn packed_kernel_witnesses_fp() {
+    // Exact field: packed, portable, and ikj must agree identically, fma
+    // or not (Fp never fuses — its mul_add is the trait default).
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64((13000 + i * 100 + j) as u64);
+            let a = Matrix::random_fp(mm, kk, &mut rng);
+            let b = Matrix::random_fp(kk, nn, &mut rng);
+            let (dispatched, portable) = packed_pair(&a, &b);
+            assert_eq!(
+                dispatched, portable,
+                "{} {mm}x{kk}x{nn}: SIMD dispatch changed F_p result",
+                scheme.name
+            );
+            assert_eq!(
+                dispatched,
+                multiply_ikj(&a, &b),
+                "{} {mm}x{kk}x{nn}: packed F_p differs from ikj",
+                scheme.name
+            );
+        }
+    }
+}
+
+#[cfg(not(feature = "fma"))]
+#[test]
+fn packed_engine_matches_legacy_over_f32_bits() {
+    // Engine-level f32 leg of the packed-kernel witness matrix: the full
+    // recursion with the packed base case vs the legacy copy-out engine
+    // (ikj-derived base case), across the same cutoffs as the f64 branch.
+    for (i, scheme) in all_schemes().iter().enumerate() {
+        for (j, &(mm, kk, nn)) in shapes_for(scheme).iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64((15000 + i * 100 + j) as u64);
+            let a = Matrix::<f32>::random_f32(mm, kk, &mut rng);
+            let b = Matrix::<f32>::random_f32(kk, nn, &mut rng);
+            for cutoff in LEGACY_CUTOFFS {
+                let packed = multiply_scheme(scheme, &a, &b, cutoff);
+                let legacy = multiply_scheme_legacy(scheme, &a, &b, cutoff);
+                assert!(
+                    packed.bits_eq(&legacy),
+                    "{} {mm}x{kk}x{nn} cutoff={cutoff}: f32 bits differ from legacy",
                     scheme.name
                 );
             }

@@ -25,7 +25,9 @@
 //! * Non-divisible levels zero-extend row-wise exactly like the arena
 //!   engine (same [`fastmm_matrix::arena::padded`] target, same
 //!   `zero_extend_from`), and singleton groups run the rank-local arena
-//!   entry point [`fastmm_matrix::arena::multiply_flat`].
+//!   entry point [`fastmm_matrix::arena::multiply_flat`] — which bottoms
+//!   out in the same packed SIMD micro-kernel (`fastmm_matrix::pack`) as
+//!   every other engine, so rank-local compute is near peak too.
 //!
 //! Because every scalar operation happens in the sequential engine's
 //! order with the sequential engine's kernels, the gathered product is
