@@ -25,4 +25,14 @@ fn main() {
             Some(&fastmm_bench::bench_artifact_path("BENCH_dist.json"))
         )
     );
+    println!(
+        "{}",
+        fastmm_bench::e13_serve(
+            &[40, 64],
+            &[2, 4],
+            &[1, 2],
+            5,
+            Some(&fastmm_bench::bench_artifact_path("BENCH_serve.json"))
+        )
+    );
 }

@@ -1,0 +1,28 @@
+//! E13 — serving throughput: the long-lived batched multiply service
+//! (`fastmm-serve`) at steady state, multiplies/sec and p50/p99 batch
+//! completion latency per (shape, batch-size, workers) cell, every cell
+//! bitwise-verified against `multiply_scheme` before timing, plus the
+//! `BENCH_serve.json` machine-readable emit at the repository root
+//! (committed, so the serving trajectory diffs across PRs).
+//!
+//! Usage: `repro_serve [n...]` — square shape sizes default to 40/48/64,
+//! the batched-small-multiply regime the service exists for; CI's
+//! serve-smoke job passes small sizes. `FASTMM_CUTOFF` pins the
+//! base-case cutoff; batches {2, 4} and workers {1, 2, 4} are fixed.
+fn main() {
+    let ns: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let ns = if ns.is_empty() { vec![40, 48, 64] } else { ns };
+    println!(
+        "{}",
+        fastmm_bench::e13_serve(
+            &ns,
+            &[2, 4],
+            &[1, 2, 4],
+            15,
+            Some(&fastmm_bench::bench_artifact_path("BENCH_serve.json"))
+        )
+    );
+}

@@ -1003,6 +1003,160 @@ pub fn e3_certificate_drilldown(k: usize) -> String {
     out
 }
 
+/// E13 — serving throughput: the long-lived batched multiply service
+/// (`fastmm-serve`) driven at steady state, one row per
+/// (shape, batch-size, workers) cell. Each row reports multiplies/sec
+/// and the p50/p99 *batch-relative* completion latency (time from batch
+/// submission to each job's result arriving on the ticket), next to the
+/// modeled per-worker share of the batch's arena traffic from
+/// [`fastmm_core::pipeline::serve_exec_report`] — in the arXiv:1202.3177
+/// strong-scaling reading, that share (not single-job latency) is what
+/// bounds sustainable throughput.
+///
+/// Before any cell is timed, one full batch is submitted and every
+/// result asserted **bitwise identical** to `multiply_scheme` at the
+/// engine's resolved cutoff — the service runs the same arena recursion,
+/// so this holds in every build, `fma` included. The verification pass
+/// doubles as the warm-up (worker arenas populate their capacity-class
+/// buckets; first-touch faults are charged to nobody). Each cell's
+/// reported throughput is the best of `reps` timed repetitions — on a
+/// loaded or single-core host the best-of filters scheduler noise, which
+/// would otherwise dominate the (physically tiny) dispatch overhead
+/// separating worker counts.
+///
+/// When `json_path` is `Some`, the rows are emitted as machine-readable
+/// JSON (`BENCH_serve.json`) — committed at the repo root and uploaded
+/// by CI's `serve-smoke` job, the serving side of the perf trajectory.
+pub fn e13_serve(
+    ns: &[usize],
+    batches: &[usize],
+    worker_counts: &[usize],
+    reps: usize,
+    json_path: Option<&str>,
+) -> String {
+    use fastmm_serve::{EngineConfig, EngineHandle, Job};
+    use std::time::Instant;
+    let scheme = strassen();
+    let cutoff = resolve_cutoff(0);
+    let reps = reps.max(1);
+    let mut out = String::new();
+    out.push_str("E13 Serving throughput: batched multiply service over the arena engine\n");
+    out.push_str(&format!(
+        "  scheme={} cutoff={cutoff} reps={reps}; every cell bitwise-verified vs \
+         multiply_scheme before timing\n",
+        scheme.name
+    ));
+    out.push_str(
+        "  n      batch  workers  mult/s     p50(ms)   p99(ms)   share_words/worker  \
+         share/job_bound\n",
+    );
+    let percentile = |sorted: &[f64], q: f64| -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    };
+    let mut json_rows: Vec<String> = Vec::new();
+    for &n in ns {
+        for &batch in batches {
+            let mut rng = StdRng::seed_from_u64(0xE13 ^ ((n * 31 + batch) as u64));
+            let jobs: Vec<Job> = (0..batch)
+                .map(|_| {
+                    Job::new(
+                        0,
+                        Matrix::random(n, n, &mut rng),
+                        Matrix::random(n, n, &mut rng),
+                    )
+                })
+                .collect();
+            let golden: Vec<Matrix<f64>> = jobs
+                .iter()
+                .map(|j| multiply_scheme(&scheme, &j.a, &j.b, cutoff))
+                .collect();
+            for &workers in worker_counts {
+                let engine = EngineHandle::start_with_schemes(
+                    EngineConfig::new(workers)
+                        .with_cutoff(cutoff)
+                        .with_queue_capacity(batch.max(1) * 2),
+                    vec![scheme.clone()],
+                );
+                // Verification pass (also the warm-up): the service must
+                // reproduce the sequential engine bit-for-bit before any
+                // throughput number is believed.
+                let verify = engine.submit(jobs.clone()).unwrap_ticket().wait();
+                for (i, got) in verify.iter().enumerate() {
+                    assert!(
+                        got.bits_eq(&golden[i]),
+                        "e13 n={n} batch={batch} workers={workers}: job {i} \
+                         diverged from multiply_scheme"
+                    );
+                }
+                let mut best_tput = 0.0_f64;
+                let mut best_lat: Vec<f64> = Vec::new();
+                for _ in 0..reps {
+                    // Clone outside the timed region: the service is being
+                    // measured, not the harness's batch memcpy.
+                    let batch_jobs = jobs.clone();
+                    let t0 = Instant::now();
+                    let mut ticket = engine.submit(batch_jobs).unwrap_ticket();
+                    let mut lat = Vec::with_capacity(batch);
+                    while let Some((_slot, c)) = ticket.recv_next() {
+                        std::hint::black_box(&c);
+                        lat.push(t0.elapsed().as_secs_f64());
+                    }
+                    let total = t0.elapsed().as_secs_f64();
+                    let tput = batch as f64 / total;
+                    if tput > best_tput {
+                        best_tput = tput;
+                        best_lat = lat;
+                    }
+                }
+                best_lat.sort_by(f64::total_cmp);
+                let p50 = percentile(&best_lat, 0.50) * 1e3;
+                let p99 = percentile(&best_lat, 0.99) * 1e3;
+                let rep = serve_exec_report(&scheme, n, batch, workers, cutoff);
+                out.push_str(&format!(
+                    "  {:<6} {:<6} {:<8} {:<10.2} {:<9.3} {:<9.3} {:<19.4e} {:.3}\n",
+                    n,
+                    batch,
+                    workers,
+                    best_tput,
+                    p50,
+                    p99,
+                    rep.per_worker_share_words,
+                    rep.per_worker_share_words / rep.per_job_bound_words
+                ));
+                json_rows.push(format!(
+                    "  {{\"scheme\": {:?}, \"n\": {n}, \"batch\": {batch}, \
+                     \"workers\": {workers}, \"cutoff\": {cutoff}, \
+                     \"multiplies_per_sec\": {best_tput:.4}, \
+                     \"p50_ms\": {p50:.4}, \"p99_ms\": {p99:.4}, \
+                     \"share_words_per_worker\": {:.1}}}",
+                    scheme.name, rep.per_worker_share_words
+                ));
+                engine.shutdown();
+            }
+        }
+    }
+    out.push_str(
+        "  (throughput is best-of-reps; p50/p99 are batch-relative completion \
+         latencies from the best rep)\n",
+    );
+    if let Some(path) = json_path {
+        let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        // Loud failure for the same reason as e11: CI's serve-smoke job
+        // gates on this file, and a silently stale artifact would keep
+        // the gate green while the trajectory stops updating.
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        out.push_str(&format!("  machine-readable emit: {path}\n"));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

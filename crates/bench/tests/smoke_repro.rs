@@ -269,6 +269,70 @@ fn e12_golden_bounds_headers_and_json_emit() {
 }
 
 #[test]
+fn e13_serve_smoke() {
+    // repro_serve defaults to n = 64/128 with batches {4,16} and workers
+    // {1,2,4}; the full report shape (and the internal bitwise-vs-
+    // multiply_scheme assertion per cell) is complete at one small cell.
+    assert_report(
+        "e13",
+        &exp::e13_serve(&[32], &[4], &[1, 2], 2, None),
+        "Serving throughput",
+        6,
+    );
+}
+
+#[test]
+fn e13_golden_header_rows_and_json_emit() {
+    // Golden check: headline columns, one row per (n, batch, workers)
+    // cell, the best-of-reps note, and a well-formed BENCH_serve.json
+    // emit (the serve-smoke CI job greps the same fields).
+    let path = "target/test_BENCH_serve.json";
+    let out = exp::e13_serve(&[32], &[4], &[1, 2], 2, Some(path));
+    for needle in [
+        "mult/s",
+        "p50(ms)",
+        "p99(ms)",
+        "share_words/worker",
+        "bitwise-verified vs",
+        "best-of-reps",
+        "machine-readable emit",
+    ] {
+        assert!(
+            out.contains(needle),
+            "e13: expected {needle:?} in output:\n{out}"
+        );
+    }
+    for workers in [1usize, 2] {
+        assert!(
+            out.lines().any(|l| l.trim_start().starts_with("32 ")
+                && l.split_whitespace().nth(2) == Some(&workers.to_string())),
+            "e13: missing row n=32 workers={workers}:\n{out}"
+        );
+    }
+    let json = std::fs::read_to_string(path).expect("BENCH_serve.json written");
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    for needle in [
+        "\"scheme\": \"strassen\"",
+        "\"n\": 32",
+        "\"batch\": 4",
+        "\"workers\": 1",
+        "\"workers\": 2",
+        "\"multiplies_per_sec\"",
+        "\"p50_ms\"",
+        "\"p99_ms\"",
+        "\"share_words_per_worker\"",
+    ] {
+        assert!(
+            json.contains(needle),
+            "BENCH_serve.json missing {needle}:\n{json}"
+        );
+    }
+    // one object per (n, batch, workers) cell
+    assert_eq!(json.matches("\"scheme\"").count(), 2);
+}
+
+#[test]
 fn e9_reported_omega0_matches_closed_forms() {
     // Golden check: the ω₀ column of repro_rectangular must equal the
     // closed forms 3·log_{mkn} r to 1e-9 (the experiment prints 9 decimals,

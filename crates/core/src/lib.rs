@@ -49,7 +49,8 @@ pub mod prelude {
     };
     pub use crate::pipeline::{
         dec_vertices, dist_exec_report, expansion_io_bound, parallel_exec_report, seq_exec_report,
-        DistExecReport, ExpansionIoBound, ParallelExecReport, SeqExecReport,
+        serve_exec_report, DistExecReport, ExpansionIoBound, ParallelExecReport, SeqExecReport,
+        ServeExecReport,
     };
     pub use crate::registry::{
         all_params, SchemeParams, CLASSICAL, CLASSICAL_2X2X3, LADERMAN, RECT_2X2X4, RECT_2X4X2,

@@ -223,6 +223,59 @@ pub fn seq_exec_report(scheme: &BilinearScheme, n: usize, cutoff: usize) -> SeqE
     }
 }
 
+/// A batched-service execution report tying the `fastmm-serve` engine to
+/// the paper's bounds: each job of an `n × n × n` shape class moves the
+/// arena engine's modeled words against the Theorem 1.1/1.3 floor at the
+/// effective fast memory `3·cutoff²` where the recursion bottoms out, and
+/// a batch of `batch` jobs spread over `workers` shards moves the
+/// per-worker share. In the strong-scaling reading of arXiv:1202.3177
+/// this share — not single-job latency — is what bounds the service's
+/// sustainable throughput; experiment e13 (`repro_serve`) prints the
+/// measured multiplies/sec next to it.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeExecReport {
+    /// Worker shard count of the engine.
+    pub workers: usize,
+    /// The resolved base-case cutoff every shard runs.
+    pub cutoff: usize,
+    /// Effective fast-memory words `3·cutoff²` — the `M` of the model.
+    pub memory_words: usize,
+    /// Modeled engine traffic per job
+    /// (`dfs_arena_io_recurrence_mkn` at `M = memory_words`).
+    pub per_job_arena_words: f64,
+    /// Theorem 1.1/1.3 floor `(n/√M)^{ω₀}·M` per job at the same `M`.
+    pub per_job_bound_words: f64,
+    /// Modeled words one whole batch moves (`batch ×` per-job traffic).
+    pub batch_arena_words: f64,
+    /// The per-shard share of the batch traffic — the quantity a
+    /// throughput-optimal dispatch drives toward the Corollary 1.2 shape.
+    pub per_worker_share_words: f64,
+}
+
+/// Model one serve shape class: `batch` jobs of `n × n × n` under
+/// `scheme`, spread over `workers` shards at `cutoff` (`0` = auto via
+/// `fastmm_matrix::tune`, matching the engine's own resolution).
+pub fn serve_exec_report(
+    scheme: &BilinearScheme,
+    n: usize,
+    batch: usize,
+    workers: usize,
+    cutoff: usize,
+) -> ServeExecReport {
+    let seq = seq_exec_report(scheme, n, cutoff);
+    let workers = workers.max(1);
+    let batch_arena_words = seq.arena_words * batch as f64;
+    ServeExecReport {
+        workers,
+        cutoff: seq.cutoff,
+        memory_words: seq.memory_words,
+        per_job_arena_words: seq.arena_words,
+        per_job_bound_words: seq.seq_bound_words,
+        batch_arena_words,
+        per_worker_share_words: batch_arena_words / workers as f64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +284,27 @@ mod tests {
     /// The Main Lemma's guarantee shape with an explicit constant.
     fn h_lemma(k: usize) -> f64 {
         0.05 * (4.0f64 / 7.0).powi(k as i32)
+    }
+
+    #[test]
+    fn serve_report_scales_linearly_in_batch_and_splits_across_workers() {
+        let scheme = fastmm_matrix::scheme::strassen();
+        let one = serve_exec_report(&scheme, 256, 1, 1, 64);
+        let batched = serve_exec_report(&scheme, 256, 8, 4, 64);
+        assert_eq!(one.cutoff, 64);
+        assert_eq!(one.memory_words, 3 * 64 * 64);
+        // Per-job numbers match the sequential report verbatim.
+        let seq = seq_exec_report(&scheme, 256, 64);
+        assert_eq!(one.per_job_arena_words, seq.arena_words);
+        assert_eq!(one.per_job_bound_words, seq.seq_bound_words);
+        // Batch traffic is job-linear; the worker share divides it evenly.
+        assert_eq!(batched.batch_arena_words, 8.0 * one.per_job_arena_words);
+        assert_eq!(
+            batched.per_worker_share_words,
+            batched.batch_arena_words / 4.0
+        );
+        // workers = 0 is clamped rather than dividing by zero.
+        assert_eq!(serve_exec_report(&scheme, 64, 2, 0, 32).workers, 1);
     }
 
     #[test]

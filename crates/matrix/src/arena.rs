@@ -54,28 +54,74 @@ use crate::scalar::Scalar;
 use crate::scheme::BilinearScheme;
 
 /// A pool of reusable scratch buffers — the arena backing the DFS hot
-/// path (per worker thread in the parallel engine).
+/// path (per worker thread in the parallel engine, per worker shard in
+/// the `fastmm-serve` batched service).
 ///
 /// [`ScratchArena::take`] hands out a zeroed buffer (recycling a returned
 /// one when available), [`ScratchArena::take_any`] one with unspecified
 /// contents for callers that overwrite every element, and
-/// [`ScratchArena::give`] returns a buffer. The recursion takes and gives
-/// in stack order with shapes fixed per depth, so after the first descent
-/// warms the pool every subsequent node runs without heap allocation.
+/// [`ScratchArena::give`] returns a buffer.
+///
+/// The pool is **bucketed by capacity class** (powers of two): a returned
+/// buffer of capacity in `[2^b, 2^{b+1})` is only reissued to requests of
+/// `len ≤ 2^b`, so a take can never pop a too-small buffer and silently
+/// reallocate inside the "zero-allocation" hot path. The historical
+/// single-stack pool did exactly that under mixed-shape workloads (the
+/// batching regime of `fastmm-serve`): a small buffer returned last would
+/// be popped for a large request, reallocated, and the large buffers
+/// retained underneath forever. Within one capacity class, reuse is
+/// LIFO — the recursion takes and gives in stack order with shapes fixed
+/// per depth, so after the first descent warms the pool every subsequent
+/// node runs without heap allocation.
+///
+/// Long-lived owners bound idle retention with
+/// [`ScratchArena::trim`]; [`ScratchArena::retained_words`] reports the
+/// pooled (idle) capacity.
 pub struct ScratchArena<T> {
-    pool: Vec<Vec<T>>,
+    /// `buckets[b]` holds returned buffers with capacity in
+    /// `[2^b, 2^{b+1})`; every buffer in bucket `b` can serve any request
+    /// of class `b` (`len ≤ 2^b`) without reallocating.
+    buckets: Vec<Vec<Vec<T>>>,
+    /// Total capacity (words) currently idle in the pool.
+    retained: usize,
+}
+
+/// Capacity class a request of `len` words draws from: `⌈log₂ len⌉`, so
+/// every buffer in that bucket (capacity `≥ 2^class`) fits the request.
+fn class_of_len(len: usize) -> usize {
+    len.max(1).next_power_of_two().trailing_zeros() as usize
+}
+
+/// Bucket a returned buffer of capacity `cap ≥ 1` files into:
+/// `⌊log₂ cap⌋`, the largest class it can always serve.
+fn class_of_cap(cap: usize) -> usize {
+    (usize::BITS - 1 - cap.leading_zeros()) as usize
 }
 
 impl<T: Scalar> ScratchArena<T> {
     /// An empty arena.
     pub fn new() -> Self {
-        ScratchArena { pool: Vec::new() }
+        ScratchArena {
+            buckets: Vec::new(),
+            retained: 0,
+        }
     }
 
-    /// A zeroed buffer of `len` words, recycled from the pool when one is
-    /// available (its capacity is reused; no allocation once warm).
+    /// Pop a pooled buffer that fits `len`, if any.
+    fn pop_class(&mut self, len: usize) -> Option<Vec<T>> {
+        let buf = self.buckets.get_mut(class_of_len(len))?.pop()?;
+        self.retained -= buf.capacity();
+        Some(buf)
+    }
+
+    /// A zeroed buffer of `len` words, recycled from the pool when its
+    /// capacity class has one (no allocation once warm). Fresh buffers are
+    /// allocated at the class capacity (`len` rounded up to a power of
+    /// two), so they return to the same bucket they are served from.
     pub fn take(&mut self, len: usize) -> Vec<T> {
-        let mut buf = self.pool.pop().unwrap_or_default();
+        let mut buf = self
+            .pop_class(len)
+            .unwrap_or_else(|| Vec::with_capacity(len.max(1).next_power_of_two()));
         buf.clear();
         buf.resize(len, T::zero());
         buf
@@ -86,7 +132,9 @@ impl<T: Scalar> ScratchArena<T> {
     /// element — e.g. the pad path, which zero-extends row-wise. Skips the
     /// `memset` that [`ScratchArena::take`] pays.
     pub fn take_any(&mut self, len: usize) -> Vec<T> {
-        let mut buf = self.pool.pop().unwrap_or_default();
+        let mut buf = self
+            .pop_class(len)
+            .unwrap_or_else(|| Vec::with_capacity(len.max(1).next_power_of_two()));
         if buf.len() >= len {
             buf.truncate(len);
         } else {
@@ -95,9 +143,43 @@ impl<T: Scalar> ScratchArena<T> {
         buf
     }
 
-    /// Return a buffer to the pool for reuse.
+    /// Return a buffer to the pool for reuse (zero-capacity buffers are
+    /// dropped — there is no allocation to retain).
     pub fn give(&mut self, buf: Vec<T>) {
-        self.pool.push(buf);
+        let cap = buf.capacity();
+        if cap == 0 {
+            return;
+        }
+        let b = class_of_cap(cap);
+        if self.buckets.len() <= b {
+            self.buckets.resize_with(b + 1, Vec::new);
+        }
+        self.buckets[b].push(buf);
+        self.retained += cap;
+    }
+
+    /// Words of capacity currently idle in the pool — what a long-lived
+    /// owner is paying to keep the arena warm.
+    pub fn retained_words(&self) -> usize {
+        self.retained
+    }
+
+    /// Drop pooled buffers, largest class first, until at most
+    /// `max_retained_words` of idle capacity remain. The serve layer calls
+    /// this between batches so one giant request does not pin its
+    /// high-water scratch set for the life of the worker. Buffers
+    /// currently taken are unaffected.
+    pub fn trim(&mut self, max_retained_words: usize) {
+        let mut b = self.buckets.len();
+        while self.retained > max_retained_words && b > 0 {
+            b -= 1;
+            while self.retained > max_retained_words {
+                match self.buckets[b].pop() {
+                    Some(buf) => self.retained -= buf.capacity(),
+                    None => break,
+                }
+            }
+        }
     }
 }
 
@@ -220,6 +302,11 @@ pub fn decode_product_into<T: Scalar>(
 /// cache-blocked base kernel below `cutoff`, with every temporary drawn
 /// from — and returned to — `arena`.
 ///
+/// Zero-dimension shapes are defined: if any of `M`, `K`, `N` is zero the
+/// product is the all-zero `M x N` matrix (empty when `M` or `N` is zero),
+/// `c` is left untouched, and the recursion, base kernel, and arena are
+/// never entered.
+///
 /// This is the engine [`multiply_scheme`](crate::recursive::multiply_scheme)
 /// wraps; call it directly to amortize one arena (and one output buffer)
 /// across many multiplies:
@@ -276,6 +363,13 @@ fn multiply_into_impl<T: Scalar, const PACKED: bool>(
     arena: &mut ScratchArena<T>,
 ) {
     let shape = (a.rows(), a.cols(), b.cols());
+    // Zero-dimension operands: the product is the all-zero `M x N` matrix
+    // (empty when M or N is 0) and `c` enters zeroed, so there is nothing
+    // to compute. Return before the base kernel so a degenerate multiply
+    // never packs full-size operand panels or touches the arena.
+    if shape.0 == 0 || shape.1 == 0 || shape.2 == 0 {
+        return;
+    }
     let dims = scheme.dims();
     if !splits(dims, shape, cutoff) {
         if PACKED {
@@ -344,7 +438,8 @@ fn multiply_into_impl<T: Scalar, const PACKED: bool>(
 /// to the sequential engine wherever the surrounding schedule preserves
 /// the encode/decode order (see the module docs' bit-determinism
 /// contract). `shape` is `(M, K, N)`; `a` must hold `M·K` words and `b`
-/// `K·N`.
+/// `K·N`. Zero-dimension shapes return the correctly-sized all-zero (or
+/// empty) product without entering the recursion (see [`multiply_into`]).
 ///
 /// ```
 /// use fastmm_matrix::arena::{multiply_flat, ScratchArena};
@@ -396,6 +491,67 @@ mod tests {
         let b2 = arena.take(64);
         assert_eq!(b2.as_ptr(), ptr, "same allocation reused");
         assert!(b2.iter().all(|&x| x == 0), "reissued buffer is zeroed");
+    }
+
+    #[test]
+    fn arena_buckets_by_capacity_class() {
+        // Mixed-shape regression: with the historical single-stack pool,
+        // the small buffer (returned last) was popped for the next large
+        // request and reallocated, while the large buffer stayed buried.
+        // Bucketing must hand each take its own capacity class back.
+        let mut arena: ScratchArena<i64> = ScratchArena::new();
+        let big = arena.take(1024);
+        let small = arena.take(16);
+        let (big_ptr, small_ptr) = (big.as_ptr(), small.as_ptr());
+        arena.give(big);
+        arena.give(small); // small on top of a LIFO stack
+        let big2 = arena.take(1024);
+        assert_eq!(big2.as_ptr(), big_ptr, "large take reuses the large buffer");
+        let small2 = arena.take_any(16);
+        assert_eq!(
+            small2.as_ptr(),
+            small_ptr,
+            "small take reuses the small one"
+        );
+        // alternating take/give across classes stays allocation-stable
+        arena.give(big2);
+        arena.give(small2);
+        for _ in 0..4 {
+            let s = arena.take(16);
+            assert_eq!(s.as_ptr(), small_ptr);
+            let b = arena.take_any(1024);
+            assert_eq!(b.as_ptr(), big_ptr);
+            arena.give(b);
+            arena.give(s);
+        }
+    }
+
+    #[test]
+    fn trim_bounds_idle_retention() {
+        let mut arena: ScratchArena<f64> = ScratchArena::new();
+        let bufs: Vec<_> = (0..4).map(|_| arena.take(1024)).collect();
+        assert_eq!(arena.retained_words(), 0, "taken buffers are not idle");
+        for b in bufs {
+            arena.give(b);
+        }
+        assert_eq!(arena.retained_words(), 4 * 1024);
+        arena.trim(1024);
+        assert!(
+            arena.retained_words() <= 1024,
+            "retention bounded: {} words",
+            arena.retained_words()
+        );
+        // the survivor is still recycled
+        let b = arena.take(1024);
+        assert_eq!(b.len(), 1024);
+        assert_eq!(arena.retained_words(), 0);
+        arena.give(b);
+        arena.trim(0);
+        assert_eq!(arena.retained_words(), 0, "trim(0) empties the pool");
+        // trimming an empty pool is a no-op, and give after trim works
+        arena.trim(0);
+        let b = arena.take(8);
+        assert_eq!(b.len(), 8);
     }
 
     #[test]

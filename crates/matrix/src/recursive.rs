@@ -39,7 +39,9 @@ use crate::scheme::BilinearScheme;
 /// progress. Non-divisible dimensions are zero-padded per level and the
 /// result cropped, so the fast recursion is used at every scale; the
 /// classical kernel runs only below `cutoff` (or when the scheme cannot
-/// shrink the problem further).
+/// shrink the problem further). Zero-dimension operands are defined: the
+/// product is the correctly-shaped all-zero (or empty) matrix, returned
+/// without entering the recursion (see [`crate::arena::multiply_into`]).
 ///
 /// ```
 /// use fastmm_matrix::classical::multiply_naive;

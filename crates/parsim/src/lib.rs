@@ -24,4 +24,4 @@ pub mod machine;
 
 pub use caps::{caps, caps_scheme, CapsPlan, Step};
 pub use exec::{caps_plan_for_budget, dist_caps, dist_multiply, DistConfig};
-pub use machine::{run_spmd, MachineConfig, Rank, RankStats, SpmdResult};
+pub use machine::{run_spmd, try_run_spmd, MachineConfig, Rank, RankFailed, RankStats, SpmdResult};

@@ -66,6 +66,45 @@ struct Msg {
     sent_at: f64,
 }
 
+/// A rank's SPMD closure panicked: the error [`try_run_spmd`] returns,
+/// naming the **originating** rank. When one rank dies its channel
+/// endpoints drop and every peer blocked on it observes a hung-up channel
+/// — those ranks are victims of the failure, not causes, and are filtered
+/// out so the root cause is never buried under the cascade.
+#[derive(Debug, Clone)]
+pub struct RankFailed {
+    /// The rank whose closure panicked first (lowest id among genuine
+    /// panics when several race).
+    pub rank: usize,
+    /// The panic payload rendered to a string (`&str`/`String` payloads
+    /// verbatim; otherwise a placeholder).
+    pub payload: String,
+}
+
+impl std::fmt::Display for RankFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rank {} failed: {}", self.rank, self.payload)
+    }
+}
+
+impl std::error::Error for RankFailed {}
+
+/// Internal panic payload raised by a rank that observes a disconnected
+/// channel: its peer died, so it is a cascade victim — [`try_run_spmd`]
+/// reports the peer's panic, not this one.
+struct PeerHungUp;
+
+/// Render a caught panic payload for [`RankFailed::payload`].
+fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Aggregate result of an SPMD run.
 #[derive(Debug)]
 pub struct SpmdResult<R> {
@@ -139,13 +178,16 @@ impl Rank {
         self.stats.clock += self.cfg.alpha + self.cfg.beta * len as f64;
         self.stats.words_sent += len as u64;
         self.stats.msgs_sent += 1;
-        self.to_peers[to]
-            .send(Msg {
-                tag,
-                data,
-                sent_at: self.stats.clock,
-            })
-            .expect("peer hung up");
+        let sent = self.to_peers[to].send(Msg {
+            tag,
+            data,
+            sent_at: self.stats.clock,
+        });
+        if sent.is_err() {
+            // The destination rank died; unwind as a cascade victim so
+            // `try_run_spmd` reports the peer's panic, not this one.
+            std::panic::panic_any(PeerHungUp);
+        }
     }
 
     /// Blocking receive of the next message from `from` with tag `tag`.
@@ -167,7 +209,12 @@ impl Rank {
 
     fn pump(&mut self, from: usize, tag: u64) -> Msg {
         loop {
-            let msg = self.from_peers[from].recv().expect("peer hung up");
+            let msg = match self.from_peers[from].recv() {
+                Ok(msg) => msg,
+                // The source rank died without sending; this rank is a
+                // cascade victim (see `RankFailed`).
+                Err(_) => std::panic::panic_any(PeerHungUp),
+            };
             if msg.tag == tag {
                 return msg;
             }
@@ -323,7 +370,24 @@ impl Rank {
 }
 
 /// Run an SPMD program on `cfg.p` simulated ranks.
+///
+/// Panics if any rank's closure panics, with a message naming the
+/// **originating** rank (see [`RankFailed`]); use [`try_run_spmd`] to
+/// handle the failure as a value instead.
 pub fn run_spmd<R, F>(cfg: MachineConfig, f: F) -> SpmdResult<R>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+{
+    try_run_spmd(cfg, f).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`run_spmd`] with rank failure as a value: runs the SPMD program and
+/// returns [`RankFailed`] naming the originating rank if any closure
+/// panics. Each rank runs under `catch_unwind`; ranks that die observing
+/// a hung-up channel (their peer panicked first) are classified as
+/// cascade victims and never reported as the cause.
+pub fn try_run_spmd<R, F>(cfg: MachineConfig, f: F) -> Result<SpmdResult<R>, RankFailed>
 where
     R: Send,
     F: Fn(&mut Rank) -> R + Sync,
@@ -357,20 +421,45 @@ where
         .collect();
 
     let mut outputs: Vec<Option<(R, RankStats)>> = (0..p).map(|_| None).collect();
+    // (rank, genuine, payload) per failed rank, in rank order.
+    let mut failures: Vec<(usize, bool, String)> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
         for mut rank in ranks.drain(..) {
             let f = &f;
             handles.push(scope.spawn(move || {
-                let out = f(&mut rank);
-                (rank.id, out, rank.stats)
+                let id = rank.id;
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rank)));
+                (id, res.map(|out| (out, rank.stats)))
             }));
         }
         for h in handles {
-            let (id, out, stats) = h.join().expect("rank panicked");
-            outputs[id] = Some((out, stats));
+            let (id, res) = h.join().expect("rank thread died outside catch_unwind");
+            match res {
+                Ok((out, stats)) => outputs[id] = Some((out, stats)),
+                Err(payload) => {
+                    let genuine = !payload.is::<PeerHungUp>();
+                    let rendered = if genuine {
+                        payload_string(payload.as_ref())
+                    } else {
+                        "hung-up channel (victim of a failed peer)".to_string()
+                    };
+                    failures.push((id, genuine, rendered));
+                }
+            }
         }
     });
+    if !failures.is_empty() {
+        // The originating rank: the lowest-id genuine panic. A pure
+        // hung-up cascade with no genuine panic (a rank exiting early
+        // without matching sends) falls back to the lowest victim.
+        let (rank, _, payload) = failures
+            .iter()
+            .find(|(_, genuine, _)| *genuine)
+            .unwrap_or(&failures[0])
+            .clone();
+        return Err(RankFailed { rank, payload });
+    }
     let mut outs = Vec::with_capacity(p);
     let mut stats = Vec::with_capacity(p);
     for o in outputs {
@@ -378,10 +467,10 @@ where
         outs.push(r);
         stats.push(s);
     }
-    SpmdResult {
+    Ok(SpmdResult {
         outputs: outs,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -564,6 +653,61 @@ mod tests {
         });
         assert_eq!(res.stats[0].msgs_sent, 1);
         assert_eq!(res.stats[3].msgs_sent, 0);
+    }
+
+    #[test]
+    fn panicking_rank_is_named_not_buried() {
+        // Rank 2 panics; ranks blocked receiving from it die observing
+        // hung-up channels. The error must name rank 2 with its payload,
+        // not a cascade victim and not a generic "rank panicked".
+        let cfg = MachineConfig::new(4);
+        let err = try_run_spmd(cfg, |rank| {
+            if rank.id == 2 {
+                panic!("boom at rank {}", rank.id);
+            }
+            // every other rank waits on the dead rank: pure cascade
+            rank.recv(2, 0)
+        })
+        .expect_err("run must fail");
+        assert_eq!(err.rank, 2, "originating rank identified: {err}");
+        assert!(
+            err.payload.contains("boom at rank 2"),
+            "payload preserved: {err}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("rank 2"), "display names the rank: {msg}");
+    }
+
+    #[test]
+    fn run_spmd_panic_names_originating_rank() {
+        let caught = std::panic::catch_unwind(|| {
+            run_spmd(MachineConfig::new(3), |rank| {
+                if rank.id == 1 {
+                    panic!("injected");
+                }
+                rank.recv(1, 9)
+            })
+        })
+        .expect_err("must propagate");
+        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("rank 1") && msg.contains("injected"),
+            "panic message names rank and payload: {msg}"
+        );
+    }
+
+    #[test]
+    fn successful_run_round_trips_through_try() {
+        let res = try_run_spmd(MachineConfig::new(2), |rank| {
+            if rank.id == 0 {
+                rank.send(1, 1, vec![2.5]);
+                0.0
+            } else {
+                rank.recv(0, 1)[0]
+            }
+        })
+        .expect("clean run");
+        assert_eq!(res.outputs, vec![0.0, 2.5]);
     }
 
     #[test]

@@ -1,0 +1,426 @@
+//! The resident engine: worker shards, warmed arenas, batched dispatch,
+//! and bounded-queue backpressure.
+//!
+//! ## Lifecycle
+//!
+//! [`EngineHandle::start`] resolves the base-case cutoff **once** (via
+//! [`fastmm_matrix::tune::resolve_cutoff`], so `FASTMM_CUTOFF` applies)
+//! and spawns the worker shards. Each worker owns a private
+//! [`ScratchArena`] that stays warm across batches — the first job of a
+//! shape class pays the allocations, every subsequent job of that class
+//! runs the zero-allocation hot path — and is trimmed back to
+//! [`EngineConfig::max_retained_words`] between batches so one giant
+//! request does not pin its high-water scratch set for the life of the
+//! worker.
+//!
+//! ## Batched dispatch
+//!
+//! [`EngineHandle::submit`] takes a whole batch of [`Job`]s, groups them
+//! by [`ShapeClass`] (scheme + `M×K·K×N`), and round-robins the *groups*
+//! across worker shards, so jobs that share scratch shapes run
+//! back-to-back on one arena. Results stream back over the ticket's
+//! channel tagged with their submission index; [`BatchTicket::wait`]
+//! reassembles them in submission order.
+//!
+//! ## Backpressure
+//!
+//! The queue is bounded by [`EngineConfig::queue_capacity`] *jobs*. A
+//! submit that would exceed it returns [`Submit::Rejected`] carrying the
+//! observed queue depth — callers shed load or retry; the engine never
+//! buffers without bound. The counter is maintained atomically across
+//! concurrent submitters and decremented by workers as jobs complete.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fastmm_matrix::arena::multiply_into;
+use fastmm_matrix::dense::Matrix;
+use fastmm_matrix::scheme::{all_schemes, BilinearScheme};
+use fastmm_matrix::ScratchArena;
+
+/// Default bound on queued (submitted, not yet completed) jobs.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Default per-worker idle arena retention between batches: 2²² words
+/// (32 MiB of `f64`) — enough to keep mid-size shape classes warm without
+/// letting one huge request pin its scratch set forever.
+pub const DEFAULT_MAX_RETAINED_WORDS: usize = 1 << 22;
+
+/// Construction-time knobs of the engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker shard count (clamped to ≥ 1).
+    pub workers: usize,
+    /// Base-case cutoff; `0` means auto (resolved once at start through
+    /// [`fastmm_matrix::tune::resolve_cutoff`], so `FASTMM_CUTOFF`
+    /// applies).
+    pub cutoff: usize,
+    /// Maximum in-flight jobs before [`EngineHandle::submit`] rejects.
+    pub queue_capacity: usize,
+    /// Idle arena words each worker retains between batches
+    /// ([`ScratchArena::trim`] bound).
+    pub max_retained_words: usize,
+}
+
+impl EngineConfig {
+    /// A config with `workers` shards and the default queue capacity,
+    /// auto cutoff, and default retention bound.
+    pub fn new(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            cutoff: 0,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            max_retained_words: DEFAULT_MAX_RETAINED_WORDS,
+        }
+    }
+
+    /// Replace the base-case cutoff (`0` = auto).
+    pub fn with_cutoff(mut self, cutoff: usize) -> Self {
+        self.cutoff = cutoff;
+        self
+    }
+
+    /// Replace the queue capacity (jobs).
+    pub fn with_queue_capacity(mut self, jobs: usize) -> Self {
+        self.queue_capacity = jobs;
+        self
+    }
+
+    /// Replace the per-worker idle retention bound (words).
+    pub fn with_max_retained_words(mut self, words: usize) -> Self {
+        self.max_retained_words = words;
+        self
+    }
+}
+
+/// One multiply request: `a * b` under the engine's scheme table entry
+/// `scheme` (an index into [`EngineHandle::schemes`]).
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Index into the engine's scheme table
+    /// (see [`EngineHandle::scheme_index`]).
+    pub scheme: usize,
+    /// Left operand, `M × K`.
+    pub a: Matrix<f64>,
+    /// Right operand, `K × N`.
+    pub b: Matrix<f64>,
+}
+
+impl Job {
+    /// Build a job; `a.cols()` must equal `b.rows()` (checked at submit).
+    pub fn new(scheme: usize, a: Matrix<f64>, b: Matrix<f64>) -> Self {
+        Job { scheme, a, b }
+    }
+}
+
+/// The dispatch unit: jobs sharing a scheme and operand shape run
+/// back-to-back on one worker's arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShapeClass {
+    /// Scheme table index.
+    pub scheme: usize,
+    /// Product shape `M × K · K × N`.
+    pub m: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+}
+
+impl ShapeClass {
+    /// The class of one job.
+    pub fn of(job: &Job) -> Self {
+        ShapeClass {
+            scheme: job.scheme,
+            m: job.a.rows(),
+            k: job.a.cols(),
+            n: job.b.cols(),
+        }
+    }
+}
+
+/// Outcome of [`EngineHandle::submit`]: the batch was queued, or the
+/// bounded queue was full and the caller must shed load or retry.
+#[derive(Debug)]
+pub enum Submit {
+    /// The batch was queued; redeem the ticket for the results.
+    Accepted(BatchTicket),
+    /// Backpressure: accepting the batch would exceed
+    /// [`EngineConfig::queue_capacity`]. Nothing was queued.
+    Rejected {
+        /// In-flight job count observed at rejection time.
+        queue_depth: usize,
+    },
+}
+
+impl Submit {
+    /// `true` for [`Submit::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Submit::Accepted(_))
+    }
+
+    /// Unwrap the ticket; panics on [`Submit::Rejected`].
+    pub fn unwrap_ticket(self) -> BatchTicket {
+        match self {
+            Submit::Accepted(t) => t,
+            Submit::Rejected { queue_depth } => {
+                panic!("batch rejected at queue depth {queue_depth}")
+            }
+        }
+    }
+}
+
+/// Claim on an accepted batch's results.
+///
+/// Results arrive in completion order over an internal channel, each
+/// tagged with its submission index; [`BatchTicket::wait`] reassembles
+/// the batch in submission order, [`BatchTicket::recv_next`] streams
+/// completions as they land (what the e13 harness uses for per-job
+/// latency).
+#[derive(Debug)]
+pub struct BatchTicket {
+    rx: Receiver<(usize, Matrix<f64>)>,
+    total: usize,
+    received: usize,
+}
+
+impl BatchTicket {
+    /// Jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Block for the next completion: `(submission index, product)`.
+    /// Returns `None` once every job in the batch has been delivered.
+    pub fn recv_next(&mut self) -> Option<(usize, Matrix<f64>)> {
+        if self.received == self.total {
+            return None;
+        }
+        let item = self
+            .rx
+            .recv()
+            .expect("worker shard died before completing the batch");
+        self.received += 1;
+        Some(item)
+    }
+
+    /// Block until the whole batch completes; results in submission order.
+    pub fn wait(mut self) -> Vec<Matrix<f64>> {
+        let mut out: Vec<Option<Matrix<f64>>> = (0..self.total).map(|_| None).collect();
+        while let Some((slot, c)) = self.recv_next() {
+            debug_assert!(out[slot].is_none(), "slot {slot} completed twice");
+            out[slot] = Some(c);
+        }
+        out.into_iter()
+            .map(|c| c.expect("every submitted job completes exactly once"))
+            .collect()
+    }
+}
+
+/// One shape-class group en route to a worker shard.
+struct WorkItem {
+    /// `(submission index, job)` pairs, all of one [`ShapeClass`].
+    jobs: Vec<(usize, Job)>,
+    /// Where the owning batch collects results.
+    results: Sender<(usize, Matrix<f64>)>,
+}
+
+/// Handle to a running engine: worker shards with warmed arenas, a
+/// resolved cutoff, and a bounded submission queue. Dropping the handle
+/// (or calling [`EngineHandle::shutdown`]) disconnects the shards and
+/// joins them.
+pub struct EngineHandle {
+    schemes: Arc<Vec<BilinearScheme>>,
+    senders: Vec<Sender<WorkItem>>,
+    workers: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicUsize>,
+    next_worker: AtomicUsize,
+    queue_capacity: usize,
+    cutoff: usize,
+}
+
+impl EngineHandle {
+    /// Start the engine over the registry scheme table
+    /// ([`all_schemes`]).
+    pub fn start(config: EngineConfig) -> Self {
+        Self::start_with_schemes(config, all_schemes())
+    }
+
+    /// Start the engine over a caller-provided scheme table. The cutoff
+    /// is resolved once, here, and shared by every worker for the life of
+    /// the engine.
+    pub fn start_with_schemes(config: EngineConfig, schemes: Vec<BilinearScheme>) -> Self {
+        let cutoff = fastmm_matrix::tune::resolve_cutoff(config.cutoff);
+        let workers = config.workers.max(1);
+        let schemes = Arc::new(schemes);
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for shard in 0..workers {
+            let (tx, rx) = channel::<WorkItem>();
+            let schemes = Arc::clone(&schemes);
+            let in_flight = Arc::clone(&in_flight);
+            let max_retained = config.max_retained_words;
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("fastmm-serve-{shard}"))
+                    .spawn(move || worker_loop(rx, schemes, cutoff, max_retained, in_flight))
+                    .expect("spawning worker shard"),
+            );
+            senders.push(tx);
+        }
+        EngineHandle {
+            schemes,
+            senders,
+            workers: handles,
+            in_flight,
+            next_worker: AtomicUsize::new(0),
+            queue_capacity: config.queue_capacity,
+            cutoff,
+        }
+    }
+
+    /// The resolved base-case cutoff every worker runs.
+    pub fn cutoff(&self) -> usize {
+        self.cutoff
+    }
+
+    /// Worker shard count.
+    pub fn workers(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// The queue bound (jobs).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// In-flight (submitted, not yet completed) job count.
+    pub fn queue_depth(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// The engine's scheme table, in index order.
+    pub fn schemes(&self) -> &[BilinearScheme] {
+        &self.schemes
+    }
+
+    /// Resolve a scheme name to its table index.
+    pub fn scheme_index(&self, name: &str) -> Option<usize> {
+        self.schemes.iter().position(|s| s.name == name)
+    }
+
+    /// Submit a batch. Jobs are validated (in-range scheme index,
+    /// conformal dimensions — violations panic, as with
+    /// `multiply_scheme`), grouped by [`ShapeClass`], and dispatched
+    /// across the shards; the whole batch is either accepted or rejected
+    /// atomically against the queue bound.
+    pub fn submit(&self, jobs: Vec<Job>) -> Submit {
+        for (i, job) in jobs.iter().enumerate() {
+            assert!(
+                job.scheme < self.schemes.len(),
+                "job {i}: scheme index {} out of range",
+                job.scheme
+            );
+            assert_eq!(
+                job.a.cols(),
+                job.b.rows(),
+                "job {i}: inner dimensions must agree"
+            );
+        }
+        let n = jobs.len();
+        let depth = self.in_flight.fetch_add(n, Ordering::SeqCst);
+        if depth + n > self.queue_capacity {
+            self.in_flight.fetch_sub(n, Ordering::SeqCst);
+            return Submit::Rejected { queue_depth: depth };
+        }
+        let (tx, rx) = channel();
+        // Group by shape class, preserving first-seen class order so
+        // dispatch (and hence per-class worker assignment) is a pure
+        // function of the batch contents.
+        let mut groups: Vec<(ShapeClass, Vec<(usize, Job)>)> = Vec::new();
+        for (slot, job) in jobs.into_iter().enumerate() {
+            let class = ShapeClass::of(&job);
+            match groups.iter_mut().find(|(c, _)| *c == class) {
+                Some((_, group)) => group.push((slot, job)),
+                None => groups.push((class, vec![(slot, job)])),
+            }
+        }
+        // Each class group is dealt out one job per work item, round-robin
+        // across the shards: a homogeneous batch (one big shape class)
+        // spreads over every shard instead of serializing behind one
+        // worker, and a straggler job never holds sibling jobs hostage
+        // behind it in the same item.
+        let shards = self.senders.len();
+        for (_, group) in groups {
+            for job in group {
+                let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % shards;
+                self.senders[w]
+                    .send(WorkItem {
+                        jobs: vec![job],
+                        results: tx.clone(),
+                    })
+                    .expect("worker shard died");
+            }
+        }
+        Submit::Accepted(BatchTicket {
+            rx,
+            total: n,
+            received: 0,
+        })
+    }
+
+    /// Stop the engine: disconnect and join every shard. Equivalent to
+    /// dropping the handle, spelled out for call sites that want the join
+    /// to be explicit.
+    pub fn shutdown(self) {}
+}
+
+impl Drop for EngineHandle {
+    fn drop(&mut self) {
+        self.senders.clear(); // disconnect: shards drain their queue and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Shard body: drain work items, computing each job with this worker's
+/// private arena at the engine's resolved cutoff — the identical code
+/// path to `multiply_scheme`, so outputs are bitwise equal to the
+/// sequential engine regardless of which shard runs the job.
+fn worker_loop(
+    rx: Receiver<WorkItem>,
+    schemes: Arc<Vec<BilinearScheme>>,
+    cutoff: usize,
+    max_retained_words: usize,
+    in_flight: Arc<AtomicUsize>,
+) {
+    let mut arena = ScratchArena::new();
+    while let Ok(item) = rx.recv() {
+        for (slot, job) in item.jobs {
+            let scheme = &schemes[job.scheme];
+            let mut c = Matrix::zeros(job.a.rows(), job.b.cols());
+            multiply_into(
+                scheme,
+                job.a.view(),
+                job.b.view(),
+                &mut c.view_mut(),
+                cutoff,
+                &mut arena,
+            );
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+            // The ticket may have been dropped; completing is still correct.
+            let _ = item.results.send((slot, c));
+        }
+        // Between batches: bound what an idle shard keeps warm.
+        arena.trim(max_retained_words);
+    }
+}

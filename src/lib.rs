@@ -16,6 +16,8 @@
 //! * [`parsim`] — distributed-memory simulation (Cannon, 2.5D, CAPS);
 //! * [`core`] — the paper's communication bounds and the expansion ⇒ I/O
 //!   pipeline;
+//! * [`serve`] — long-lived batched multiply service over the arena
+//!   engine (wire format, worker shards, backpressure);
 //! * [`bench`](mod@bench) — experiment harness behind the `repro_*`
 //!   binaries.
 
@@ -29,6 +31,7 @@ pub use fastmm_core::matrix;
 pub use fastmm_core::memsim;
 pub use fastmm_core::parsim;
 pub use fastmm_core::pebble;
+pub use fastmm_serve as serve;
 
 /// Convenient glob import, re-exported from [`fastmm_core::prelude`].
 pub mod prelude {
