@@ -4,24 +4,46 @@
 //! memory-independent (arXiv:1202.3177) lower bounds, with bitwise gather
 //! checks, plus the `BENCH_dist.json` machine-readable emit.
 //!
-//! Usage: `repro_distributed [n...]` — dimensions default to 56; each
-//! must be a multiple of 28 (Cannon grids 2 and 7, CAPS at p = 7 and 49).
-//! CI's `dist-smoke` job passes small sizes.
+//! Usage: `repro_distributed [n...] [--scale[=n]]` — dimensions default to
+//! 56; each must be a multiple of 28 (Cannon grids 2 and 7, CAPS at p = 7
+//! and 49). CI's `dist-smoke` job passes small sizes.
+//!
+//! `--scale` additionally runs the E12b strong-scaling sweep through
+//! `p = 2401` on the event-driven runtime (at `n = 784` unless
+//! `--scale=n` names another multiple of 56) and appends its rows to the
+//! `BENCH_dist.json` array.
 fn main() {
     // Malformed arguments abort loudly (same contract as the FASTMM_* env
     // validation): a typo must not silently fall back to the default size.
-    let ns: Vec<usize> = std::env::args()
-        .skip(1)
-        .map(|a| {
-            a.parse()
-                .unwrap_or_else(|_| panic!("argument {a:?} is not a dimension (usize)"))
-        })
-        .collect();
+    let mut scale: Option<usize> = None;
+    let mut ns: Vec<usize> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--scale" {
+            scale = Some(784);
+        } else if let Some(v) = a.strip_prefix("--scale=") {
+            scale = Some(
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--scale={v:?} is not a dimension (usize)")),
+            );
+        } else {
+            ns.push(
+                a.parse()
+                    .unwrap_or_else(|_| panic!("argument {a:?} is not a dimension (usize)")),
+            );
+        }
+    }
     let ns = if ns.is_empty() { vec![56] } else { ns };
+    let path = fastmm_bench::bench_artifact_path("BENCH_dist.json");
     for (i, &n) in ns.iter().enumerate() {
         // one JSON per run; the last n wins the artifact slot
-        let path = fastmm_bench::bench_artifact_path("BENCH_dist.json");
         let json = (i + 1 == ns.len()).then_some(path.as_str());
         println!("{}", fastmm_bench::e12_distributed(n, json));
+    }
+    if let Some(n) = scale {
+        // appends to the artifact the last e12 run just wrote
+        println!(
+            "{}",
+            fastmm_bench::e12_strong_scaling(n, Some(path.as_str()))
+        );
     }
 }

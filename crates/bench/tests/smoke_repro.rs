@@ -269,6 +269,50 @@ fn e12_golden_bounds_headers_and_json_emit() {
 }
 
 #[test]
+fn e12b_strong_scaling_shape_crossover_and_json_append() {
+    // The CI sweep runs at n = 784 in release (where CAPS is valid all the
+    // way to p = 2401 and the crossover against Cannon is asserted); the
+    // report's shape — all three rank counts actually executing, the
+    // strong-scaling-limit line, the overlap sweep, and the JSON append
+    // path — is already complete at n = 392, where CAPS reaches p = 343
+    // and Cannon reaches p = 2401.
+    let path = "target/test_BENCH_dist_scale.json";
+    let _ = std::fs::remove_file(path);
+    // seed the artifact with the small-p array so the append path is
+    // exercised, not just the fresh-write fallback
+    let _ = exp::e12_distributed(28, Some(path));
+    let out = exp::e12_strong_scaling(392, Some(path));
+    for needle in [
+        "Strong scaling to p = 2401",
+        "generic  strassen   49 ",
+        "generic  strassen   343 ",
+        "generic  strassen   2401 ",
+        "cannon   classical  49 ",
+        "cannon   classical  2401 ",
+        "caps     strassen   49 ",
+        "caps     strassen   343 ",
+        "crossover: p=49",
+        "perfect strong scaling ends at p*",
+        "overlap sweep (caps, p = 343",
+        "machine-readable emit",
+    ] {
+        assert!(
+            out.contains(needle),
+            "e12b: expected {needle:?} in output:\n{out}"
+        );
+    }
+    let json = std::fs::read_to_string(path).expect("appended artifact");
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    // 10 small-p rows + 3 generic + 2 cannon + 2 caps scale rows, spliced
+    // into ONE well-formed array
+    assert_eq!(json.matches("\"algo\"").count(), 17);
+    assert!(json.contains("\"local_only\": true"), "p=1 rows marked");
+    assert!(json.contains("\"p\": 2401"), "scale rows present");
+    assert_eq!(json.matches('[').count(), 1, "append produced one array");
+}
+
+#[test]
 fn e13_serve_smoke() {
     // repro_serve defaults to n = 64/128 with batches {4,16} and workers
     // {1,2,4}; the full report shape (and the internal bitwise-vs-

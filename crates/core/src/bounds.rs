@@ -77,6 +77,21 @@ pub fn par_bandwidth_lower_bound_mem_independent(params: SchemeParams, n: usize,
     (n as f64).powi(2) / (p as f64).powf(2.0 / params.omega0())
 }
 
+/// The strong-scaling limit `p* = (n²/M)^{ω₀/2}`: the processor count at
+/// which the memory-dependent floor `(n/√M)^{ω₀}·M/p`
+/// ([`par_bandwidth_lower_bound`]) and the memory-independent floor
+/// `n²/p^{2/ω₀}` ([`par_bandwidth_lower_bound_mem_independent`]) cross.
+/// For `p ≤ p*` the memory-dependent bound dominates and perfect strong
+/// scaling (per-processor words ∝ 1/p) is possible; beyond `p*` the
+/// memory-independent bound binds and per-processor traffic can only fall
+/// like `p^{-2/ω₀}` — adding processors stops paying linearly. This is
+/// the quantity that separates the small-`p` rows of e12 (memdep-bound)
+/// from the `p = 2401` rows where CAPS's advantage over Cannon is
+/// decisive.
+pub fn strong_scaling_limit_p(params: SchemeParams, n: usize, m: usize) -> f64 {
+    ((n * n) as f64 / m as f64).powf(params.omega0() / 2.0)
+}
+
 /// The memory regimes of Table I.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum MemoryRegime {
@@ -242,6 +257,39 @@ mod tests {
         assert!(
             par_bandwidth_lower_bound_mem_independent(s, n, 49)
                 < par_bandwidth_lower_bound_mem_independent(c, n, 49)
+        );
+    }
+
+    #[test]
+    fn strong_scaling_limit_is_where_the_floors_cross() {
+        // At p = p* the two parallel floors agree; below it the
+        // memory-dependent bound dominates, above it the
+        // memory-independent bound does.
+        for params in [strassen_params(), classical_params()] {
+            let (n, m) = (1 << 12, 1 << 14);
+            let pstar = strong_scaling_limit_p(params, n, m);
+            let at = |p: f64| {
+                let memdep = seq_bandwidth_lower_bound(params, n, m) / p;
+                let memindep = (n as f64).powi(2) / p.powf(2.0 / params.omega0());
+                (memdep, memindep)
+            };
+            let (d, i) = at(pstar);
+            assert!(
+                (d / i - 1.0).abs() < 1e-9,
+                "{}: floors differ at p* = {pstar}: {d} vs {i}",
+                params.name
+            );
+            let (d_lo, i_lo) = at(pstar / 4.0);
+            assert!(d_lo > i_lo, "{}: memdep must bind below p*", params.name);
+            let (d_hi, i_hi) = at(pstar * 4.0);
+            assert!(i_hi > d_hi, "{}: memindep must bind above p*", params.name);
+        }
+        // Strassen reference value: n²/M = 2^10 ⇒ p* = 2^{10·lg7/2} = 7^5.
+        let s = strassen_params();
+        let pstar = strong_scaling_limit_p(s, 1 << 12, 1 << 14);
+        assert!(
+            (pstar - 7f64.powi(5)).abs() / pstar < 1e-9,
+            "{pstar} vs 7^5"
         );
     }
 

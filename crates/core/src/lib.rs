@@ -45,7 +45,7 @@ pub mod prelude {
         par_bandwidth_lower_bound, par_bandwidth_lower_bound_mem_independent,
         par_latency_lower_bound, rect_seq_bandwidth_lower_bound, seq_bandwidth_lower_bound,
         seq_bandwidth_lower_bound_flops, seq_bandwidth_upper_bound, seq_latency_lower_bound,
-        table1_closed_form, table1_lower_bound, MemoryRegime,
+        strong_scaling_limit_p, table1_closed_form, table1_lower_bound, MemoryRegime,
     };
     pub use crate::pipeline::{
         dec_vertices, dist_exec_report, expansion_io_bound, parallel_exec_report, seq_exec_report,

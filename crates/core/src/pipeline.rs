@@ -141,6 +141,11 @@ pub struct DistExecReport {
     pub mem_independent_bound_words: f64,
     /// Critical-path time in the α-β(-γ) model.
     pub critical_path_time: f64,
+    /// `p == 1`: the run is rank-local — no communication occurs, so the
+    /// parallel floors (stated for distributed executions at `p > 1`) are
+    /// vacuous here. Consumers must not compare `max_words_per_rank`
+    /// (identically 0) against the bounds on a local-only row.
+    pub local_only: bool,
 }
 
 impl DistExecReport {
@@ -180,6 +185,7 @@ pub fn dist_exec_report<R>(
             params, n, p,
         ),
         critical_path_time: res.critical_path_time(),
+        local_only: p == 1,
     }
 }
 

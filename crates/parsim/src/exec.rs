@@ -48,7 +48,7 @@
 //! Corollary 1.2 and arXiv:1202.3177, and the gap *is* the paper's story.
 
 use crate::caps::{caps_scheme, CapsPlan};
-use crate::machine::{run_spmd, MachineConfig, Rank, SpmdResult};
+use crate::machine::{run_spmd, MachineConfig, Rank, Runtime, SpmdResult};
 use fastmm_matrix::arena::{
     child_shape, decode_product_into, encode_a_into, encode_b_into, multiply_flat, padded, splits,
     ScratchArena,
@@ -72,6 +72,10 @@ pub struct DistConfig {
     /// whose projected peak fits — the memory-for-communication trade of
     /// arXiv:1202.3173/3177.
     pub memory_budget: usize,
+    /// Which simulated runtime executes the ranks (default
+    /// [`Runtime::Event`]; [`Runtime::Lockstep`] is the small-`p`
+    /// reference the equivalence suite pins against).
+    pub runtime: Runtime,
 }
 
 impl DistConfig {
@@ -82,6 +86,7 @@ impl DistConfig {
             p,
             cutoff: 0,
             memory_budget: 0,
+            runtime: Runtime::Event,
         }
     }
 
@@ -94,6 +99,12 @@ impl DistConfig {
     /// Replace the per-rank memory budget (words).
     pub fn with_memory_budget(mut self, words: usize) -> Self {
         self.memory_budget = words;
+        self
+    }
+
+    /// Select the simulated runtime backend.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -125,12 +136,13 @@ impl DistConfig {
             p,
             cutoff: 0,
             memory_budget,
+            runtime: Runtime::Event,
         })
     }
 
     /// The α-β machine this config runs on.
     pub fn machine(&self) -> MachineConfig {
-        MachineConfig::new(self.p)
+        MachineConfig::new(self.p).with_runtime(self.runtime)
     }
 
     /// The resolved rank-local cutoff.

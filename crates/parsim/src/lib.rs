@@ -18,10 +18,14 @@
 pub mod cannon;
 pub mod caps;
 pub mod dist;
+mod event;
 pub mod exec;
 pub mod grid3d;
+mod lockstep;
 pub mod machine;
 
 pub use caps::{caps, caps_scheme, CapsPlan, Step};
 pub use exec::{caps_plan_for_budget, dist_caps, dist_multiply, DistConfig};
-pub use machine::{run_spmd, try_run_spmd, MachineConfig, Rank, RankFailed, RankStats, SpmdResult};
+pub use machine::{
+    run_spmd, try_run_spmd, MachineConfig, Rank, RankFailed, RankStats, Runtime, SpmdResult,
+};

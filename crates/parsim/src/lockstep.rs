@@ -1,0 +1,105 @@
+//! The reference runtime ([`Runtime::Lockstep`]): one free-running OS
+//! thread per rank over an eager `p×p` mpsc channel mesh.
+//!
+//! This is the original PR 5 runtime, retained verbatim as the semantic
+//! baseline: the event-driven runtime is property-tested to produce
+//! bitwise-identical outputs, counters, and clocks. Its `O(p²)` channel
+//! mesh and thread-per-rank free-for-all make it the simple, obviously
+//! correct implementation — and cap it at small `p` (≈ tens of ranks),
+//! which is exactly why [`crate::event`] exists.
+//!
+//! [`Runtime::Lockstep`]: crate::machine::Runtime::Lockstep
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::machine::{
+    collect_results, Endpoint, MachineConfig, Msg, PeerHungUp, Rank, RankFailed, SpmdResult,
+};
+
+/// A rank's view of the channel mesh: senders to every peer, receivers
+/// from every peer, and an out-of-order stash (per source, tag → queue).
+pub(crate) struct LockstepEndpoint {
+    to_peers: Vec<Sender<Msg>>,
+    from_peers: Vec<Receiver<Msg>>,
+    stash: Vec<HashMap<u64, VecDeque<Msg>>>,
+}
+
+impl LockstepEndpoint {
+    /// Deliver `msg` to `to`; `false` if the destination rank died (its
+    /// receiver dropped).
+    pub(crate) fn send(&mut self, to: usize, msg: Msg) -> bool {
+        self.to_peers[to].send(msg).is_ok()
+    }
+
+    /// Next message from `from` with tag `tag`: stash first, then pump the
+    /// channel, stashing mismatched tags. Unwinds as a cascade victim if
+    /// the source died without sending.
+    pub(crate) fn recv(&mut self, from: usize, tag: u64) -> Msg {
+        if let Some(m) = self.stash[from].get_mut(&tag).and_then(|q| q.pop_front()) {
+            return m;
+        }
+        loop {
+            let msg = match self.from_peers[from].recv() {
+                Ok(msg) => msg,
+                // The source rank died without sending; this rank is a
+                // cascade victim (see `RankFailed`).
+                Err(_) => std::panic::panic_any(PeerHungUp),
+            };
+            if msg.tag == tag {
+                return msg;
+            }
+            self.stash[from].entry(msg.tag).or_default().push_back(msg);
+        }
+    }
+}
+
+/// Run the SPMD program on the lockstep runtime.
+pub(crate) fn try_run<R, F>(cfg: MachineConfig, f: F) -> Result<SpmdResult<R>, RankFailed>
+where
+    R: Send,
+    F: Fn(&mut Rank) -> R + Sync,
+{
+    let p = cfg.p;
+    // mesh of channels
+    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p).map(|_| Vec::new()).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for src in 0..p {
+        for rx_row in receivers.iter_mut() {
+            let (tx, rx) = channel();
+            senders[src].push(Some(tx));
+            rx_row[src] = Some(rx);
+        }
+    }
+    let mut ranks: Vec<Rank> = senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(id, (tx_row, rx_row))| {
+            let endpoint = LockstepEndpoint {
+                to_peers: tx_row.into_iter().map(|t| t.expect("sender")).collect(),
+                from_peers: rx_row.into_iter().map(|r| r.expect("receiver")).collect(),
+                stash: (0..p).map(|_| HashMap::new()).collect(),
+            };
+            Rank::with_endpoint(id, cfg.clone(), Endpoint::Lockstep(endpoint))
+        })
+        .collect();
+
+    let mut results = Vec::with_capacity(p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for mut rank in ranks.drain(..) {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                let id = rank.id;
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rank)));
+                (id, res.map(|out| (out, rank.stats_snapshot())))
+            }));
+        }
+        for h in handles {
+            results.push(h.join().expect("rank thread died outside catch_unwind"));
+        }
+    });
+    collect_results(p, results)
+}

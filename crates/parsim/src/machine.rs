@@ -1,22 +1,72 @@
 //! The distributed-memory machine of the paper's Section 1.1, simulated.
 //!
-//! `p` ranks run as OS threads. A message of `n` words costs `α + βn` on
-//! both endpoints (blocking, no overlap of communication and computation —
-//! assumption (2) of the model; dropping it changes runtimes by at most 2x).
-//! Each rank advances a private virtual clock; a receive completes at
-//! `max(receiver clock, sender clock at send start) + α + βn`, so the
-//! maximum final clock is the critical-path time in the α-β model. Words
-//! and messages are also counted per rank, giving the *bandwidth cost* and
-//! *latency cost* along the critical path that Corollaries 1.2/1.4 bound.
+//! `p` ranks run an SPMD closure. A message of `n` words costs `α + βn` on
+//! both endpoints (blocking). Each rank advances a private virtual clock; a
+//! receive completes at `max(receiver clock, sender clock at send start) +
+//! α + βn`, so the maximum final clock is the critical-path time in the
+//! α-β model. Words and messages are also counted per rank, giving the
+//! *bandwidth cost* and *latency cost* along the critical path that
+//! Corollaries 1.2/1.4 bound.
 //!
 //! Sends are buffered (they never block), which keeps shift/exchange
 //! patterns deadlock-free while preserving the α-β accounting.
+//!
+//! Two interchangeable runtimes execute the ranks (see [`Runtime`]):
+//!
+//! * [`Runtime::Event`] (default) — an event-driven cooperative scheduler:
+//!   ranks yield only when a receive blocks, a priority queue over per-rank
+//!   ready times picks the next rank to run, and per-destination inboxes
+//!   are materialized lazily, so state is `O(p + in-flight messages)`
+//!   rather than the `O(p²)` channel mesh. Thousands of simulated ranks
+//!   (p = 2401 and beyond) execute in seconds, deterministically, and a
+//!   cycle of ranks all blocked on each other is *detected* and reported
+//!   as a [`RankFailed`] deadlock instead of hanging the process.
+//! * [`Runtime::Lockstep`] — the original runtime retained as a semantic
+//!   reference: one OS thread per rank over an eager `p×p` channel mesh.
+//!   The equivalence test suite pins the event runtime to it bitwise.
+//!
+//! The virtual clocks are computed algebraically from the send/receive
+//! pairing, so the *real* execution order never affects them: both
+//! runtimes produce identical outputs, counters, and clocks for any
+//! deadlock-free program.
+//!
+//! Beyond the homogeneous α-β-γ machine, the config models heterogeneity
+//! and overlap as data (assumption (2) of the paper's model — no
+//! communication/computation overlap — corresponds to `overlap = 0`, the
+//! default; the paper notes dropping it changes runtimes by at most 2×):
+//!
+//! * [`MachineConfig::with_overlap`] — a fraction of each compute
+//!   interval is banked as credit that hides later communication cost on
+//!   the same rank.
+//! * [`MachineConfig::with_rank_speeds`] — per-rank compute speeds
+//!   (`γ`-time divided by the rank's speed).
+//! * [`MachineConfig::with_link_cost`] — per-directed-link `(α, β)`
+//!   overrides for non-uniform networks.
 
-use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Which simulated runtime executes the SPMD ranks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Runtime {
+    /// Event-driven cooperative scheduler (default): a priority queue over
+    /// per-rank ready times, lazily materialized inboxes, one runnable
+    /// rank at a time. Scales to thousands of ranks and detects deadlock.
+    #[default]
+    Event,
+    /// The reference runtime: one free-running OS thread per rank over an
+    /// eager `p×p` channel mesh. `O(p²)` setup — fine for small `p`, kept
+    /// as the semantic baseline the event runtime is tested against.
+    Lockstep,
+}
+
+/// Per-directed-link `(α, β)` override table keyed by `(src, dst)`.
+pub type LinkTable = HashMap<(usize, usize), (f64, f64)>;
 
 /// Cost model and size of the machine.
-#[derive(Clone, Copy, Debug)]
+///
+/// Cheap to clone: the heterogeneity tables are behind [`Arc`]s.
+#[derive(Clone, Debug)]
 pub struct MachineConfig {
     /// Number of processors.
     pub p: usize,
@@ -26,6 +76,20 @@ pub struct MachineConfig {
     pub beta: f64,
     /// Per-flop compute cost (set 0 to measure pure communication).
     pub gamma: f64,
+    /// Communication/computation overlap factor in `[0, 1]`: this fraction
+    /// of every compute interval is banked as credit that hides later
+    /// communication time on the same rank. `0` (default) is the paper's
+    /// non-overlapping model; `1` hides communication behind all prior
+    /// compute.
+    pub overlap: f64,
+    /// Per-rank relative compute speeds (length `p`); `None` means every
+    /// rank has speed `1`. A rank with speed `s` spends `γ·flops/s`.
+    pub speeds: Option<Arc<Vec<f64>>>,
+    /// Per-directed-link `(α, β)` overrides; links absent from the map use
+    /// the global `alpha`/`beta`.
+    pub links: Option<Arc<LinkTable>>,
+    /// Runtime backend executing the ranks.
+    pub runtime: Runtime,
 }
 
 impl MachineConfig {
@@ -36,7 +100,93 @@ impl MachineConfig {
             alpha: 1.0,
             beta: 0.01,
             gamma: 0.0,
+            overlap: 0.0,
+            speeds: None,
+            links: None,
+            runtime: Runtime::Event,
         }
+    }
+
+    /// Replace the per-message latency `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Replace the inverse bandwidth `β`.
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Replace the per-flop cost `γ`.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Set the communication/computation overlap factor (must be in
+    /// `[0, 1]`).
+    pub fn with_overlap(mut self, overlap: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&overlap),
+            "overlap factor {overlap} outside [0, 1]"
+        );
+        self.overlap = overlap;
+        self
+    }
+
+    /// Set per-rank compute speeds (must have length `p`, all finite and
+    /// positive). Speed `s` divides the `γ` cost of [`Rank::compute`].
+    pub fn with_rank_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.p, "need one speed per rank");
+        assert!(
+            speeds.iter().all(|s| s.is_finite() && *s > 0.0),
+            "rank speeds must be finite and positive"
+        );
+        self.speeds = Some(Arc::new(speeds));
+        self
+    }
+
+    /// Override the `(α, β)` cost of the directed link `src → dst`.
+    pub fn with_link_cost(mut self, src: usize, dst: usize, alpha: f64, beta: f64) -> Self {
+        assert!(
+            src < self.p && dst < self.p && src != dst,
+            "invalid link ({src}, {dst}) for p = {}",
+            self.p
+        );
+        assert!(
+            alpha.is_finite() && alpha >= 0.0 && beta.is_finite() && beta >= 0.0,
+            "link costs must be finite and non-negative"
+        );
+        let links = self.links.get_or_insert_with(|| Arc::new(HashMap::new()));
+        Arc::make_mut(links).insert((src, dst), (alpha, beta));
+        self
+    }
+
+    /// Select the runtime backend.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Compute speed of `rank` (1.0 unless overridden).
+    pub fn rank_speed(&self, rank: usize) -> f64 {
+        match &self.speeds {
+            Some(s) => s[rank],
+            None => 1.0,
+        }
+    }
+
+    /// `(α, β)` of the directed link `src → dst` (the global pair unless
+    /// overridden).
+    pub fn link_cost(&self, src: usize, dst: usize) -> (f64, f64) {
+        if let Some(links) = &self.links {
+            if let Some(&c) = links.get(&(src, dst)) {
+                return c;
+            }
+        }
+        (self.alpha, self.beta)
     }
 }
 
@@ -59,18 +209,19 @@ pub struct RankStats {
     pub mem_high_water: usize,
 }
 
-struct Msg {
-    tag: u64,
-    data: Vec<f64>,
+pub(crate) struct Msg {
+    pub(crate) tag: u64,
+    pub(crate) data: Vec<f64>,
     /// Sender's clock when the send started.
-    sent_at: f64,
+    pub(crate) sent_at: f64,
 }
 
 /// A rank's SPMD closure panicked: the error [`try_run_spmd`] returns,
-/// naming the **originating** rank. When one rank dies its channel
-/// endpoints drop and every peer blocked on it observes a hung-up channel
-/// — those ranks are victims of the failure, not causes, and are filtered
-/// out so the root cause is never buried under the cascade.
+/// naming the **originating** rank. When one rank dies, every peer blocked
+/// on it observes the death — those ranks are victims of the failure, not
+/// causes, and are filtered out so the root cause is never buried under
+/// the cascade. Under [`Runtime::Event`] a cycle of live ranks all blocked
+/// on each other is also reported here (as a deadlock) instead of hanging.
 #[derive(Debug, Clone)]
 pub struct RankFailed {
     /// The rank whose closure panicked first (lowest id among genuine
@@ -89,13 +240,13 @@ impl std::fmt::Display for RankFailed {
 
 impl std::error::Error for RankFailed {}
 
-/// Internal panic payload raised by a rank that observes a disconnected
-/// channel: its peer died, so it is a cascade victim — [`try_run_spmd`]
+/// Internal panic payload raised by a rank that observes a dead peer: the
+/// peer panicked first, so this rank is a cascade victim — [`try_run_spmd`]
 /// reports the peer's panic, not this one.
-struct PeerHungUp;
+pub(crate) struct PeerHungUp;
 
 /// Render a caught panic payload for [`RankFailed::payload`].
-fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_string(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&'static str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -154,6 +305,12 @@ impl<R> SpmdResult<R> {
     }
 }
 
+/// Transport backing a [`Rank`]: which runtime carries its messages.
+pub(crate) enum Endpoint {
+    Lockstep(crate::lockstep::LockstepEndpoint),
+    Event(crate::event::EventEndpoint),
+}
+
 /// One simulated processor, handed to the SPMD closure.
 pub struct Rank {
     /// This rank's id in `0..p`.
@@ -161,29 +318,70 @@ pub struct Rank {
     /// Number of ranks.
     pub p: usize,
     cfg: MachineConfig,
-    to_peers: Vec<Sender<Msg>>,
-    from_peers: Vec<Receiver<Msg>>,
-    /// out-of-order stash: per source, tag -> queue
-    stash: Vec<HashMap<u64, VecDeque<Msg>>>,
+    /// This rank's compute speed, resolved once from the config.
+    speed: f64,
+    /// Unspent overlap credit (seconds of communication hidable behind
+    /// already-performed compute).
+    credit: f64,
+    endpoint: Endpoint,
     stats: RankStats,
     mem_now: usize,
 }
 
 impl Rank {
+    pub(crate) fn with_endpoint(id: usize, cfg: MachineConfig, endpoint: Endpoint) -> Self {
+        let speed = cfg.rank_speed(id);
+        Rank {
+            id,
+            p: cfg.p,
+            cfg,
+            speed,
+            credit: 0.0,
+            endpoint,
+            stats: RankStats::default(),
+            mem_now: 0,
+        }
+    }
+
+    pub(crate) fn stats_snapshot(&self) -> RankStats {
+        self.stats
+    }
+
+    /// Charge a communication interval of raw cost `t`, consuming overlap
+    /// credit first; returns the clock time actually charged. With
+    /// `overlap = 0` the credit is always zero and `t` is returned
+    /// bit-exactly, reproducing the non-overlapping model.
+    fn charge_comm(&mut self, t: f64) -> f64 {
+        if self.credit > 0.0 {
+            let hide = self.credit.min(t);
+            self.credit -= hide;
+            t - hide
+        } else {
+            t
+        }
+    }
+
     /// Send `data` to `to` with a `tag`. Buffered: never blocks. Costs the
-    /// sender `α + β·len`.
+    /// sender `α + β·len` on the `self → to` link (minus overlap credit).
     pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
         assert!(to < self.p && to != self.id, "invalid destination {to}");
         let len = data.len();
-        self.stats.clock += self.cfg.alpha + self.cfg.beta * len as f64;
+        let (alpha, beta) = self.cfg.link_cost(self.id, to);
+        let cost = alpha + beta * len as f64;
+        let charged = self.charge_comm(cost);
+        self.stats.clock += charged;
         self.stats.words_sent += len as u64;
         self.stats.msgs_sent += 1;
-        let sent = self.to_peers[to].send(Msg {
+        let msg = Msg {
             tag,
             data,
             sent_at: self.stats.clock,
-        });
-        if sent.is_err() {
+        };
+        let delivered = match &mut self.endpoint {
+            Endpoint::Lockstep(ep) => ep.send(to, msg),
+            Endpoint::Event(ep) => ep.send(to, msg),
+        };
+        if !delivered {
             // The destination rank died; unwind as a cascade victim so
             // `try_run_spmd` reports the peer's panic, not this one.
             std::panic::panic_any(PeerHungUp);
@@ -191,35 +389,23 @@ impl Rank {
     }
 
     /// Blocking receive of the next message from `from` with tag `tag`.
-    /// Completes at `max(own clock, sender completion) + α + β·len`.
+    /// Completes at `max(own clock, sender completion) + α + β·len` on the
+    /// `from → self` link (minus overlap credit).
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         assert!(from < self.p && from != self.id, "invalid source {from}");
-        let stashed = self.stash[from].get_mut(&tag).and_then(|q| q.pop_front());
-        let msg = match stashed {
-            Some(m) => m,
-            None => self.pump(from, tag),
+        let clock = self.stats.clock;
+        let msg = match &mut self.endpoint {
+            Endpoint::Lockstep(ep) => ep.recv(from, tag),
+            Endpoint::Event(ep) => ep.recv(from, tag, clock),
         };
         let len = msg.data.len();
-        self.stats.clock =
-            self.stats.clock.max(msg.sent_at) + self.cfg.alpha + self.cfg.beta * len as f64;
+        let (alpha, beta) = self.cfg.link_cost(from, self.id);
+        let cost = alpha + beta * len as f64;
+        let charged = self.charge_comm(cost);
+        self.stats.clock = self.stats.clock.max(msg.sent_at) + charged;
         self.stats.words_received += len as u64;
         self.stats.msgs_received += 1;
         msg.data
-    }
-
-    fn pump(&mut self, from: usize, tag: u64) -> Msg {
-        loop {
-            let msg = match self.from_peers[from].recv() {
-                Ok(msg) => msg,
-                // The source rank died without sending; this rank is a
-                // cascade victim (see `RankFailed`).
-                Err(_) => std::panic::panic_any(PeerHungUp),
-            };
-            if msg.tag == tag {
-                return msg;
-            }
-            self.stash[from].entry(msg.tag).or_default().push_back(msg);
-        }
     }
 
     /// Exchange with two (possibly equal) partners: buffered send then recv.
@@ -228,10 +414,16 @@ impl Rank {
         self.recv(from, tag)
     }
 
-    /// Account `flops` of local computation.
+    /// Account `flops` of local computation: `γ·flops` divided by this
+    /// rank's speed, with `overlap ×` that interval banked as credit
+    /// against later communication.
     pub fn compute(&mut self, flops: u64) {
         self.stats.flops += flops;
-        self.stats.clock += self.cfg.gamma * flops as f64;
+        let dt = self.cfg.gamma * flops as f64 / self.speed;
+        self.stats.clock += dt;
+        if self.cfg.overlap > 0.0 {
+            self.credit += self.cfg.overlap * dt;
+        }
     }
 
     /// Track a memory allocation of `words`.
@@ -326,21 +518,11 @@ impl Rank {
             } else if me % (2 * step) == step {
                 let dst = me - step;
                 self.send(group[dst], tag, acc);
-                return self.drain_reduce(group, tag, me, 2 * step);
+                return None;
             }
             step *= 2;
         }
         Some(acc)
-    }
-
-    fn drain_reduce(
-        &mut self,
-        _group: &[usize],
-        _tag: u64,
-        _me: usize,
-        _step: usize,
-    ) -> Option<Vec<f64>> {
-        None
     }
 
     /// Ring allgather within `group`: everyone contributes `data`, everyone
@@ -384,80 +566,72 @@ where
 
 /// [`run_spmd`] with rank failure as a value: runs the SPMD program and
 /// returns [`RankFailed`] naming the originating rank if any closure
-/// panics. Each rank runs under `catch_unwind`; ranks that die observing
-/// a hung-up channel (their peer panicked first) are classified as
-/// cascade victims and never reported as the cause.
+/// panics. Each rank runs under `catch_unwind`; ranks that die observing a
+/// dead peer (their peer panicked first) are classified as cascade victims
+/// and never reported as the cause. Under [`Runtime::Event`], a deadlock
+/// (all live ranks blocked on each other) is detected and reported too —
+/// the lockstep runtime would hang forever on such a program.
 pub fn try_run_spmd<R, F>(cfg: MachineConfig, f: F) -> Result<SpmdResult<R>, RankFailed>
 where
     R: Send,
     F: Fn(&mut Rank) -> R + Sync,
 {
-    let p = cfg.p;
-    // mesh of channels
-    let mut senders: Vec<Vec<Option<Sender<Msg>>>> = (0..p).map(|_| Vec::new()).collect();
-    let mut receivers: Vec<Vec<Option<Receiver<Msg>>>> =
-        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-    for src in 0..p {
-        for rx_row in receivers.iter_mut() {
-            let (tx, rx) = channel();
-            senders[src].push(Some(tx));
-            rx_row[src] = Some(rx);
-        }
+    match cfg.runtime {
+        Runtime::Event => crate::event::try_run(cfg, f),
+        Runtime::Lockstep => crate::lockstep::try_run(cfg, f),
     }
-    let mut ranks: Vec<Rank> = senders
-        .into_iter()
-        .zip(receivers)
-        .enumerate()
-        .map(|(id, (tx_row, rx_row))| Rank {
-            id,
-            p,
-            cfg,
-            to_peers: tx_row.into_iter().map(|t| t.expect("sender")).collect(),
-            from_peers: rx_row.into_iter().map(|r| r.expect("receiver")).collect(),
-            stash: (0..p).map(|_| HashMap::new()).collect(),
-            stats: RankStats::default(),
-            mem_now: 0,
-        })
-        .collect();
+}
 
+/// Failure class of a dead rank, for picking the reported root cause.
+/// Lower wins: a genuine panic beats a detected deadlock beats a cascade
+/// victim.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum FailureClass {
+    Genuine,
+    Deadlock,
+    Victim,
+}
+
+/// One rank's `catch_unwind` outcome: its return value and stats, or the
+/// panic payload it unwound with.
+pub(crate) type RankOutcome<R> = Result<(R, RankStats), Box<dyn std::any::Any + Send>>;
+
+/// Fold per-rank `catch_unwind` results into an [`SpmdResult`] or the
+/// single [`RankFailed`] naming the root cause: the lowest-id rank of the
+/// most-causal [`FailureClass`] present. Shared by both runtimes so their
+/// classifications can never drift.
+pub(crate) fn collect_results<R>(
+    p: usize,
+    results: Vec<(usize, RankOutcome<R>)>,
+) -> Result<SpmdResult<R>, RankFailed> {
     let mut outputs: Vec<Option<(R, RankStats)>> = (0..p).map(|_| None).collect();
-    // (rank, genuine, payload) per failed rank, in rank order.
-    let mut failures: Vec<(usize, bool, String)> = Vec::new();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for mut rank in ranks.drain(..) {
-            let f = &f;
-            handles.push(scope.spawn(move || {
-                let id = rank.id;
-                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rank)));
-                (id, res.map(|out| (out, rank.stats)))
-            }));
-        }
-        for h in handles {
-            let (id, res) = h.join().expect("rank thread died outside catch_unwind");
-            match res {
-                Ok((out, stats)) => outputs[id] = Some((out, stats)),
-                Err(payload) => {
-                    let genuine = !payload.is::<PeerHungUp>();
-                    let rendered = if genuine {
-                        payload_string(payload.as_ref())
-                    } else {
-                        "hung-up channel (victim of a failed peer)".to_string()
-                    };
-                    failures.push((id, genuine, rendered));
-                }
+    // (rank, class, payload) per failed rank.
+    let mut failures: Vec<(usize, FailureClass, String)> = Vec::new();
+    for (id, res) in results {
+        match res {
+            Ok(pair) => outputs[id] = Some(pair),
+            Err(payload) => {
+                let (class, rendered) = if payload.is::<PeerHungUp>() {
+                    (
+                        FailureClass::Victim,
+                        "hung-up channel (victim of a failed peer)".to_string(),
+                    )
+                } else if let Some(d) = payload.downcast_ref::<crate::event::DeadlockPoison>() {
+                    (FailureClass::Deadlock, d.describe())
+                } else {
+                    (FailureClass::Genuine, payload_string(payload.as_ref()))
+                };
+                failures.push((id, class, rendered));
             }
         }
-    });
+    }
     if !failures.is_empty() {
-        // The originating rank: the lowest-id genuine panic. A pure
-        // hung-up cascade with no genuine panic (a rank exiting early
-        // without matching sends) falls back to the lowest victim.
-        let (rank, _, payload) = failures
-            .iter()
-            .find(|(_, genuine, _)| *genuine)
-            .unwrap_or(&failures[0])
-            .clone();
+        // The originating rank: lowest id within the most-causal class
+        // (genuine panic > detected deadlock > hung-up victim). A pure
+        // cascade with no genuine panic (a rank exiting early without
+        // matching sends) falls back to the lowest victim.
+        failures.sort_by_key(|&(id, class, _)| (class, id));
+        let (rank, _, payload) = failures[0].clone();
         return Err(RankFailed { rank, payload });
     }
     let mut outs = Vec::with_capacity(p);
@@ -477,141 +651,159 @@ where
 mod tests {
     use super::*;
 
+    const BOTH: [Runtime; 2] = [Runtime::Event, Runtime::Lockstep];
+
     #[test]
     fn ping_pong_counts_and_clocks() {
-        let cfg = MachineConfig {
-            p: 2,
-            alpha: 1.0,
-            beta: 0.5,
-            gamma: 0.0,
-        };
-        let res = run_spmd(cfg, |rank| {
-            if rank.id == 0 {
-                rank.send(1, 7, vec![1.0, 2.0, 3.0, 4.0]);
-                rank.recv(1, 8)
-            } else {
-                let v = rank.recv(0, 7);
-                rank.send(0, 8, v.clone());
-                v
-            }
-        });
-        assert_eq!(res.outputs[0], vec![1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(res.stats[0].words_sent, 4);
-        assert_eq!(res.stats[0].words_received, 4);
-        assert_eq!(res.stats[1].msgs_received, 1);
-        // clocks: r0 send ends 3.0; r1 recv ends max(0,3)+3=6; r1 send ends 9;
-        // r0 recv ends max(3,9)+3 = 12
-        assert!(
-            (res.stats[0].clock - 12.0).abs() < 1e-9,
-            "{}",
-            res.stats[0].clock
-        );
-        assert!((res.critical_path_time() - 12.0).abs() < 1e-9);
+        for rt in BOTH {
+            let cfg = MachineConfig::new(2).with_beta(0.5).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                if rank.id == 0 {
+                    rank.send(1, 7, vec![1.0, 2.0, 3.0, 4.0]);
+                    rank.recv(1, 8)
+                } else {
+                    let v = rank.recv(0, 7);
+                    rank.send(0, 8, v.clone());
+                    v
+                }
+            });
+            assert_eq!(res.outputs[0], vec![1.0, 2.0, 3.0, 4.0]);
+            assert_eq!(res.stats[0].words_sent, 4);
+            assert_eq!(res.stats[0].words_received, 4);
+            assert_eq!(res.stats[1].msgs_received, 1);
+            // clocks: r0 send ends 3.0; r1 recv ends max(0,3)+3=6; r1 send
+            // ends 9; r0 recv ends max(3,9)+3 = 12
+            assert!(
+                (res.stats[0].clock - 12.0).abs() < 1e-9,
+                "{:?}: {}",
+                rt,
+                res.stats[0].clock
+            );
+            assert!((res.critical_path_time() - 12.0).abs() < 1e-9);
+        }
     }
 
     #[test]
     fn tag_matching_out_of_order() {
-        let cfg = MachineConfig::new(2);
-        let res = run_spmd(cfg, |rank| {
-            if rank.id == 0 {
-                rank.send(1, 1, vec![1.0]);
-                rank.send(1, 2, vec![2.0]);
-                vec![]
-            } else {
-                // receive in reverse tag order
-                let b = rank.recv(0, 2);
-                let a = rank.recv(0, 1);
-                vec![a[0], b[0]]
-            }
-        });
-        assert_eq!(res.outputs[1], vec![1.0, 2.0]);
+        for rt in BOTH {
+            let cfg = MachineConfig::new(2).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                if rank.id == 0 {
+                    rank.send(1, 1, vec![1.0]);
+                    rank.send(1, 2, vec![2.0]);
+                    vec![]
+                } else {
+                    // receive in reverse tag order
+                    let b = rank.recv(0, 2);
+                    let a = rank.recv(0, 1);
+                    vec![a[0], b[0]]
+                }
+            });
+            assert_eq!(res.outputs[1], vec![1.0, 2.0], "{rt:?}");
+        }
     }
 
     #[test]
     fn exchange_does_not_deadlock() {
-        let cfg = MachineConfig::new(4);
-        let res = run_spmd(cfg, |rank| {
-            let to = (rank.id + 1) % rank.p;
-            let from = (rank.id + rank.p - 1) % rank.p;
-            let got = rank.sendrecv(to, 0, vec![rank.id as f64], from);
-            got[0]
-        });
-        for r in 0..4 {
-            assert_eq!(res.outputs[r], ((r + 3) % 4) as f64);
+        for rt in BOTH {
+            let cfg = MachineConfig::new(4).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                let to = (rank.id + 1) % rank.p;
+                let from = (rank.id + rank.p - 1) % rank.p;
+                let got = rank.sendrecv(to, 0, vec![rank.id as f64], from);
+                got[0]
+            });
+            for r in 0..4 {
+                assert_eq!(res.outputs[r], ((r + 3) % 4) as f64, "{rt:?}");
+            }
         }
     }
 
     #[test]
     fn bcast_delivers_to_all() {
-        let cfg = MachineConfig::new(7);
-        let res = run_spmd(cfg, |rank| {
-            let group: Vec<usize> = (0..rank.p).collect();
-            let data = if rank.id == 0 {
-                Some(vec![3.25, 1.5])
-            } else {
-                None
-            };
-            rank.bcast(&group, 99, data)
-        });
-        for r in 0..7 {
-            assert_eq!(res.outputs[r], vec![3.25, 1.5], "rank {r}");
+        for rt in BOTH {
+            let cfg = MachineConfig::new(7).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                let group: Vec<usize> = (0..rank.p).collect();
+                let data = if rank.id == 0 {
+                    Some(vec![3.25, 1.5])
+                } else {
+                    None
+                };
+                rank.bcast(&group, 99, data)
+            });
+            for r in 0..7 {
+                assert_eq!(res.outputs[r], vec![3.25, 1.5], "{rt:?} rank {r}");
+            }
         }
     }
 
     #[test]
     fn bcast_subgroup_and_nonzero_root() {
-        let cfg = MachineConfig::new(6);
-        let res = run_spmd(cfg, |rank| {
-            if rank.id % 2 == 0 {
-                let group = vec![4usize, 0, 2]; // root = 4
-                let data = if rank.id == 4 {
-                    Some(vec![rank.id as f64])
+        for rt in BOTH {
+            let cfg = MachineConfig::new(6).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                if rank.id % 2 == 0 {
+                    let group = vec![4usize, 0, 2]; // root = 4
+                    let data = if rank.id == 4 {
+                        Some(vec![rank.id as f64])
+                    } else {
+                        None
+                    };
+                    rank.bcast(&group, 5, data)
                 } else {
-                    None
-                };
-                rank.bcast(&group, 5, data)
-            } else {
-                vec![-1.0]
-            }
-        });
-        assert_eq!(res.outputs[0], vec![4.0]);
-        assert_eq!(res.outputs[2], vec![4.0]);
-        assert_eq!(res.outputs[1], vec![-1.0]);
+                    vec![-1.0]
+                }
+            });
+            assert_eq!(res.outputs[0], vec![4.0]);
+            assert_eq!(res.outputs[2], vec![4.0]);
+            assert_eq!(res.outputs[1], vec![-1.0]);
+        }
     }
 
     #[test]
     fn reduce_sums_at_root() {
-        let cfg = MachineConfig::new(8);
-        let res = run_spmd(cfg, |rank| {
-            let group: Vec<usize> = (0..rank.p).collect();
-            rank.reduce_sum(&group, 3, vec![rank.id as f64, 1.0])
-        });
-        assert_eq!(res.outputs[0], Some(vec![28.0, 8.0]));
-        for r in 1..8 {
-            assert!(res.outputs[r].is_none(), "rank {r}");
+        for rt in BOTH {
+            let cfg = MachineConfig::new(8).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                let group: Vec<usize> = (0..rank.p).collect();
+                rank.reduce_sum(&group, 3, vec![rank.id as f64, 1.0])
+            });
+            assert_eq!(res.outputs[0], Some(vec![28.0, 8.0]));
+            for r in 1..8 {
+                assert!(res.outputs[r].is_none(), "{rt:?} rank {r}");
+            }
         }
     }
 
     #[test]
     fn reduce_non_power_of_two() {
-        let cfg = MachineConfig::new(5);
-        let res = run_spmd(cfg, |rank| {
-            let group: Vec<usize> = (0..rank.p).collect();
-            rank.reduce_sum(&group, 3, vec![1.0])
-        });
-        assert_eq!(res.outputs[0], Some(vec![5.0]));
+        for rt in BOTH {
+            let cfg = MachineConfig::new(5).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                let group: Vec<usize> = (0..rank.p).collect();
+                rank.reduce_sum(&group, 3, vec![1.0])
+            });
+            assert_eq!(res.outputs[0], Some(vec![5.0]), "{rt:?}");
+        }
     }
 
     #[test]
     fn allgather_collects_in_order() {
-        let cfg = MachineConfig::new(4);
-        let res = run_spmd(cfg, |rank| {
-            let group: Vec<usize> = (0..rank.p).collect();
-            let pieces = rank.allgather(&group, 11, vec![rank.id as f64 * 10.0]);
-            pieces.into_iter().flatten().collect::<Vec<f64>>()
-        });
-        for r in 0..4 {
-            assert_eq!(res.outputs[r], vec![0.0, 10.0, 20.0, 30.0], "rank {r}");
+        for rt in BOTH {
+            let cfg = MachineConfig::new(4).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                let group: Vec<usize> = (0..rank.p).collect();
+                let pieces = rank.allgather(&group, 11, vec![rank.id as f64 * 10.0]);
+                pieces.into_iter().flatten().collect::<Vec<f64>>()
+            });
+            for r in 0..4 {
+                assert_eq!(
+                    res.outputs[r],
+                    vec![0.0, 10.0, 20.0, 30.0],
+                    "{rt:?} rank {r}"
+                );
+            }
         }
     }
 
@@ -620,94 +812,99 @@ mod tests {
         // Rank 2 arrives late (large compute); after the barrier every
         // rank's clock is at least rank 2's arrival time, and no words
         // moved.
-        let cfg = MachineConfig {
-            p: 5,
-            alpha: 1.0,
-            beta: 0.01,
-            gamma: 1.0,
-        };
-        let res = run_spmd(cfg, |rank| {
-            if rank.id == 2 {
-                rank.compute(1000); // clock 1000
+        for rt in BOTH {
+            let cfg = MachineConfig::new(5).with_gamma(1.0).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                if rank.id == 2 {
+                    rank.compute(1000); // clock 1000
+                }
+                let group: Vec<usize> = (0..rank.p).collect();
+                rank.barrier(&group, 77);
+                0
+            });
+            for s in &res.stats {
+                assert!(s.clock >= 1000.0, "clock {} below the straggler", s.clock);
+                assert_eq!(s.words_sent + s.words_received, 0);
+                assert_eq!(s.msgs_sent, 3, "dissemination rounds for g=5");
             }
-            let group: Vec<usize> = (0..rank.p).collect();
-            rank.barrier(&group, 77);
-            0
-        });
-        for s in &res.stats {
-            assert!(s.clock >= 1000.0, "clock {} below the straggler", s.clock);
-            assert_eq!(s.words_sent + s.words_received, 0);
-            assert_eq!(s.msgs_sent, 3, "dissemination rounds for g=5");
         }
     }
 
     #[test]
     fn barrier_on_subgroup_and_singleton() {
-        let cfg = MachineConfig::new(4);
-        let res = run_spmd(cfg, |rank| {
-            if rank.id < 2 {
-                rank.barrier(&[0, 1], 5);
-            }
-            rank.barrier(&[rank.id], 9); // singleton: no-op
-            rank.id
-        });
-        assert_eq!(res.stats[0].msgs_sent, 1);
-        assert_eq!(res.stats[3].msgs_sent, 0);
+        for rt in BOTH {
+            let cfg = MachineConfig::new(4).with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                if rank.id < 2 {
+                    rank.barrier(&[0, 1], 5);
+                }
+                rank.barrier(&[rank.id], 9); // singleton: no-op
+                rank.id
+            });
+            assert_eq!(res.stats[0].msgs_sent, 1);
+            assert_eq!(res.stats[3].msgs_sent, 0);
+        }
     }
 
     #[test]
     fn panicking_rank_is_named_not_buried() {
-        // Rank 2 panics; ranks blocked receiving from it die observing
-        // hung-up channels. The error must name rank 2 with its payload,
-        // not a cascade victim and not a generic "rank panicked".
-        let cfg = MachineConfig::new(4);
-        let err = try_run_spmd(cfg, |rank| {
-            if rank.id == 2 {
-                panic!("boom at rank {}", rank.id);
-            }
-            // every other rank waits on the dead rank: pure cascade
-            rank.recv(2, 0)
-        })
-        .expect_err("run must fail");
-        assert_eq!(err.rank, 2, "originating rank identified: {err}");
-        assert!(
-            err.payload.contains("boom at rank 2"),
-            "payload preserved: {err}"
-        );
-        let msg = err.to_string();
-        assert!(msg.contains("rank 2"), "display names the rank: {msg}");
+        // Rank 2 panics; ranks blocked receiving from it die observing the
+        // death. The error must name rank 2 with its payload, not a
+        // cascade victim and not a generic "rank panicked".
+        for rt in BOTH {
+            let cfg = MachineConfig::new(4).with_runtime(rt);
+            let err = try_run_spmd(cfg, |rank| {
+                if rank.id == 2 {
+                    panic!("boom at rank {}", rank.id);
+                }
+                // every other rank waits on the dead rank: pure cascade
+                rank.recv(2, 0)
+            })
+            .expect_err("run must fail");
+            assert_eq!(err.rank, 2, "{rt:?}: originating rank identified: {err}");
+            assert!(
+                err.payload.contains("boom at rank 2"),
+                "payload preserved: {err}"
+            );
+            let msg = err.to_string();
+            assert!(msg.contains("rank 2"), "display names the rank: {msg}");
+        }
     }
 
     #[test]
     fn run_spmd_panic_names_originating_rank() {
-        let caught = std::panic::catch_unwind(|| {
-            run_spmd(MachineConfig::new(3), |rank| {
-                if rank.id == 1 {
-                    panic!("injected");
-                }
-                rank.recv(1, 9)
+        for rt in BOTH {
+            let caught = std::panic::catch_unwind(|| {
+                run_spmd(MachineConfig::new(3).with_runtime(rt), |rank| {
+                    if rank.id == 1 {
+                        panic!("injected");
+                    }
+                    rank.recv(1, 9)
+                })
             })
-        })
-        .expect_err("must propagate");
-        let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
-        assert!(
-            msg.contains("rank 1") && msg.contains("injected"),
-            "panic message names rank and payload: {msg}"
-        );
+            .expect_err("must propagate");
+            let msg = caught.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("rank 1") && msg.contains("injected"),
+                "panic message names rank and payload: {msg}"
+            );
+        }
     }
 
     #[test]
     fn successful_run_round_trips_through_try() {
-        let res = try_run_spmd(MachineConfig::new(2), |rank| {
-            if rank.id == 0 {
-                rank.send(1, 1, vec![2.5]);
-                0.0
-            } else {
-                rank.recv(0, 1)[0]
-            }
-        })
-        .expect("clean run");
-        assert_eq!(res.outputs, vec![0.0, 2.5]);
+        for rt in BOTH {
+            let res = try_run_spmd(MachineConfig::new(2).with_runtime(rt), |rank| {
+                if rank.id == 0 {
+                    rank.send(1, 1, vec![2.5]);
+                    0.0
+                } else {
+                    rank.recv(0, 1)[0]
+                }
+            })
+            .expect("clean run");
+            assert_eq!(res.outputs, vec![0.0, 2.5], "{rt:?}");
+        }
     }
 
     #[test]
@@ -726,17 +923,147 @@ mod tests {
 
     #[test]
     fn compute_advances_clock_with_gamma() {
-        let cfg = MachineConfig {
-            p: 1,
-            alpha: 0.0,
-            beta: 0.0,
-            gamma: 2.0,
-        };
+        let cfg = MachineConfig::new(1)
+            .with_alpha(0.0)
+            .with_beta(0.0)
+            .with_gamma(2.0);
         let res = run_spmd(cfg, |rank| {
             rank.compute(10);
             0
         });
         assert!((res.stats[0].clock - 20.0).abs() < 1e-12);
         assert_eq!(res.total_flops(), 10);
+    }
+
+    #[test]
+    fn deadlock_is_detected_not_hung() {
+        // Both ranks receive from each other with no matching sends. The
+        // lockstep runtime would hang forever on this program; the event
+        // runtime must detect the cycle and name the lowest blocked rank.
+        let cfg = MachineConfig::new(2); // Runtime::Event is the default
+        let err = try_run_spmd(cfg, |rank| {
+            let peer = 1 - rank.id;
+            rank.recv(peer, 42)
+        })
+        .expect_err("deadlock must be reported");
+        assert_eq!(err.rank, 0, "lowest blocked rank named: {err}");
+        assert!(err.payload.contains("deadlock"), "describes itself: {err}");
+        assert!(
+            err.payload.contains("rank 1") && err.payload.contains("tag 42"),
+            "names the awaited peer and tag: {err}"
+        );
+    }
+
+    #[test]
+    fn genuine_panic_outranks_deadlock_report() {
+        // Rank 2 panics while ranks 0 and 1 are deadlocked between
+        // themselves: the report must name the real panic, not the
+        // (lower-id) deadlock poison victim.
+        let cfg = MachineConfig::new(3);
+        let err = try_run_spmd(cfg, |rank| match rank.id {
+            0 => rank.recv(1, 0),
+            1 => rank.recv(0, 0),
+            _ => panic!("real failure"),
+        })
+        .expect_err("must fail");
+        assert_eq!(err.rank, 2, "genuine panic wins: {err}");
+        assert!(err.payload.contains("real failure"), "{err}");
+    }
+
+    #[test]
+    fn link_cost_overrides_apply() {
+        for rt in BOTH {
+            let cfg = MachineConfig::new(2)
+                .with_link_cost(0, 1, 5.0, 1.0)
+                .with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                if rank.id == 0 {
+                    rank.send(1, 0, vec![1.0, 2.0]);
+                } else {
+                    rank.recv(0, 0);
+                }
+                0
+            });
+            // send on the overridden link: 5 + 1·2 = 7; recv (same link):
+            // max(0, 7) + 7 = 14.
+            assert!((res.stats[0].clock - 7.0).abs() < 1e-12, "{rt:?}");
+            assert!((res.stats[1].clock - 14.0).abs() < 1e-12, "{rt:?}");
+        }
+    }
+
+    #[test]
+    fn rank_speeds_scale_compute() {
+        for rt in BOTH {
+            let cfg = MachineConfig::new(2)
+                .with_gamma(1.0)
+                .with_rank_speeds(vec![1.0, 4.0])
+                .with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                rank.compute(100);
+                0
+            });
+            assert!((res.stats[0].clock - 100.0).abs() < 1e-12, "{rt:?}");
+            assert!((res.stats[1].clock - 25.0).abs() < 1e-12, "{rt:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_credit_hides_communication() {
+        for rt in BOTH {
+            let cfg = MachineConfig::new(2)
+                .with_beta(0.5)
+                .with_gamma(1.0)
+                .with_overlap(0.5)
+                .with_runtime(rt);
+            let res = run_spmd(cfg, |rank| {
+                if rank.id == 0 {
+                    // clock 10, credit 5 after computing.
+                    rank.compute(10);
+                    // each send costs 1 + 0.5·4 = 3 raw: the first is fully
+                    // hidden (credit 5 → 2), the second is charged 1.
+                    rank.send(1, 0, vec![0.0; 4]);
+                    rank.send(1, 1, vec![0.0; 4]);
+                } else {
+                    // no compute → no credit: receives are charged in full.
+                    rank.recv(0, 0);
+                    rank.recv(0, 1);
+                }
+                0
+            });
+            // r0: 10 + 0 + 1 = 11. r1: max(0, 10) + 3 = 13; max(13, 11) + 3 = 16.
+            assert!((res.stats[0].clock - 11.0).abs() < 1e-12, "{rt:?}");
+            assert!((res.stats[1].clock - 16.0).abs() < 1e-12, "{rt:?}");
+        }
+    }
+
+    #[test]
+    fn event_runtime_is_deterministic_bitwise() {
+        // The event scheduler is serial and its grant order deterministic:
+        // two runs of a compute+shift program agree bit-for-bit on every
+        // counter and clock, and match the lockstep reference bitwise.
+        let program = |rank: &mut Rank| {
+            rank.compute((rank.id as u64 + 1) * 37);
+            let to = (rank.id + 1) % rank.p;
+            let from = (rank.id + rank.p - 1) % rank.p;
+            let got = rank.sendrecv(to, 5, vec![rank.id as f64; 3], from);
+            got[0]
+        };
+        let run = |rt| {
+            run_spmd(
+                MachineConfig::new(6).with_gamma(0.75).with_runtime(rt),
+                program,
+            )
+        };
+        let a = run(Runtime::Event);
+        let b = run(Runtime::Event);
+        let c = run(Runtime::Lockstep);
+        for r in 0..6 {
+            assert_eq!(a.outputs[r].to_bits(), b.outputs[r].to_bits());
+            assert_eq!(a.outputs[r].to_bits(), c.outputs[r].to_bits());
+            assert_eq!(a.stats[r].clock.to_bits(), b.stats[r].clock.to_bits());
+            assert_eq!(a.stats[r].clock.to_bits(), c.stats[r].clock.to_bits());
+            assert_eq!(a.stats[r].words_sent, c.stats[r].words_sent);
+            assert_eq!(a.stats[r].msgs_received, c.stats[r].msgs_received);
+        }
     }
 }

@@ -1,0 +1,178 @@
+//! Metamorphic tests of the overlap-aware, heterogeneous cost model.
+//!
+//! The overlap model banks `overlap × γ·flops/speed` of every compute
+//! interval as credit and spends it against the raw `α + β·len` cost of
+//! later communication on the same rank. These properties pin it down:
+//!
+//! * `overlap = 0` charges every communication in full — it must
+//!   reproduce the original non-overlapping critical path **bitwise**;
+//! * the critical path is monotone **non-increasing** in the overlap
+//!   factor (more credit can only hide more);
+//! * the critical path is monotone **non-decreasing** in β (every charged
+//!   interval can only grow);
+//! * all-equal rank speeds of 1 are **bitwise** the homogeneous machine,
+//!   and uniform power-of-two speedups divide compute time exactly.
+
+use fastmm_matrix::dense::Matrix;
+use fastmm_parsim::cannon::cannon;
+use fastmm_parsim::caps;
+use fastmm_parsim::caps::CapsPlan;
+use fastmm_parsim::machine::{run_spmd, MachineConfig, Runtime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn operands(n: usize, seed: u64) -> (Matrix<f64>, Matrix<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (
+        Matrix::random(n, n, &mut rng),
+        Matrix::random(n, n, &mut rng),
+    )
+}
+
+/// CAPS critical path at the given machine knobs (γ > 0 so compute exists
+/// to overlap against).
+fn caps_critical_path(cfg: MachineConfig, n: usize) -> f64 {
+    let plan = CapsPlan::new(cfg.p, n, 0).unwrap();
+    let (a, b) = operands(n, 0x0713);
+    let (_, res) = caps(cfg, &plan, &a, &b);
+    res.critical_path_time()
+}
+
+#[test]
+fn zero_overlap_reproduces_original_critical_path_bitwise() {
+    // overlap = 0 (the default) must be indistinguishable — bit for bit —
+    // from the pre-overlap model, represented by the retained lockstep
+    // runtime with the same config.
+    let n = 28;
+    let (a, b) = operands(n, 0x00B5);
+    let plan = CapsPlan::new(7, n, 0).unwrap();
+    let base = MachineConfig::new(7).with_gamma(1e-6);
+    let (_, r_new) = caps(base.clone().with_overlap(0.0), &plan, &a, &b);
+    let (_, r_ref) = caps(base.with_runtime(Runtime::Lockstep), &plan, &a, &b);
+    for (e, l) in r_new.stats.iter().zip(&r_ref.stats) {
+        assert_eq!(e.clock.to_bits(), l.clock.to_bits());
+    }
+    assert_eq!(
+        r_new.critical_path_time().to_bits(),
+        r_ref.critical_path_time().to_bits()
+    );
+}
+
+#[test]
+fn critical_path_monotone_non_increasing_in_overlap() {
+    let n = 56;
+    let mut last = f64::INFINITY;
+    let mut first = 0.0;
+    let mut final_t = 0.0;
+    for (i, overlap) in [0.0, 0.25, 0.5, 0.75, 1.0].into_iter().enumerate() {
+        let cfg = MachineConfig::new(7).with_gamma(1e-4).with_overlap(overlap);
+        let t = caps_critical_path(cfg, n);
+        assert!(
+            t <= last,
+            "overlap {overlap}: critical path rose from {last} to {t}"
+        );
+        if i == 0 {
+            first = t;
+        }
+        final_t = t;
+        last = t;
+    }
+    assert!(
+        final_t < first,
+        "full overlap must strictly hide something: {final_t} !< {first}"
+    );
+}
+
+#[test]
+fn critical_path_monotone_non_decreasing_in_beta() {
+    let n = 56;
+    let mut last = 0.0;
+    for beta in [0.0, 0.005, 0.01, 0.05, 0.2] {
+        let cfg = MachineConfig::new(7)
+            .with_beta(beta)
+            .with_gamma(1e-4)
+            .with_overlap(0.5);
+        let t = caps_critical_path(cfg, n);
+        assert!(
+            t >= last,
+            "beta {beta}: critical path fell from {last} to {t}"
+        );
+        last = t;
+    }
+}
+
+#[test]
+fn all_unit_speeds_match_homogeneous_bitwise() {
+    let n = 28;
+    let (a, b) = operands(n, 0x5EED);
+    let (c_hom, r_hom) = cannon(MachineConfig::new(4).with_gamma(1e-5), &a, &b);
+    let (c_het, r_het) = cannon(
+        MachineConfig::new(4)
+            .with_gamma(1e-5)
+            .with_rank_speeds(vec![1.0; 4]),
+        &a,
+        &b,
+    );
+    assert!(c_hom.bits_eq(&c_het));
+    for (h, s) in r_hom.stats.iter().zip(&r_het.stats) {
+        assert_eq!(h.clock.to_bits(), s.clock.to_bits());
+    }
+}
+
+#[test]
+fn uniform_power_of_two_speedup_divides_compute_exactly() {
+    // With α = β = 0 the clock is pure compute: doubling every rank's
+    // speed must halve every clock exactly (powers of two commute with
+    // f64 rounding).
+    let cfg = |speed: f64| {
+        MachineConfig::new(3)
+            .with_alpha(0.0)
+            .with_beta(0.0)
+            .with_gamma(0.37)
+            .with_rank_speeds(vec![speed; 3])
+    };
+    let program = |rank: &mut fastmm_parsim::Rank| {
+        rank.compute(1000 + 17 * rank.id as u64);
+        0
+    };
+    let r1 = run_spmd(cfg(1.0), program);
+    let r2 = run_spmd(cfg(2.0), program);
+    for (s1, s2) in r1.stats.iter().zip(&r2.stats) {
+        assert_eq!((s1.clock / 2.0).to_bits(), s2.clock.to_bits());
+    }
+}
+
+#[test]
+fn slow_rank_stretches_the_critical_path() {
+    // Heterogeneity must actually show up in the critical path: one rank
+    // at quarter speed lifts the CAPS critical path above homogeneous
+    // (its compute sits on every dependency chain through its shares).
+    let n = 56;
+    let hom = caps_critical_path(MachineConfig::new(7).with_gamma(1e-4), n);
+    let mut speeds = vec![1.0; 7];
+    speeds[3] = 0.25;
+    let het = caps_critical_path(
+        MachineConfig::new(7)
+            .with_gamma(1e-4)
+            .with_rank_speeds(speeds),
+        n,
+    );
+    assert!(het > hom, "slow rank must stretch the path: {het} !> {hom}");
+}
+
+#[test]
+fn overlap_never_hides_latency_free_lower_bound_of_compute() {
+    // Overlap spends compute credit on communication; it can never push
+    // the critical path below the pure-compute floor of the slowest rank.
+    let n = 56;
+    let cfg = MachineConfig::new(7).with_gamma(1e-4).with_overlap(1.0);
+    let plan = CapsPlan::new(7, n, 0).unwrap();
+    let (a, b) = operands(n, 0xF100);
+    let (_, res) = caps(cfg, &plan, &a, &b);
+    let compute_floor = res
+        .stats
+        .iter()
+        .map(|s| s.flops as f64 * 1e-4)
+        .fold(0.0, f64::max);
+    assert!(res.critical_path_time() >= compute_floor);
+}

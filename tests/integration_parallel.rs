@@ -65,11 +65,10 @@ fn caps_overtakes_cannon_as_p_grows() {
     // rank, Cannon moves 4(√p−1)n²/p ≈ 4n²/√p and CAPS (BFS-only) moves
     // 12(n²/p^{2/ω₀} − n²/p); at p = 49 the constants nearly tie (Cannon
     // is ~3% cheaper now that its skew is folded into the free initial
-    // layout), and by p = 49² CAPS wins outright. Executing 2401 ranks is
-    // out of scope for a test, but both closed forms are verified
-    // *exactly* against execution at p = 49 — so comparing the closed
-    // forms at p = 2401 is comparing verified predictors, not formulas
-    // on faith.
+    // layout), and by p = 49² CAPS wins outright. The closed forms are
+    // verified *exactly* against execution at p = 49 here; e12b
+    // (`repro_distributed --scale`) actually *executes* all 2401 ranks on
+    // the event runtime and asserts the same crossover on measured words.
     use fastmm_parsim::cannon::cannon_words_per_rank;
     let (p, n) = (49usize, 196usize);
     let (a, b) = sample(n, 5);
@@ -128,12 +127,7 @@ fn caps_dfs_step_raises_words_lowers_memory() {
 #[test]
 fn critical_path_time_is_positive_and_bounded_by_serial() {
     let (a, b) = sample(48, 8);
-    let cfg = MachineConfig {
-        p: 16,
-        alpha: 1.0,
-        beta: 0.01,
-        gamma: 0.0,
-    };
+    let cfg = MachineConfig::new(16);
     let (_, r) = cannon(cfg, &a, &b);
     let t = r.critical_path_time();
     assert!(t > 0.0);
