@@ -35,4 +35,12 @@ fn main() {
             Some(&fastmm_bench::bench_artifact_path("BENCH_serve.json"))
         )
     );
+    println!(
+        "{}",
+        fastmm_bench::e14_faults(
+            &[49, 343],
+            32,
+            Some(&fastmm_bench::bench_artifact_path("BENCH_faults.json"))
+        )
+    );
 }

@@ -1,0 +1,50 @@
+//! E14 — fault injection and ABFT recovery: the generic distributed
+//! engine swept through a fault × recovery matrix (clean / single-bit /
+//! double-bit / crash under none / detect / abft) at `p ∈ {49, 343}`,
+//! with every ABFT-recovered gather asserted bitwise identical to
+//! `multiply_scheme` and the recovery overhead priced in words/rank as a
+//! ratio to the memory-independent floor `n²/p^{2/ω₀}`; plus serve-engine
+//! supervision chaos rows. Emits `BENCH_faults.json` at the repo root.
+//!
+//! Usage: `repro_faults [p...]` — rank counts must be powers of 7,
+//! defaulting to 49 and 343. `repro_faults --demo-failure` instead runs
+//! one scheduled-crash scenario to completion of the *failure* path:
+//! it prints the structured `FASTMM_RUN_FAILED` report to stderr and
+//! exits nonzero — the contract every `repro_*` binary follows when a
+//! simulated rank dies (exercised by the smoke suite).
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--demo-failure") {
+        demo_failure();
+    }
+    let ps: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
+    let ps = if ps.is_empty() { vec![49, 343] } else { ps };
+    println!(
+        "{}",
+        fastmm_bench::e14_faults(
+            &ps,
+            32,
+            Some(&fastmm_bench::bench_artifact_path("BENCH_faults.json"))
+        )
+    );
+}
+
+/// Run a deliberately crashed simulation and take the shared failure
+/// exit path: structured stderr report, nonzero exit code.
+fn demo_failure() -> ! {
+    use fastmm_parsim::exec::{try_dist_multiply, DistConfig};
+    use fastmm_parsim::FaultPlan;
+    let scheme = fastmm_matrix::scheme::strassen();
+    let a = fastmm_matrix::dense::Matrix::from_fn(16, 16, |i, j| (i + 2 * j) as f64);
+    let b = fastmm_matrix::dense::Matrix::from_fn(16, 16, |i, j| (i * j) as f64 - 8.0);
+    let cfg = DistConfig::new(7)
+        .with_cutoff(2)
+        .with_fault_plan(FaultPlan::new().with_crash_at_send(3, 1));
+    match try_dist_multiply(&cfg, &scheme, &a, &b) {
+        Err(e) => fastmm_bench::exit_on_rank_failure("repro_faults --demo-failure", &e),
+        Ok(_) => {
+            eprintln!("demo crash did not fire — the fault plan is broken");
+            std::process::exit(1);
+        }
+    }
+}

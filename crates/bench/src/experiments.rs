@@ -1313,7 +1313,7 @@ pub fn e13_serve(
                 // Verification pass (also the warm-up): the service must
                 // reproduce the sequential engine bit-for-bit before any
                 // throughput number is believed.
-                let verify = engine.submit(jobs.clone()).unwrap_ticket().wait();
+                let verify = engine.submit(jobs.clone()).unwrap_ticket().wait_products();
                 for (i, got) in verify.iter().enumerate() {
                     assert!(
                         got.bits_eq(&golden[i]),
@@ -1331,6 +1331,7 @@ pub fn e13_serve(
                     let mut ticket = engine.submit(batch_jobs).unwrap_ticket();
                     let mut lat = Vec::with_capacity(batch);
                     while let Some((_slot, c)) = ticket.recv_next() {
+                        let c = c.expect("e13 runs with no fault injection");
                         std::hint::black_box(&c);
                         lat.push(t0.elapsed().as_secs_f64());
                     }
@@ -1380,6 +1381,271 @@ pub fn e13_serve(
         // Loud failure for the same reason as e11: CI's serve-smoke job
         // gates on this file, and a silently stale artifact would keep
         // the gate green while the trajectory stops updating.
+        std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        out.push_str(&format!("  machine-readable emit: {path}\n"));
+    }
+    out
+}
+
+/// E14 — fault injection and ABFT recovery: what surviving faults *costs*.
+///
+/// For each rank count `p` (a power of 7 so the top-level scatter has 7
+/// subgroups), the sweep runs the generic distributed engine through a
+/// fault × recovery matrix:
+///
+/// * **clean** under `none`/`detect`/`abft` — the recovery ladder's price
+///   when nothing goes wrong: checksum framing inflates every frame by
+///   its XOR-parity words, and the `ovh/floor` column prices that
+///   inflation against the memory-independent floor `n²/p^{2/ω₀}`
+///   (arXiv:1202.3177, derived from the Thm 1.1 machinery);
+/// * **single-bit** — one flipped bit in a top-level operand frame:
+///   silently *wrong* under `none` (asserted not bitwise), a loud
+///   provenance-carrying abort under `detect`, and locally corrected
+///   under `abft` with the recovered gather asserted **bitwise
+///   identical** to `multiply_scheme`;
+/// * **double-bit** — two corrupted words in the same frame defeat
+///   single-word location, forcing the bounded ACK/RETRY re-request path
+///   (`retried ≥ 1`, still bitwise);
+/// * **crash** — a scheduled rank crash: the run fails as a value with
+///   `injected` provenance (never a hang), the row records the report.
+///
+/// A final section drives the serve engine's supervision the same way:
+/// a worker whose job panics is respawned with a fresh arena, a
+/// transiently-failing job retries to a bitwise-exact product, and an
+/// always-failing job surfaces `WorkerPanicked` — the ticket resolving
+/// every slot either way.
+///
+/// When `json_path` is `Some`, rows are emitted as `BENCH_faults.json`
+/// (committed at the repo root; CI's chaos-smoke job uploads it).
+pub fn e14_faults(ps: &[usize], n: usize, json_path: Option<&str>) -> String {
+    use fastmm_parsim::exec::{try_dist_multiply, DistConfig, Recovery, TAG_DOWN};
+    use fastmm_parsim::{FaultPlan, InjectedKind};
+
+    let scheme = strassen();
+    let cutoff = 2usize;
+    let (a, b) = sample_f64(n, 0xE14 ^ n as u64);
+    let golden = multiply_scheme(&scheme, &a, &b, cutoff);
+    let mut out = String::new();
+    out.push_str("E14 Fault injection and ABFT recovery (generic engine + serve supervision)\n");
+    out.push_str(&format!(
+        "  scheme={} n={n} cutoff={cutoff}; abft gathers asserted bitwise == multiply_scheme\n",
+        scheme.name
+    ));
+    out.push_str("  ovh=words/rank above the clean none-mode baseline; floor=n^2/p^(2/w0)\n");
+    out.push_str(
+        "  p      scenario    mode    outcome     bitwise  corrected  retried  ovh_words/rank  ovh/floor\n",
+    );
+    let mut json_rows: Vec<String> = Vec::new();
+    for &p in ps {
+        assert!(
+            p >= 7 && {
+                let mut q = p;
+                while q % 7 == 0 {
+                    q /= 7;
+                }
+                q == 1
+            },
+            "e14 sweeps powers of 7 (7 subgroups at the top scatter); got p={p}"
+        );
+        // Child l = 1's operand frame goes from the leader (rank 0) to
+        // the sub-leader of subgroup 1, which starts at rank p/7.
+        let sub1 = p / 7;
+        let down_tag = Some(TAG_DOWN + 1);
+        let single = FaultPlan::new().with_corrupt_frame(0, sub1, down_tag, 1, 4, 21);
+        let double = FaultPlan::new()
+            .with_corrupt_frame(0, sub1, down_tag, 1, 0, 9)
+            .with_corrupt_frame(0, sub1, down_tag, 1, 1, 40);
+        let crash = FaultPlan::new().with_crash_at_send(sub1, 2);
+        let run = |mode: Recovery, plan: Option<&FaultPlan>| {
+            let mut cfg = DistConfig::new(p).with_cutoff(cutoff).with_recovery(mode);
+            if let Some(plan) = plan {
+                cfg = cfg.with_fault_plan(plan.clone());
+            }
+            try_dist_multiply(&cfg, &scheme, &a, &b)
+        };
+        let (c_base, base) = run(Recovery::None, None).expect("clean baseline");
+        assert!(c_base.bits_eq(&golden), "e14 p={p}: clean baseline bitwise");
+        let mode_name = |m: Recovery| match m {
+            Recovery::None => "none",
+            Recovery::Detect => "detect",
+            Recovery::Abft => "abft",
+        };
+        let row = |scenario: &str,
+                   mode: Recovery,
+                   res: &fastmm_parsim::exec::DistRun,
+                   out: &mut String,
+                   json_rows: &mut Vec<String>| {
+            match res {
+                Ok((c, r)) => {
+                    let rep = fault_exec_report(STRASSEN, n, &base, r);
+                    let bitwise = c.bits_eq(&golden);
+                    out.push_str(&format!(
+                        "  {:<6} {:<11} {:<7} {:<11} {:<8} {:<10} {:<8} {:<15} {:.4}\n",
+                        p,
+                        scenario,
+                        mode_name(mode),
+                        "ok",
+                        bitwise,
+                        rep.frames_corrected,
+                        rep.frames_retried,
+                        rep.overhead_words_per_rank(),
+                        rep.overhead_ratio_to_floor()
+                    ));
+                    json_rows.push(format!(
+                        "  {{\"p\": {p}, \"n\": {n}, \"scenario\": {scenario:?}, \
+                         \"mode\": {:?}, \"outcome\": \"ok\", \"bitwise\": {bitwise}, \
+                         \"frames_corrected\": {}, \"frames_retried\": {}, \
+                         \"overhead_words_per_rank\": {}, \"overhead_ratio_to_floor\": {:.6}, \
+                         \"floor_words\": {:.1}}}",
+                        mode_name(mode),
+                        rep.frames_corrected,
+                        rep.frames_retried,
+                        rep.overhead_words_per_rank(),
+                        rep.overhead_ratio_to_floor(),
+                        rep.mem_independent_bound_words
+                    ));
+                }
+                Err(e) => {
+                    let inj = e
+                        .injected
+                        .map(|i| i.kind.to_string())
+                        .unwrap_or_else(|| "organic".to_string());
+                    out.push_str(&format!(
+                        "  {:<6} {:<11} {:<7} {:<11} -        -          -        rank {} [{inj}]\n",
+                        p,
+                        scenario,
+                        mode_name(mode),
+                        "failed",
+                        e.rank
+                    ));
+                    json_rows.push(format!(
+                        "  {{\"p\": {p}, \"n\": {n}, \"scenario\": {scenario:?}, \
+                         \"mode\": {:?}, \"outcome\": \"failed\", \"rank\": {}, \
+                         \"injected\": {inj:?}}}",
+                        mode_name(mode),
+                        e.rank
+                    ));
+                }
+            }
+        };
+        // clean × all modes: price of the ladder when nothing goes wrong
+        for mode in [Recovery::None, Recovery::Detect, Recovery::Abft] {
+            let res = run(mode, None);
+            let (c, _) = res.as_ref().expect("clean run completes in every mode");
+            assert!(c.bits_eq(&golden), "e14 p={p} clean {mode:?}: bitwise");
+            row("clean", mode, &res, &mut out, &mut json_rows);
+        }
+        // single-bit: silent in none, loud in detect, corrected in abft
+        let res = run(Recovery::None, Some(&single));
+        let (c, _) = res.as_ref().expect("none mode never detects");
+        assert!(
+            !c.bits_eq(&golden),
+            "e14 p={p}: an unprotected flipped bit must corrupt the product"
+        );
+        row("single-bit", Recovery::None, &res, &mut out, &mut json_rows);
+        let res = run(Recovery::Detect, Some(&single));
+        let err = res.as_ref().expect_err("detect must abort");
+        assert_eq!(
+            err.injected.expect("provenance").kind,
+            InjectedKind::CorruptionDetected
+        );
+        row(
+            "single-bit",
+            Recovery::Detect,
+            &res,
+            &mut out,
+            &mut json_rows,
+        );
+        let res = run(Recovery::Abft, Some(&single));
+        let (c, r) = res.as_ref().expect("abft corrects a single word");
+        assert!(
+            c.bits_eq(&golden),
+            "e14 p={p}: abft-recovered gather must be bitwise identical"
+        );
+        assert_eq!(r.stats.iter().map(|s| s.frames_corrected).sum::<u64>(), 1);
+        row("single-bit", Recovery::Abft, &res, &mut out, &mut json_rows);
+        // double-bit: uncorrectable in place, recovered by re-request
+        let res = run(Recovery::Abft, Some(&double));
+        let (c, r) = res.as_ref().expect("abft re-requests the frame");
+        assert!(c.bits_eq(&golden), "e14 p={p}: re-requested gather bitwise");
+        assert!(r.stats.iter().map(|s| s.frames_retried).sum::<u64>() >= 1);
+        row("double-bit", Recovery::Abft, &res, &mut out, &mut json_rows);
+        // crash: fails as a value with provenance, never a hang
+        let res = run(Recovery::Abft, Some(&crash));
+        let err = res.as_ref().expect_err("a crashed rank fails the run");
+        assert_eq!(err.rank, sub1);
+        assert_eq!(
+            err.injected.expect("provenance").kind,
+            InjectedKind::CrashAtSend
+        );
+        row("crash", Recovery::Abft, &res, &mut out, &mut json_rows);
+    }
+    // Serve supervision chaos: the same story for the batched service.
+    {
+        use fastmm_serve::{EngineConfig, EngineHandle, Job, JobError};
+        out.push_str("\n  -- serve supervision chaos (2 shards, max_job_retries=1) --\n");
+        out.push_str("  job            panics  outcome        bitwise\n");
+        let mut rng = StdRng::seed_from_u64(0xE14C);
+        let sn = 16usize;
+        let sa = Matrix::<f64>::random(sn, sn, &mut rng);
+        let sb = Matrix::<f64>::random(sn, sn, &mut rng);
+        let engine = EngineHandle::start_with_schemes(
+            EngineConfig::new(2)
+                .with_cutoff(cutoff)
+                .with_max_job_retries(1),
+            vec![scheme.clone()],
+        );
+        let want = multiply_scheme(&scheme, &sa, &sb, engine.cutoff());
+        let jobs = vec![
+            Job::new(0, sa.clone(), sb.clone()),
+            Job::new(0, sa.clone(), sb.clone()).with_injected_panics(1),
+            Job::new(0, sa.clone(), sb.clone()).with_injected_panics(u32::MAX),
+        ];
+        let results = engine.submit(jobs).unwrap_ticket().wait();
+        let labels = ["healthy", "transient", "poisoned"];
+        let panics = ["0", "1", "inf"];
+        for (i, res) in results.iter().enumerate() {
+            let (outcome, bitwise) = match res {
+                Ok(c) => {
+                    assert!(
+                        c.bits_eq(&want),
+                        "e14 serve job {i}: respawned-shard product must be bitwise"
+                    );
+                    ("ok", "true")
+                }
+                Err(JobError::WorkerPanicked { .. }) => {
+                    assert_eq!(i, 2, "only the poisoned job may exhaust retries");
+                    ("panicked", "-")
+                }
+                Err(e) => panic!("e14 serve job {i}: unexpected {e}"),
+            };
+            out.push_str(&format!(
+                "  {:<14} {:<7} {:<14} {}\n",
+                labels[i], panics[i], outcome, bitwise
+            ));
+            json_rows.push(format!(
+                "  {{\"scenario\": \"serve-{}\", \"injected_panics\": {:?}, \
+                 \"outcome\": {outcome:?}, \"bitwise\": {bitwise:?}}}",
+                labels[i], panics[i]
+            ));
+        }
+        assert!(
+            results[0].is_ok() && results[1].is_ok() && results[2].is_err(),
+            "e14 serve: supervision contract"
+        );
+        engine.shutdown();
+    }
+    out.push_str(
+        "  (every abft row above passed the bitwise-gather assertion; every failure \
+         carried injected provenance)\n",
+    );
+    if let Some(path) = json_path {
+        let json = format!("[\n{}\n]\n", json_rows.join(",\n"));
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        // Loud failure as with e11/e12/e13: CI's chaos-smoke job gates on
+        // this file existing and being fresh.
         std::fs::write(path, json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         out.push_str(&format!("  machine-readable emit: {path}\n"));
     }

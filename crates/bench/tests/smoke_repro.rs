@@ -377,6 +377,118 @@ fn e13_golden_header_rows_and_json_emit() {
 }
 
 #[test]
+fn e14_faults_smoke() {
+    // repro_faults defaults to p = 49/343; the whole fault × recovery
+    // matrix (and its internal bitwise and provenance assertions) is
+    // complete at p = 7.
+    assert_report(
+        "e14",
+        &exp::e14_faults(&[7], 16, None),
+        "Fault injection and ABFT recovery",
+        12,
+    );
+}
+
+#[test]
+fn e14_golden_rows_and_json_emit() {
+    // Golden check: every scenario × mode cell of the matrix appears,
+    // the silent-corruption row is explicitly non-bitwise, failures carry
+    // injected provenance, the serve chaos rows resolve, and the
+    // BENCH_faults.json emit is well-formed (chaos-smoke CI greps these).
+    let path = "target/test_BENCH_faults.json";
+    let out = exp::e14_faults(&[7], 16, Some(path));
+    for needle in [
+        "floor=n^2/p^(2/w0)",
+        "ovh_words/rank",
+        "clean       none    ok          true",
+        "clean       detect  ok          true",
+        "clean       abft    ok          true",
+        "single-bit  none    ok          false",
+        "single-bit  detect  failed",
+        "corruption-detected",
+        "single-bit  abft    ok          true",
+        "double-bit  abft    ok          true",
+        "crash       abft    failed",
+        "crash-at-send",
+        "serve supervision chaos",
+        "transient      1       ok             true",
+        "poisoned       inf     panicked",
+        "machine-readable emit",
+    ] {
+        assert!(
+            out.contains(needle),
+            "e14: expected {needle:?} in output:\n{out}"
+        );
+    }
+    let json = std::fs::read_to_string(path).expect("BENCH_faults.json written");
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    for needle in [
+        "\"scenario\": \"clean\"",
+        "\"scenario\": \"single-bit\"",
+        "\"scenario\": \"double-bit\"",
+        "\"scenario\": \"crash\"",
+        "\"mode\": \"none\"",
+        "\"mode\": \"detect\"",
+        "\"mode\": \"abft\"",
+        "\"outcome\": \"failed\"",
+        "\"frames_corrected\": 1",
+        "\"frames_retried\": 1",
+        "\"overhead_ratio_to_floor\"",
+        "\"injected\": \"crash-at-send\"",
+        "\"scenario\": \"serve-poisoned\"",
+    ] {
+        assert!(
+            json.contains(needle),
+            "BENCH_faults.json missing {needle}:\n{json}"
+        );
+    }
+    // 8 dist rows (3 clean + 3 single-bit + 1 double-bit + 1 crash) + 3 serve rows
+    assert_eq!(json.matches("\"scenario\"").count(), 11);
+}
+
+#[test]
+fn repro_faults_demo_failure_exits_nonzero_with_structured_report() {
+    // The satellite contract for every repro binary: a failed simulated
+    // rank exits nonzero with the FASTMM_RUN_FAILED structured report —
+    // driven end-to-end through the real binary.
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_repro_faults"))
+        .arg("--demo-failure")
+        .output()
+        .expect("repro_faults runs");
+    assert!(!out.status.success(), "demo failure must exit nonzero");
+    assert_eq!(out.status.code(), Some(2), "rank-failure exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for needle in [
+        "FASTMM_RUN_FAILED",
+        "\"context\": \"repro_faults --demo-failure\"",
+        "\"rank\": 3",
+        "\"kind\": \"crash-at-send\"",
+    ] {
+        assert!(
+            stderr.contains(needle),
+            "structured report missing {needle}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn rank_failure_report_renders_organic_failures_too() {
+    use fastmm_parsim::machine::{try_run_spmd, MachineConfig};
+    let err = try_run_spmd(MachineConfig::new(2), |rank| {
+        if rank.id == 1 {
+            panic!("organic bug");
+        }
+        rank.recv(1, 0)
+    })
+    .expect_err("must fail");
+    let report = exp::rank_failure_report("unit", &err);
+    assert!(report.starts_with("FASTMM_RUN_FAILED {"));
+    assert!(report.contains("\"injected\": null"));
+    assert!(report.contains("organic bug"));
+}
+
+#[test]
 fn e9_reported_omega0_matches_closed_forms() {
     // Golden check: the ω₀ column of repro_rectangular must equal the
     // closed forms 3·log_{mkn} r to 1e-9 (the experiment prints 9 decimals,

@@ -282,6 +282,88 @@ pub fn serve_exec_report(
     }
 }
 
+/// A fault-recovery execution report: what surviving injected corruption
+/// *cost* in communication, measured against a clean baseline of the same
+/// run and against the memory-independent parallel floor `n²/p^{2/ω₀}`
+/// (arXiv:1202.3177; the Thm 1.1-derived bound the e14 ratio columns
+/// use). Checksum framing inflates every frame by its parity words and
+/// each re-requested frame is paid again, so the overhead is real words
+/// on the critical path — this report is how experiment e14
+/// (`repro_faults`) prices the recovery ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultExecReport {
+    /// Rank count of the run.
+    pub p: usize,
+    /// Problem dimension.
+    pub n: usize,
+    /// Max per-rank words of the faulty (recovered) run.
+    pub faulty_max_words_per_rank: u64,
+    /// Max per-rank words of the clean baseline run (same config,
+    /// `Recovery::None`, no fault plan).
+    pub baseline_max_words_per_rank: u64,
+    /// Total locally corrected frames across all ranks.
+    pub frames_corrected: u64,
+    /// Total re-requested frames across all ranks.
+    pub frames_retried: u64,
+    /// Memory-independent floor `n²/p^{2/ω₀}` for these scheme params.
+    pub mem_independent_bound_words: f64,
+    /// Critical-path time of the faulty run.
+    pub critical_path_time: f64,
+}
+
+impl FaultExecReport {
+    /// Recovery overhead in words per rank:
+    /// `faulty - baseline` (0 when recovery was free or absent).
+    pub fn overhead_words_per_rank(&self) -> u64 {
+        self.faulty_max_words_per_rank
+            .saturating_sub(self.baseline_max_words_per_rank)
+    }
+
+    /// Overhead as a ratio to the memory-independent floor — the e14
+    /// headline number: how many "floors worth" of extra words the
+    /// recovery machinery costs.
+    pub fn overhead_ratio_to_floor(&self) -> f64 {
+        self.overhead_words_per_rank() as f64 / self.mem_independent_bound_words
+    }
+
+    /// Overhead as a fraction of the baseline traffic itself.
+    pub fn overhead_fraction_of_baseline(&self) -> f64 {
+        if self.baseline_max_words_per_rank == 0 {
+            return 0.0;
+        }
+        self.overhead_words_per_rank() as f64 / self.baseline_max_words_per_rank as f64
+    }
+}
+
+/// Build a [`FaultExecReport`] from a faulty (recovered) run and its
+/// clean baseline. The two runs must share `p`, `n`, and scheme — only
+/// recovery mode and fault plan may differ.
+pub fn fault_exec_report<R, S>(
+    params: SchemeParams,
+    n: usize,
+    baseline: &fastmm_parsim::SpmdResult<R>,
+    faulty: &fastmm_parsim::SpmdResult<S>,
+) -> FaultExecReport {
+    assert_eq!(
+        baseline.stats.len(),
+        faulty.stats.len(),
+        "baseline and faulty runs must use the same rank count"
+    );
+    let p = faulty.stats.len();
+    FaultExecReport {
+        p,
+        n,
+        faulty_max_words_per_rank: faulty.max_words(),
+        baseline_max_words_per_rank: baseline.max_words(),
+        frames_corrected: faulty.stats.iter().map(|s| s.frames_corrected).sum(),
+        frames_retried: faulty.stats.iter().map(|s| s.frames_retried).sum(),
+        mem_independent_bound_words: crate::bounds::par_bandwidth_lower_bound_mem_independent(
+            params, n, p,
+        ),
+        critical_path_time: faulty.critical_path_time(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +372,43 @@ mod tests {
     /// The Main Lemma's guarantee shape with an explicit constant.
     fn h_lemma(k: usize) -> f64 {
         0.05 * (4.0f64 / 7.0).powi(k as i32)
+    }
+
+    #[test]
+    fn fault_report_prices_recovery_against_the_floor() {
+        use fastmm_matrix::dense::Matrix;
+        use fastmm_parsim::exec::{try_dist_multiply, DistConfig, Recovery, TAG_DOWN};
+        use fastmm_parsim::FaultPlan;
+        let scheme = fastmm_matrix::scheme::strassen();
+        let a = Matrix::from_fn(16, 16, |i, j| (i * 16 + j) as f64 * 0.25 - 20.0);
+        let b = Matrix::from_fn(16, 16, |i, j| (j * 16 + i) as f64 * 0.125 - 10.0);
+        let base_cfg = DistConfig::new(7).with_cutoff(2);
+        let (_, base) = try_dist_multiply(&base_cfg, &scheme, &a, &b).unwrap();
+        let abft_cfg = DistConfig::new(7)
+            .with_cutoff(2)
+            .with_recovery(Recovery::Abft)
+            .with_fault_plan(FaultPlan::new().with_corrupt_frame(
+                0,
+                1,
+                Some(TAG_DOWN + 1),
+                1,
+                0,
+                13,
+            ));
+        let (_, faulty) = try_dist_multiply(&abft_cfg, &scheme, &a, &b).unwrap();
+        let rep = fault_exec_report(STRASSEN, 16, &base, &faulty);
+        assert_eq!(rep.p, 7);
+        assert_eq!(rep.frames_corrected, 1);
+        assert_eq!(rep.frames_retried, 0);
+        // Checksum framing adds parity words to every frame: the faulty
+        // run must move strictly more words than the bare baseline.
+        assert!(rep.overhead_words_per_rank() > 0);
+        assert!(rep.overhead_ratio_to_floor() > 0.0);
+        assert!(rep.overhead_fraction_of_baseline() > 0.0);
+        // A report of the baseline against itself prices recovery at zero.
+        let zero = fault_exec_report(STRASSEN, 16, &base, &base);
+        assert_eq!(zero.overhead_words_per_rank(), 0);
+        assert_eq!(zero.overhead_fraction_of_baseline(), 0.0);
     }
 
     #[test]

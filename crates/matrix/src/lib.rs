@@ -25,10 +25,15 @@
 //!   CAPS-style memory-aware BFS/DFS schedule, bit-identical to the
 //!   sequential engine at every thread count;
 //! * [`tune`] — base-case cutoff selection (`FASTMM_CUTOFF`, calibration
-//!   micro-search).
+//!   micro-search);
+//! * [`abft`] — algorithm-based fault tolerance: exact XOR-parity frame
+//!   checksums for message payloads plus Huang–Abraham row/column checksum
+//!   augmentation around [`multiply_into`] (detect / locate / correct a
+//!   single corrupted entry per product).
 
 #![warn(missing_docs)]
 
+pub mod abft;
 pub mod arena;
 pub mod classical;
 pub mod dense;
@@ -39,6 +44,7 @@ pub mod scalar;
 pub mod scheme;
 pub mod tune;
 
+pub use abft::{decode_frame, encode_frame, frame_checksum_words, FrameOutcome};
 pub use arena::{multiply_into, ScratchArena};
 pub use dense::{MatMut, MatRef, Matrix};
 pub use pack::{active_simd_level, multiply_packed_into, multiply_packed_into_scalar};

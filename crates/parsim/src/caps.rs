@@ -47,7 +47,9 @@
 //! index `u`), so quadrant `q` of a share is the contiguous quarter
 //! `share[q·len/4 .. (q+1)·len/4]`.
 
-use crate::machine::{run_spmd, MachineConfig, Rank, SpmdResult};
+use crate::exec::Recovery;
+use crate::machine::{try_run_spmd, MachineConfig, Rank, RankFailed, SpmdResult};
+use fastmm_matrix::abft::{decode_frame, encode_frame, FrameOutcome};
 use fastmm_matrix::arena::{multiply_flat, ScratchArena};
 use fastmm_matrix::dense::Matrix;
 use fastmm_matrix::recursive::scheme_op_count;
@@ -300,6 +302,59 @@ struct CapsCtx<'a> {
     r: usize,
     mr: usize,
     local_cutoff: usize,
+    recovery: Recovery,
+}
+
+/// Checksummed send for the CAPS exchange: frames carry XOR-parity
+/// checksums when `recovery` is not [`Recovery::None`].
+fn send_checked(rank: &mut Rank, recovery: Recovery, to: usize, tag: u64, data: Vec<f64>) {
+    match recovery {
+        Recovery::None => rank.send(to, tag, data),
+        _ => rank.send(to, tag, encode_frame(&data)),
+    }
+}
+
+/// Checksummed receive for the CAPS exchange. The BFS shuffle is a
+/// symmetric all-to-all within residual classes, so — unlike the generic
+/// engine's leader protocol — there is no re-request path (an ACK/RETRY
+/// exchange would deadlock: each side would block on the other's
+/// acknowledgement). [`Recovery::Detect`] aborts on any corruption;
+/// [`Recovery::Abft`] corrects a single corrupted word locally and aborts
+/// only when the frame is uncorrectable.
+fn recv_checked(
+    rank: &mut Rank,
+    recovery: Recovery,
+    from: usize,
+    tag: u64,
+    payload_len: usize,
+) -> Vec<f64> {
+    match recovery {
+        Recovery::None => rank.recv(from, tag),
+        Recovery::Detect => {
+            let mut frame = rank.recv(from, tag);
+            match decode_frame(&mut frame, payload_len) {
+                FrameOutcome::Clean => frame,
+                outcome => rank.abort_corruption(format!(
+                    "corrupted frame tag {tag} from rank {from} ({outcome:?}) in verify-only mode"
+                )),
+            }
+        }
+        Recovery::Abft => {
+            let mut frame = rank.recv(from, tag);
+            let outcome = decode_frame(&mut frame, payload_len);
+            if outcome.recovered() {
+                if !matches!(outcome, FrameOutcome::Clean) {
+                    rank.note_frame_corrected();
+                }
+                frame
+            } else {
+                rank.abort_corruption(format!(
+                    "uncorrectable frame tag {tag} from rank {from} ({outcome:?}); \
+                     the CAPS shuffle has no re-request path"
+                ))
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -376,7 +431,7 @@ fn caps_node(
                 } else {
                     let mut payload = ta;
                     payload.extend_from_slice(&tb);
-                    rank.send(group[tgt], tag_down, payload);
+                    send_checked(rank, ctx.recovery, group[tgt], tag_down, payload);
                 }
             }
             rank.track_free(2 * a.len()); // a, b fully encoded and sent
@@ -392,7 +447,7 @@ fn caps_node(
                 let (pa, pb): (Vec<f64>, Vec<f64>) = if src == me {
                     self_piece.take().expect("self piece present")
                 } else {
-                    let data = rank.recv(group[src], tag_down);
+                    let data = recv_checked(rank, ctx.recovery, group[src], tag_down, 2 * qlen);
                     let (x, y) = data.split_at(qlen);
                     (x.to_vec(), y.to_vec())
                 };
@@ -430,7 +485,7 @@ fn caps_node(
                 if tgt == me {
                     self_return = Some(piece);
                 } else {
-                    rank.send(group[tgt], tag_up, piece);
+                    send_checked(rank, ctx.recovery, group[tgt], tag_up, piece);
                 }
             }
             rank.track_free(r * qlen); // c_sub scattered back
@@ -445,7 +500,7 @@ fn caps_node(
                 let ml: Vec<f64> = if src == me {
                     self_return.take().expect("self return present")
                 } else {
-                    rank.recv(group[src], tag_up)
+                    recv_checked(rank, ctx.recovery, group[src], tag_up, qlen)
                 };
                 for q in 0..4 {
                     let w = ctx.scheme.w.get(q, l);
@@ -485,6 +540,22 @@ pub fn caps_scheme(
     a: &Matrix<f64>,
     b: &Matrix<f64>,
 ) -> (Matrix<f64>, SpmdResult<Vec<f64>>) {
+    try_caps_scheme(cfg, scheme, plan, Recovery::None, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`caps_scheme`] with a [`Recovery`] mode and rank failure as a value:
+/// exchange frames carry XOR-parity checksums when `recovery` is not
+/// [`Recovery::None`] (see [`crate::exec::try_dist_caps`] for the CAPS
+/// recovery semantics), and a dead rank returns [`RankFailed`] — with any
+/// injected-fault provenance — instead of panicking.
+pub fn try_caps_scheme(
+    cfg: MachineConfig,
+    scheme: &BilinearScheme,
+    plan: &CapsPlan,
+    recovery: Recovery,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> Result<(Matrix<f64>, SpmdResult<Vec<f64>>), RankFailed> {
     assert_eq!(cfg.p, plan.p);
     assert_eq!(scheme.dims(), (2, 2, 2), "CAPS layout needs a 2x2 base");
     assert_eq!(scheme.r, plan.r, "plan was built for a different rank");
@@ -492,12 +563,13 @@ pub fn caps_scheme(
     assert_eq!(a.rows(), n);
     assert_eq!(b.rows(), n);
     let levels = plan.steps.len();
-    let res = run_spmd(cfg, |rank| {
+    let res = try_run_spmd(cfg, |rank| {
         let ctx = CapsCtx {
             scheme,
             r: plan.r,
             mr: plan.mr,
             local_cutoff: plan.local_cutoff(),
+            recovery,
         };
         let mut arena = ScratchArena::new();
         let group: Vec<usize> = (0..plan.p).collect();
@@ -516,12 +588,12 @@ pub fn caps_scheme(
             &plan.steps,
             0,
         )
-    });
+    })?;
     let mut c = Matrix::zeros(n, n);
     for (r, share) in res.outputs.iter().enumerate() {
         scatter_share(&mut c, share, levels, plan.mr, plan.p, r);
     }
-    (c, res)
+    Ok((c, res))
 }
 
 #[cfg(test)]

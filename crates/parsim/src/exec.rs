@@ -47,8 +47,10 @@
 //! prints it next to CAPS and Cannon against the two lower bounds of
 //! Corollary 1.2 and arXiv:1202.3177, and the gap *is* the paper's story.
 
-use crate::caps::{caps_scheme, CapsPlan};
-use crate::machine::{run_spmd, MachineConfig, Rank, Runtime, SpmdResult};
+use crate::caps::{try_caps_scheme, CapsPlan};
+use crate::fault::FaultPlan;
+use crate::machine::{try_run_spmd, MachineConfig, Rank, RankFailed, Runtime, SpmdResult};
+use fastmm_matrix::abft::{decode_frame, encode_frame, FrameOutcome};
 use fastmm_matrix::arena::{
     child_shape, decode_product_into, encode_a_into, encode_b_into, multiply_flat, padded, splits,
     ScratchArena,
@@ -59,8 +61,51 @@ use fastmm_matrix::recursive::scheme_op_count_mkn;
 use fastmm_matrix::scheme::BilinearScheme;
 use std::collections::VecDeque;
 
+/// How the distributed engines defend message payloads against
+/// corruption (see [`FaultPlan`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Recovery {
+    /// No checksums: corrupted payloads flow through silently. The
+    /// baseline the overhead of the other modes is measured against.
+    #[default]
+    None,
+    /// XOR-parity checksums appended to every exchange frame, verify-only:
+    /// *any* detected corruption aborts the run loudly (an injected
+    /// failure with `corruption-detected` provenance) instead of
+    /// producing a silently wrong product. No control traffic.
+    Detect,
+    /// Full ABFT recovery: a single corrupted word per frame is located
+    /// and corrected bit-exactly at the receiver; uncorrectable frames
+    /// are re-requested from the sender (bounded retries, deterministic
+    /// virtual-time backoff) in the generic engine. The recovered gather
+    /// stays bitwise identical to `multiply_scheme`.
+    Abft,
+}
+
+/// A distributed run failed: either no valid plan existed, or a rank died
+/// (organically or by an injected fault).
+#[derive(Debug, Clone)]
+pub enum DistError {
+    /// No valid execution plan (e.g. no CAPS interleaving fits the
+    /// budget).
+    Plan(String),
+    /// A rank failed during execution; see [`RankFailed`].
+    Rank(RankFailed),
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::Plan(e) => write!(f, "planning failed: {e}"),
+            DistError::Rank(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
 /// Configuration of a distributed-memory run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct DistConfig {
     /// Number of simulated ranks.
     pub p: usize,
@@ -76,6 +121,11 @@ pub struct DistConfig {
     /// [`Runtime::Event`]; [`Runtime::Lockstep`] is the small-`p`
     /// reference the equivalence suite pins against).
     pub runtime: Runtime,
+    /// Payload-corruption defense mode (default [`Recovery::None`]).
+    pub recovery: Recovery,
+    /// Deterministic fault schedule injected into the simulated machine
+    /// (`None` injects nothing).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl DistConfig {
@@ -87,6 +137,8 @@ impl DistConfig {
             cutoff: 0,
             memory_budget: 0,
             runtime: Runtime::Event,
+            recovery: Recovery::None,
+            fault_plan: None,
         }
     }
 
@@ -105,6 +157,18 @@ impl DistConfig {
     /// Select the simulated runtime backend.
     pub fn with_runtime(mut self, runtime: Runtime) -> Self {
         self.runtime = runtime;
+        self
+    }
+
+    /// Select the payload-corruption defense mode.
+    pub fn with_recovery(mut self, recovery: Recovery) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Attach a deterministic [`FaultPlan`] to inject during the run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = if plan.is_empty() { None } else { Some(plan) };
         self
     }
 
@@ -137,12 +201,18 @@ impl DistConfig {
             cutoff: 0,
             memory_budget,
             runtime: Runtime::Event,
+            recovery: Recovery::None,
+            fault_plan: None,
         })
     }
 
-    /// The α-β machine this config runs on.
+    /// The α-β machine this config runs on (with any fault plan attached).
     pub fn machine(&self) -> MachineConfig {
-        MachineConfig::new(self.p).with_runtime(self.runtime)
+        let mut m = MachineConfig::new(self.p).with_runtime(self.runtime);
+        if let Some(plan) = &self.fault_plan {
+            m = m.with_fault_plan(plan.clone());
+        }
+        m
     }
 
     /// The resolved rank-local cutoff.
@@ -192,22 +262,181 @@ pub fn caps_plan_for_budget(
 
 /// Run CAPS under `cfg` (budget-selected interleaving) and return the
 /// gathered product with the run statistics. Convenience wrapper over
-/// [`caps_plan_for_budget`] + [`caps_scheme`].
+/// [`caps_plan_for_budget`] + [`caps_scheme`](crate::caps::caps_scheme).
 pub fn dist_caps(
     cfg: &DistConfig,
     scheme: &BilinearScheme,
     a: &Matrix<f64>,
     b: &Matrix<f64>,
 ) -> Result<(Matrix<f64>, SpmdResult<Vec<f64>>), String> {
-    let plan = caps_plan_for_budget(cfg, scheme, a.rows())?;
-    Ok(caps_scheme(cfg.machine(), scheme, &plan, a, b))
+    try_dist_caps(cfg, scheme, a, b).map_err(|e| match e {
+        DistError::Plan(msg) => msg,
+        DistError::Rank(rf) => panic!("{rf}"),
+    })
 }
 
-const TAG_DOWN: u64 = 1 << 32;
-const TAG_UP: u64 = 2 << 32;
-const TAG_BAR: u64 = 3 << 32;
+/// [`dist_caps`] with *both* failure modes as values: a planning error or
+/// a [`RankFailed`] (with injected-fault provenance) instead of a panic.
+/// CAPS recovery is checksummed frames with local single-word correction
+/// only — its BFS exchange is a symmetric all-to-all within classes, so
+/// an ACK/RETRY re-request protocol would deadlock (each side would block
+/// on the other's acknowledgement); uncorrectable corruption fails loudly
+/// under both [`Recovery::Detect`] and [`Recovery::Abft`].
+pub fn try_dist_caps(
+    cfg: &DistConfig,
+    scheme: &BilinearScheme,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> Result<(Matrix<f64>, SpmdResult<Vec<f64>>), DistError> {
+    let plan = caps_plan_for_budget(cfg, scheme, a.rows()).map_err(DistError::Plan)?;
+    try_caps_scheme(cfg.machine(), scheme, &plan, cfg.recovery, a, b).map_err(DistError::Rank)
+}
+
+/// Tag base of leader → sub-leader operand frames. Public so chaos
+/// harnesses can target a specific frame with
+/// [`FaultPlan::with_corrupt_frame`] regardless of recovery mode (control
+/// traffic uses a disjoint base, so ordinals of tagged frames are stable
+/// across modes).
+pub const TAG_DOWN: u64 = 1 << 32;
+/// Tag base of sub-leader → leader product frames (see [`TAG_DOWN`]).
+pub const TAG_UP: u64 = 2 << 32;
+/// Tag base of the per-level step barriers.
+pub const TAG_BAR: u64 = 3 << 32;
+/// Tag base of ACK/RETRY control frames ([`Recovery::Abft`] only).
+pub const TAG_CTL: u64 = 4 << 32;
 /// Tag stride per recursion depth; must exceed any scheme rank.
-const DEPTH_STRIDE: u64 = 4096;
+pub const DEPTH_STRIDE: u64 = 4096;
+
+/// Bounded retries per frame under [`Recovery::Abft`]: an uncorrectable
+/// frame is re-requested at most this many times before the receiver
+/// aborts the run.
+pub const MAX_FRAME_RETRIES: u32 = 3;
+
+/// ACK control word (sent duplicated: `[1.0, 1.0]`).
+const CTL_ACK: f64 = 1.0;
+/// RETRY control word (sent duplicated: `[2.0, 2.0]`).
+const CTL_RETRY: f64 = 2.0;
+
+enum Ctl {
+    Ack,
+    Retry,
+}
+
+/// Parse a 2-word duplicated control frame. The duplication means a
+/// single bit flip can never forge ACK ↔ RETRY (their bit patterns differ
+/// in many bits, and the two copies must agree): anything malformed
+/// aborts as detected corruption rather than desynchronizing the retry
+/// protocol.
+fn parse_ctl(rank: &mut Rank, data: &[f64]) -> Ctl {
+    if data.len() == 2 && data[0].to_bits() == data[1].to_bits() {
+        if data[0].to_bits() == CTL_ACK.to_bits() {
+            return Ctl::Ack;
+        }
+        if data[0].to_bits() == CTL_RETRY.to_bits() {
+            return Ctl::Retry;
+        }
+    }
+    rank.abort_corruption(format!(
+        "control frame corrupted beyond recognition ({} words)",
+        data.len()
+    ))
+}
+
+fn ctl_frame(code: f64) -> Vec<f64> {
+    vec![code, code]
+}
+
+/// Ack-synchronous protected send (the DOWN direction): deliver `data` to
+/// `to`, and under [`Recovery::Abft`] block for the receiver's ACK,
+/// re-sending from the retained clean copy on RETRY (bounded, with
+/// deterministic virtual-time backoff). Blocking for the ACK here is
+/// deadlock-free because the receiver's next action is exactly the
+/// matching [`recv_frame_acked`].
+fn send_frame_acked(
+    rank: &mut Rank,
+    recovery: Recovery,
+    to: usize,
+    tag: u64,
+    ctl_tag: u64,
+    data: Vec<f64>,
+) {
+    match recovery {
+        Recovery::None => rank.send(to, tag, data),
+        Recovery::Detect => rank.send(to, tag, encode_frame(&data)),
+        Recovery::Abft => {
+            let mut attempt = 1u32;
+            loop {
+                rank.send(to, tag, encode_frame(&data));
+                let ctl = rank.recv(to, ctl_tag);
+                match parse_ctl(rank, &ctl) {
+                    Ctl::Ack => return,
+                    Ctl::Retry => {
+                        attempt += 1;
+                        if attempt > MAX_FRAME_RETRIES + 1 {
+                            rank.abort_corruption(format!(
+                                "frame tag {tag} to rank {to} still corrupt after {MAX_FRAME_RETRIES} retries"
+                            ));
+                        }
+                        rank.note_frame_retried();
+                        // Deterministic backoff in virtual time before the
+                        // resend (grows with the attempt, comparable to α).
+                        rank.sleep((attempt - 1) as f64);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Receiving side of [`send_frame_acked`]: receive a `payload_len`-word
+/// frame from `from`, verifying/correcting checksums per `recovery`.
+/// Under [`Recovery::Detect`] any corruption aborts; under
+/// [`Recovery::Abft`] a single corrupted word is corrected locally
+/// (counted in [`RankStats::frames_corrected`](crate::RankStats)) and an
+/// uncorrectable frame is re-requested with a RETRY control frame.
+fn recv_frame_acked(
+    rank: &mut Rank,
+    recovery: Recovery,
+    from: usize,
+    tag: u64,
+    ctl_tag: u64,
+    payload_len: usize,
+) -> Vec<f64> {
+    match recovery {
+        Recovery::None => rank.recv(from, tag),
+        Recovery::Detect => {
+            let mut frame = rank.recv(from, tag);
+            match decode_frame(&mut frame, payload_len) {
+                FrameOutcome::Clean => frame,
+                outcome => rank.abort_corruption(format!(
+                    "corrupted frame tag {tag} from rank {from} ({outcome:?}) in verify-only mode"
+                )),
+            }
+        }
+        Recovery::Abft => {
+            let mut attempt = 1u32;
+            loop {
+                let mut frame = rank.recv(from, tag);
+                let outcome = decode_frame(&mut frame, payload_len);
+                if outcome.recovered() {
+                    if !matches!(outcome, FrameOutcome::Clean) {
+                        rank.note_frame_corrected();
+                    }
+                    rank.send(from, ctl_tag, ctl_frame(CTL_ACK));
+                    return frame;
+                }
+                attempt += 1;
+                if attempt > MAX_FRAME_RETRIES + 1 {
+                    rank.abort_corruption(format!(
+                        "frame tag {tag} from rank {from} still corrupt after {MAX_FRAME_RETRIES} retries"
+                    ));
+                }
+                rank.send(from, ctl_tag, ctl_frame(CTL_RETRY));
+                rank.sleep((attempt - 1) as f64);
+            }
+        }
+    }
+}
 
 /// Balanced contiguous partition of `g` ranks into `nsub` subgroups:
 /// bounds `[start, end)` of subgroup `j`. The first `g mod nsub`
@@ -223,6 +452,7 @@ fn subgroup_bounds(g: usize, nsub: usize, j: usize) -> (usize, usize) {
 struct DistCtx<'a> {
     scheme: &'a BilinearScheme,
     cutoff: usize,
+    recovery: Recovery,
 }
 
 /// Leader-local leaf: the rank-local arena entry point, with flop and
@@ -349,7 +579,18 @@ fn dist_node(
             } else {
                 let mut msg = ta;
                 msg.extend_from_slice(&tb);
-                rank.send(tgt, TAG_DOWN + depth * DEPTH_STRIDE + l as u64, msg);
+                // Ack-synchronous under `Recovery::Abft`: blocking for the
+                // child's ACK here is safe because the child's first
+                // phase-2 action for child `l` is exactly this receive —
+                // its progress never depends on the leader's later sends.
+                send_frame_acked(
+                    rank,
+                    ctx.recovery,
+                    tgt,
+                    TAG_DOWN + depth * DEPTH_STRIDE + l as u64,
+                    TAG_CTL + depth * DEPTH_STRIDE + l as u64,
+                    msg,
+                );
             }
         }
     }
@@ -357,12 +598,25 @@ fn dist_node(
     // Phase 2 (all): solve the children of my subgroup sequentially in
     // ascending l; subgroups run concurrently.
     let mut own_results: VecDeque<Vec<f64>> = VecDeque::new();
+    // Under `Recovery::Abft`, UP frames are sent *eagerly* (buffered) and
+    // their clean payloads retained for possible resends; the ACK/RETRY
+    // control frames are processed only after the whole loop. Waiting for
+    // an UP-ack inline between two DOWN consumptions would deadlock
+    // against the leader's phase-1 ack-wait.
+    let mut pending_up: Vec<(usize, Vec<f64>)> = Vec::new();
     for l in (my_j..r).step_by(nsub) {
         let child_payload = if me == my_sub[0] {
             let (ta, tb) = if me == leader {
                 local_children.pop_front().expect("queued child")
             } else {
-                let data = rank.recv(leader, TAG_DOWN + depth * DEPTH_STRIDE + l as u64);
+                let data = recv_frame_acked(
+                    rank,
+                    ctx.recovery,
+                    leader,
+                    TAG_DOWN + depth * DEPTH_STRIDE + l as u64,
+                    TAG_CTL + depth * DEPTH_STRIDE + l as u64,
+                    ta_len + tb_len,
+                );
                 rank.track_alloc(data.len());
                 let (x, y) = data.split_at(ta_len);
                 (x.to_vec(), y.to_vec())
@@ -376,10 +630,52 @@ fn dist_node(
             if me == leader {
                 own_results.push_back(ml);
             } else {
-                rank.send(leader, TAG_UP + depth * DEPTH_STRIDE + l as u64, ml);
-                rank.track_free(mc_len);
+                let tag = TAG_UP + depth * DEPTH_STRIDE + l as u64;
+                match ctx.recovery {
+                    Recovery::None => {
+                        rank.send(leader, tag, ml);
+                        rank.track_free(mc_len);
+                    }
+                    Recovery::Detect => {
+                        rank.send(leader, tag, encode_frame(&ml));
+                        rank.track_free(mc_len);
+                    }
+                    Recovery::Abft => {
+                        rank.send(leader, tag, encode_frame(&ml));
+                        // Retained until the leader's ACK (freed below).
+                        pending_up.push((l, ml));
+                    }
+                }
             }
         }
+    }
+
+    // Deferred UP acknowledgements (`Recovery::Abft`, non-leader
+    // sub-leaders only): drain control frames in ascending l — the
+    // leader's phase-3 order — re-sending from the retained clean copy on
+    // RETRY.
+    for (l, payload) in pending_up {
+        let tag = TAG_UP + depth * DEPTH_STRIDE + l as u64;
+        let ctl_tag = TAG_CTL + depth * DEPTH_STRIDE + l as u64;
+        let mut attempt = 1u32;
+        loop {
+            let ctl = rank.recv(leader, ctl_tag);
+            match parse_ctl(rank, &ctl) {
+                Ctl::Ack => break,
+                Ctl::Retry => {
+                    attempt += 1;
+                    if attempt > MAX_FRAME_RETRIES + 1 {
+                        rank.abort_corruption(format!(
+                            "frame tag {tag} to rank {leader} still corrupt after {MAX_FRAME_RETRIES} retries"
+                        ));
+                    }
+                    rank.note_frame_retried();
+                    rank.sleep((attempt - 1) as f64);
+                    rank.send(leader, tag, encode_frame(&payload));
+                }
+            }
+        }
+        rank.track_free(mc_len);
     }
 
     // Phase 3 (leader): decode in ascending l — the sequential engine's
@@ -395,9 +691,13 @@ fn dist_node(
             let ml = if sub_leader_of(l % nsub) == me {
                 own_results.pop_front().expect("own child result")
             } else {
-                let d = rank.recv(
+                let d = recv_frame_acked(
+                    rank,
+                    ctx.recovery,
                     sub_leader_of(l % nsub),
                     TAG_UP + depth * DEPTH_STRIDE + l as u64,
+                    TAG_CTL + depth * DEPTH_STRIDE + l as u64,
+                    mc_len,
                 );
                 rank.track_alloc(d.len());
                 d
@@ -431,12 +731,34 @@ pub fn dist_multiply(
     a: &Matrix<f64>,
     b: &Matrix<f64>,
 ) -> (Matrix<f64>, SpmdResult<Option<Vec<f64>>>) {
+    try_dist_multiply(cfg, scheme, a, b).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// The outcome of a fallible distributed run: the gathered product plus
+/// per-rank statistics on success, [`RankFailed`] (with any
+/// injected-fault provenance) when a rank dies.
+pub type DistRun = Result<(Matrix<f64>, SpmdResult<Option<Vec<f64>>>), RankFailed>;
+
+/// [`dist_multiply`] with rank failure as a value: returns [`RankFailed`]
+/// (with any injected-fault provenance) instead of panicking when a rank
+/// dies — the entry point `repro_*` binaries use to exit nonzero with a
+/// structured report on a failed run.
+pub fn try_dist_multiply(
+    cfg: &DistConfig,
+    scheme: &BilinearScheme,
+    a: &Matrix<f64>,
+    b: &Matrix<f64>,
+) -> DistRun {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
     assert!(cfg.p >= 1, "at least one rank");
     let shape = (a.rows(), a.cols(), b.cols());
     let cutoff = cfg.resolved_cutoff();
-    let res = run_spmd(cfg.machine(), |rank| {
-        let ctx = DistCtx { scheme, cutoff };
+    let res = try_run_spmd(cfg.machine(), |rank| {
+        let ctx = DistCtx {
+            scheme,
+            cutoff,
+            recovery: cfg.recovery,
+        };
         let mut arena = ScratchArena::new();
         let group: Vec<usize> = (0..rank.p).collect();
         let payload = (rank.id == 0).then(|| {
@@ -444,10 +766,10 @@ pub fn dist_multiply(
             (a.as_slice().to_vec(), b.as_slice().to_vec())
         });
         dist_node(&ctx, rank, &mut arena, &group, payload, shape, 0)
-    });
+    })?;
     let c_flat = res.outputs[0].clone().expect("rank 0 holds the product");
     let c = Matrix::from_vec(a.rows(), b.cols(), c_flat);
-    (c, res)
+    Ok((c, res))
 }
 
 #[cfg(test)]

@@ -12,6 +12,11 @@
 //! execution engine ([`exec`]) that runs *every* registry scheme on any
 //! rank count by actual block exchange, bit-identical to the sequential
 //! engine.
+//!
+//! Resilience: [`fault`] is the deterministic fault-injection layer
+//! (rank crashes, frame corruption, degraded links as a config-attached
+//! [`FaultPlan`]), and [`exec`]'s [`Recovery`] modes survive injected
+//! corruption by ABFT checksum frames with bounded re-request retries.
 
 #![warn(missing_docs)]
 
@@ -20,12 +25,17 @@ pub mod caps;
 pub mod dist;
 mod event;
 pub mod exec;
+pub mod fault;
 pub mod grid3d;
 mod lockstep;
 pub mod machine;
 
 pub use caps::{caps, caps_scheme, CapsPlan, Step};
-pub use exec::{caps_plan_for_budget, dist_caps, dist_multiply, DistConfig};
+pub use exec::{
+    caps_plan_for_budget, dist_caps, dist_multiply, try_dist_caps, try_dist_multiply, DistConfig,
+    DistError, Recovery,
+};
+pub use fault::{Fault, FaultPlan, InjectedFault, InjectedKind};
 pub use machine::{
     run_spmd, try_run_spmd, MachineConfig, Rank, RankFailed, RankStats, Runtime, SpmdResult,
 };

@@ -42,9 +42,15 @@
 //!   (`γ`-time divided by the rank's speed).
 //! * [`MachineConfig::with_link_cost`] — per-directed-link `(α, β)`
 //!   overrides for non-uniform networks.
+//! * [`MachineConfig::with_fault_plan`] — a deterministic
+//!   [`FaultPlan`] of injected rank crashes, frame
+//!   corruptions, and degraded links, enforced identically by both
+//!   runtimes inside this shared facade.
 
 use std::collections::HashMap;
 use std::sync::Arc;
+
+use crate::fault::{FaultPlan, InjectedCrash, InjectedFault, InjectedKind, RankFaults};
 
 /// Which simulated runtime executes the SPMD ranks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -88,6 +94,8 @@ pub struct MachineConfig {
     /// Per-directed-link `(α, β)` overrides; links absent from the map use
     /// the global `alpha`/`beta`.
     pub links: Option<Arc<LinkTable>>,
+    /// Deterministic fault schedule; `None` injects nothing.
+    pub faults: Option<Arc<FaultPlan>>,
     /// Runtime backend executing the ranks.
     pub runtime: Runtime,
 }
@@ -103,6 +111,7 @@ impl MachineConfig {
             overlap: 0.0,
             speeds: None,
             links: None,
+            faults: None,
             runtime: Runtime::Event,
         }
     }
@@ -170,6 +179,17 @@ impl MachineConfig {
         self
     }
 
+    /// Attach a deterministic [`FaultPlan`]. An empty plan is equivalent
+    /// to `None`.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = if plan.is_empty() {
+            None
+        } else {
+            Some(Arc::new(plan))
+        };
+        self
+    }
+
     /// Compute speed of `rank` (1.0 unless overridden).
     pub fn rank_speed(&self, rank: usize) -> f64 {
         match &self.speeds {
@@ -179,14 +199,23 @@ impl MachineConfig {
     }
 
     /// `(α, β)` of the directed link `src → dst` (the global pair unless
-    /// overridden).
+    /// overridden), with any scheduled
+    /// [`DegradeLink`](crate::Fault::DegradeLink) fault folded into `β`.
+    /// Both endpoints consult this, so a degraded link slows the send and
+    /// the receive alike.
     pub fn link_cost(&self, src: usize, dst: usize) -> (f64, f64) {
-        if let Some(links) = &self.links {
-            if let Some(&c) = links.get(&(src, dst)) {
-                return c;
+        let (alpha, mut beta) = 'base: {
+            if let Some(links) = &self.links {
+                if let Some(&c) = links.get(&(src, dst)) {
+                    break 'base c;
+                }
             }
+            (self.alpha, self.beta)
+        };
+        if let Some(plan) = &self.faults {
+            beta *= plan.link_degradation(src, dst);
         }
-        (self.alpha, self.beta)
+        (alpha, beta)
     }
 }
 
@@ -207,6 +236,12 @@ pub struct RankStats {
     pub clock: f64,
     /// Peak tracked memory (words).
     pub mem_high_water: usize,
+    /// Corrupted frames this rank detected and corrected locally via
+    /// checksum recovery (ABFT).
+    pub frames_corrected: u64,
+    /// Frames this rank had re-sent after an uncorrectable corruption
+    /// (bounded-retry recovery).
+    pub frames_retried: u64,
 }
 
 pub(crate) struct Msg {
@@ -230,11 +265,19 @@ pub struct RankFailed {
     /// The panic payload rendered to a string (`&str`/`String` payloads
     /// verbatim; otherwise a placeholder).
     pub payload: String,
+    /// When the failure was caused by a scheduled
+    /// [`FaultPlan`] fault, its provenance (kind, rank,
+    /// per-rank operation step); `None` for organic failures.
+    pub injected: Option<InjectedFault>,
 }
 
 impl std::fmt::Display for RankFailed {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "rank {} failed: {}", self.rank, self.payload)
+        write!(f, "rank {} failed: {}", self.rank, self.payload)?;
+        if let Some(inj) = &self.injected {
+            write!(f, " [{inj}]")?;
+        }
+        Ok(())
     }
 }
 
@@ -326,11 +369,23 @@ pub struct Rank {
     endpoint: Endpoint,
     stats: RankStats,
     mem_now: usize,
+    /// Compiled per-rank view of the fault plan (empty when none).
+    faults: RankFaults,
+    /// Monotone per-rank operation counter (sends, recvs, computes,
+    /// sleeps): the deterministic "step" reported as fault provenance.
+    ops: u64,
+    /// Lifetime send counter (1-based ordinal of the *next* send is
+    /// `sends_total + 1`).
+    sends_total: u64,
 }
 
 impl Rank {
     pub(crate) fn with_endpoint(id: usize, cfg: MachineConfig, endpoint: Endpoint) -> Self {
         let speed = cfg.rank_speed(id);
+        let faults = match &cfg.faults {
+            Some(plan) => plan.compile(id),
+            None => RankFaults::default(),
+        };
         Rank {
             id,
             p: cfg.p,
@@ -340,11 +395,78 @@ impl Rank {
             endpoint,
             stats: RankStats::default(),
             mem_now: 0,
+            faults,
+            ops: 0,
+            sends_total: 0,
         }
     }
 
     pub(crate) fn stats_snapshot(&self) -> RankStats {
         self.stats
+    }
+
+    /// Per-rank operation counter (fault-provenance "step"). Advances on
+    /// every send, receive, compute, and sleep.
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Unwind with an [`InjectedCrash`] carrying provenance.
+    fn injected_panic(&self, kind: InjectedKind, detail: String) -> ! {
+        std::panic::panic_any(InjectedCrash {
+            fault: InjectedFault {
+                kind,
+                rank: self.id,
+                step: self.ops,
+            },
+            detail,
+        })
+    }
+
+    /// Entry hook shared by every clocked operation: advance the step
+    /// counter and fire a scheduled crash-at-time fault once the virtual
+    /// clock has reached its threshold. Depends only on per-rank state, so
+    /// both runtimes fire it at the identical step.
+    fn fault_step(&mut self) {
+        self.ops += 1;
+        if let Some(t) = self.faults.crash_time {
+            if self.stats.clock >= t {
+                self.faults.crash_time = None;
+                self.injected_panic(
+                    InjectedKind::CrashAtTime,
+                    format!("scheduled crash at virtual time {t}"),
+                );
+            }
+        }
+    }
+
+    /// Record a locally corrected frame (checksum recovery).
+    pub(crate) fn note_frame_corrected(&mut self) {
+        self.stats.frames_corrected += 1;
+    }
+
+    /// Record a frame retry (re-requested after uncorrectable corruption).
+    pub(crate) fn note_frame_retried(&mut self) {
+        self.stats.frames_retried += 1;
+    }
+
+    /// Abort the run because corrupted data was detected and could not be
+    /// corrected. Reported as an injected failure with
+    /// [`InjectedKind::CorruptionDetected`] provenance.
+    pub fn abort_corruption(&mut self, detail: String) -> ! {
+        self.injected_panic(InjectedKind::CorruptionDetected, detail)
+    }
+
+    /// Advance this rank's virtual clock by `seconds` without any
+    /// communication or compute: deterministic backoff for retry
+    /// protocols.
+    pub fn sleep(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "sleep duration must be finite and >= 0; got {seconds}"
+        );
+        self.fault_step();
+        self.stats.clock += seconds;
     }
 
     /// Charge a communication interval of raw cost `t`, consuming overlap
@@ -363,8 +485,30 @@ impl Rank {
 
     /// Send `data` to `to` with a `tag`. Buffered: never blocks. Costs the
     /// sender `α + β·len` on the `self → to` link (minus overlap credit).
-    pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+    pub fn send(&mut self, to: usize, tag: u64, mut data: Vec<f64>) {
         assert!(to < self.p && to != self.id, "invalid destination {to}");
+        self.fault_step();
+        // Crash-at-send fires *before* any cost accounting: the send never
+        // happens, matching a process dying on entry to the call.
+        self.sends_total += 1;
+        if self.faults.crash_send == Some(self.sends_total) {
+            let nth = self.sends_total;
+            self.injected_panic(
+                InjectedKind::CrashAtSend,
+                format!("scheduled crash at send #{nth}"),
+            );
+        }
+        // Corruption flips a bit of the *delivered* copy only: any
+        // application-level resend from the sender's own buffers starts
+        // from clean data. Decided purely by per-rank frame counters, so
+        // both runtimes corrupt the identical frame.
+        for rule in &mut self.faults.corrupt {
+            if let Some((word, bit)) = rule.observe(to, tag) {
+                if let Some(w) = data.get_mut(word) {
+                    *w = f64::from_bits(w.to_bits() ^ (1u64 << bit));
+                }
+            }
+        }
         let len = data.len();
         let (alpha, beta) = self.cfg.link_cost(self.id, to);
         let cost = alpha + beta * len as f64;
@@ -393,6 +537,7 @@ impl Rank {
     /// `from → self` link (minus overlap credit).
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         assert!(from < self.p && from != self.id, "invalid source {from}");
+        self.fault_step();
         let clock = self.stats.clock;
         let msg = match &mut self.endpoint {
             Endpoint::Lockstep(ep) => ep.recv(from, tag),
@@ -418,6 +563,7 @@ impl Rank {
     /// rank's speed, with `overlap ×` that interval banked as credit
     /// against later communication.
     pub fn compute(&mut self, flops: u64) {
+        self.fault_step();
         self.stats.flops += flops;
         let dt = self.cfg.gamma * flops as f64 / self.speed;
         self.stats.clock += dt;
@@ -605,23 +751,33 @@ pub(crate) fn collect_results<R>(
     results: Vec<(usize, RankOutcome<R>)>,
 ) -> Result<SpmdResult<R>, RankFailed> {
     let mut outputs: Vec<Option<(R, RankStats)>> = (0..p).map(|_| None).collect();
-    // (rank, class, payload) per failed rank.
-    let mut failures: Vec<(usize, FailureClass, String)> = Vec::new();
+    // (rank, class, payload, injected provenance) per failed rank.
+    let mut failures: Vec<(usize, FailureClass, String, Option<InjectedFault>)> = Vec::new();
     for (id, res) in results {
         match res {
             Ok(pair) => outputs[id] = Some(pair),
             Err(payload) => {
-                let (class, rendered) = if payload.is::<PeerHungUp>() {
+                let (class, rendered, injected) = if payload.is::<PeerHungUp>() {
                     (
                         FailureClass::Victim,
                         "hung-up channel (victim of a failed peer)".to_string(),
+                        None,
                     )
                 } else if let Some(d) = payload.downcast_ref::<crate::event::DeadlockPoison>() {
-                    (FailureClass::Deadlock, d.describe())
+                    (FailureClass::Deadlock, d.describe(), None)
+                } else if let Some(c) = payload.downcast_ref::<InjectedCrash>() {
+                    // A scheduled fault fired: a genuine death of that rank
+                    // (it outranks deadlocks and victims like any panic),
+                    // but carrying its provenance for the failure report.
+                    (FailureClass::Genuine, c.to_string(), Some(c.fault))
                 } else {
-                    (FailureClass::Genuine, payload_string(payload.as_ref()))
+                    (
+                        FailureClass::Genuine,
+                        payload_string(payload.as_ref()),
+                        None,
+                    )
                 };
-                failures.push((id, class, rendered));
+                failures.push((id, class, rendered, injected));
             }
         }
     }
@@ -630,9 +786,13 @@ pub(crate) fn collect_results<R>(
         // (genuine panic > detected deadlock > hung-up victim). A pure
         // cascade with no genuine panic (a rank exiting early without
         // matching sends) falls back to the lowest victim.
-        failures.sort_by_key(|&(id, class, _)| (class, id));
-        let (rank, _, payload) = failures[0].clone();
-        return Err(RankFailed { rank, payload });
+        failures.sort_by_key(|&(id, class, _, _)| (class, id));
+        let (rank, _, payload, injected) = failures[0].clone();
+        return Err(RankFailed {
+            rank,
+            payload,
+            injected,
+        });
     }
     let mut outs = Vec::with_capacity(p);
     let mut stats = Vec::with_capacity(p);

@@ -29,11 +29,26 @@
 //! observed queue depth — callers shed load or retry; the engine never
 //! buffers without bound. The counter is maintained atomically across
 //! concurrent submitters and decremented by workers as jobs complete.
+//!
+//! ## Supervision
+//!
+//! A worker shard that panics mid-job is **respawned** with a fresh
+//! arena by its supervisor loop; the in-flight job is retried up to
+//! [`EngineConfig::max_job_retries`] times and then surfaced as a typed
+//! [`JobError::WorkerPanicked`] — never a lost result. Every submitted
+//! job therefore resolves to exactly one [`JobResult`], so
+//! [`BatchTicket::wait`]/[`BatchTicket::recv_next`] can never hang on a
+//! dead shard; [`EngineHandle::submit_with_deadline`] additionally bounds
+//! how long the ticket will wait before resolving the remaining jobs to
+//! [`JobError::DeadlineExceeded`].
 
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use fastmm_matrix::arena::multiply_into;
 use fastmm_matrix::dense::Matrix;
@@ -45,8 +60,12 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
 
 /// Default per-worker idle arena retention between batches: 2²² words
 /// (32 MiB of `f64`) — enough to keep mid-size shape classes warm without
-/// letting one huge request pin its scratch set forever.
+/// letting one giant request pin its high-water scratch set for the life
+/// of the worker.
 pub const DEFAULT_MAX_RETAINED_WORDS: usize = 1 << 22;
+
+/// Default bound on per-job retries after a worker panic.
+pub const DEFAULT_MAX_JOB_RETRIES: u32 = 2;
 
 /// Construction-time knobs of the engine.
 #[derive(Clone, Copy, Debug)]
@@ -62,17 +81,22 @@ pub struct EngineConfig {
     /// Idle arena words each worker retains between batches
     /// ([`ScratchArena::trim`] bound).
     pub max_retained_words: usize,
+    /// How many times a job whose worker panicked is retried (on the
+    /// respawned shard) before it resolves to
+    /// [`JobError::WorkerPanicked`].
+    pub max_job_retries: u32,
 }
 
 impl EngineConfig {
     /// A config with `workers` shards and the default queue capacity,
-    /// auto cutoff, and default retention bound.
+    /// auto cutoff, and default retention and retry bounds.
     pub fn new(workers: usize) -> Self {
         EngineConfig {
             workers,
             cutoff: 0,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             max_retained_words: DEFAULT_MAX_RETAINED_WORDS,
+            max_job_retries: DEFAULT_MAX_JOB_RETRIES,
         }
     }
 
@@ -93,6 +117,12 @@ impl EngineConfig {
         self.max_retained_words = words;
         self
     }
+
+    /// Replace the per-job retry bound.
+    pub fn with_max_job_retries(mut self, retries: u32) -> Self {
+        self.max_job_retries = retries;
+        self
+    }
 }
 
 /// One multiply request: `a * b` under the engine's scheme table entry
@@ -106,14 +136,70 @@ pub struct Job {
     pub a: Matrix<f64>,
     /// Right operand, `K × N`.
     pub b: Matrix<f64>,
+    /// Deterministic chaos hook: the worker panics on the first this-many
+    /// attempts at this job (0 = never, the default). Drives the
+    /// supervision tests and the e14 serve chaos rows: `n ≤
+    /// max_job_retries` exercises retry-then-success, larger `n`
+    /// exercises retry exhaustion.
+    pub injected_panics: u32,
 }
 
 impl Job {
     /// Build a job; `a.cols()` must equal `b.rows()` (checked at submit).
     pub fn new(scheme: usize, a: Matrix<f64>, b: Matrix<f64>) -> Self {
-        Job { scheme, a, b }
+        Job {
+            scheme,
+            a,
+            b,
+            injected_panics: 0,
+        }
+    }
+
+    /// Make the worker panic on this job's first `n` attempts (fault
+    /// injection for supervision tests; see [`Job::injected_panics`]).
+    pub fn with_injected_panics(mut self, n: u32) -> Self {
+        self.injected_panics = n;
+        self
     }
 }
+
+/// Why a job failed to produce a product. Jobs *always* resolve — to a
+/// product or to one of these — so batch tickets never hang.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The worker shard panicked on every attempt at this job (initial
+    /// attempt + [`EngineConfig::max_job_retries`] retries).
+    WorkerPanicked {
+        /// Total failed attempts.
+        attempts: u32,
+        /// The last panic payload, rendered to a string.
+        payload: String,
+    },
+    /// The batch deadline passed before this job's result arrived
+    /// ([`EngineHandle::submit_with_deadline`]). The job may still
+    /// complete in the background; its late result is discarded.
+    DeadlineExceeded,
+    /// The shard (and its supervisor) disappeared without resolving the
+    /// job — the engine was torn down, or the supervisor itself died.
+    ShardLost,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::WorkerPanicked { attempts, payload } => {
+                write!(f, "worker panicked on all {attempts} attempts: {payload}")
+            }
+            JobError::DeadlineExceeded => write!(f, "batch deadline exceeded"),
+            JobError::ShardLost => write!(f, "worker shard lost"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Per-job outcome: the product, or a typed error.
+pub type JobResult = Result<Matrix<f64>, JobError>;
 
 /// The dispatch unit: jobs sharing a scheme and operand shape run
 /// back-to-back on one worker's arena.
@@ -178,12 +264,17 @@ impl Submit {
 /// tagged with its submission index; [`BatchTicket::wait`] reassembles
 /// the batch in submission order, [`BatchTicket::recv_next`] streams
 /// completions as they land (what the e13 harness uses for per-job
-/// latency).
+/// latency). Every slot resolves exactly once — to a product or a typed
+/// [`JobError`] — even if a shard dies or the batch deadline passes; the
+/// ticket can never hang.
 #[derive(Debug)]
 pub struct BatchTicket {
-    rx: Receiver<(usize, Matrix<f64>)>,
+    rx: Receiver<(usize, JobResult)>,
     total: usize,
+    resolved: Vec<bool>,
     received: usize,
+    /// Absolute deadline (set by [`EngineHandle::submit_with_deadline`]).
+    deadline: Option<Instant>,
 }
 
 impl BatchTicket {
@@ -197,39 +288,88 @@ impl BatchTicket {
         self.total == 0
     }
 
-    /// Block for the next completion: `(submission index, product)`.
-    /// Returns `None` once every job in the batch has been delivered.
-    pub fn recv_next(&mut self) -> Option<(usize, Matrix<f64>)> {
-        if self.received == self.total {
-            return None;
-        }
-        let item = self
-            .rx
-            .recv()
-            .expect("worker shard died before completing the batch");
+    /// Resolve the first still-unresolved slot to `err`.
+    fn resolve_error(&mut self, err: JobError) -> Option<(usize, JobResult)> {
+        let slot = self.resolved.iter().position(|r| !r)?;
+        self.resolved[slot] = true;
         self.received += 1;
-        Some(item)
+        Some((slot, Err(err)))
     }
 
-    /// Block until the whole batch completes; results in submission order.
-    pub fn wait(mut self) -> Vec<Matrix<f64>> {
-        let mut out: Vec<Option<Matrix<f64>>> = (0..self.total).map(|_| None).collect();
-        while let Some((slot, c)) = self.recv_next() {
-            debug_assert!(out[slot].is_none(), "slot {slot} completed twice");
-            out[slot] = Some(c);
+    /// Block for the next resolution: `(submission index, result)`.
+    /// Returns `None` once every job in the batch has resolved. A dead
+    /// shard resolves the remaining slots to [`JobError::ShardLost`]; a
+    /// passed deadline resolves them to [`JobError::DeadlineExceeded`]
+    /// (late completions of already-resolved slots are discarded).
+    pub fn recv_next(&mut self) -> Option<(usize, JobResult)> {
+        loop {
+            if self.received == self.total {
+                return None;
+            }
+            let msg = match self.deadline {
+                None => self.rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        return self.resolve_error(JobError::DeadlineExceeded);
+                    }
+                    self.rx.recv_timeout(dl - now)
+                }
+            };
+            match msg {
+                Ok((slot, res)) => {
+                    if self.resolved[slot] {
+                        // A late completion raced an earlier deadline
+                        // resolution of this slot; drop it.
+                        continue;
+                    }
+                    self.resolved[slot] = true;
+                    self.received += 1;
+                    return Some((slot, res));
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return self.resolve_error(JobError::DeadlineExceeded);
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return self.resolve_error(JobError::ShardLost);
+                }
+            }
+        }
+    }
+
+    /// Block until the whole batch resolves; per-job results in
+    /// submission order.
+    pub fn wait(mut self) -> Vec<JobResult> {
+        let mut out: Vec<Option<JobResult>> = (0..self.total).map(|_| None).collect();
+        while let Some((slot, r)) = self.recv_next() {
+            debug_assert!(out[slot].is_none(), "slot {slot} resolved twice");
+            out[slot] = Some(r);
         }
         out.into_iter()
-            .map(|c| c.expect("every submitted job completes exactly once"))
+            .map(|c| c.expect("every submitted job resolves exactly once"))
+            .collect()
+    }
+
+    /// [`BatchTicket::wait`] for callers that expect every job to
+    /// succeed: unwraps each result, panicking on the first [`JobError`].
+    pub fn wait_products(self) -> Vec<Matrix<f64>> {
+        self.wait()
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| r.unwrap_or_else(|e| panic!("job {i} failed: {e}")))
             .collect()
     }
 }
 
-/// One shape-class group en route to a worker shard.
-struct WorkItem {
-    /// `(submission index, job)` pairs, all of one [`ShapeClass`].
-    jobs: Vec<(usize, Job)>,
+/// One job en route to (or being retried on) a worker shard.
+struct WorkUnit {
+    /// Submission index within its batch.
+    slot: usize,
+    /// Failed attempts so far (0 on first dispatch).
+    attempts: u32,
+    job: Job,
     /// Where the owning batch collects results.
-    results: Sender<(usize, Matrix<f64>)>,
+    results: Sender<(usize, JobResult)>,
 }
 
 /// Handle to a running engine: worker shards with warmed arenas, a
@@ -238,7 +378,7 @@ struct WorkItem {
 /// joins them.
 pub struct EngineHandle {
     schemes: Arc<Vec<BilinearScheme>>,
-    senders: Vec<Sender<WorkItem>>,
+    senders: Vec<Sender<WorkUnit>>,
     workers: Vec<JoinHandle<()>>,
     in_flight: Arc<AtomicUsize>,
     next_worker: AtomicUsize,
@@ -264,14 +404,17 @@ impl EngineHandle {
         let mut senders = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         for shard in 0..workers {
-            let (tx, rx) = channel::<WorkItem>();
+            let (tx, rx) = channel::<WorkUnit>();
             let schemes = Arc::clone(&schemes);
             let in_flight = Arc::clone(&in_flight);
             let max_retained = config.max_retained_words;
+            let max_retries = config.max_job_retries;
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("fastmm-serve-{shard}"))
-                    .spawn(move || worker_loop(rx, schemes, cutoff, max_retained, in_flight))
+                    .spawn(move || {
+                        shard_supervisor(rx, schemes, cutoff, max_retained, max_retries, in_flight)
+                    })
                     .expect("spawning worker shard"),
             );
             senders.push(tx);
@@ -323,6 +466,19 @@ impl EngineHandle {
     /// across the shards; the whole batch is either accepted or rejected
     /// atomically against the queue bound.
     pub fn submit(&self, jobs: Vec<Job>) -> Submit {
+        self.submit_inner(jobs, None)
+    }
+
+    /// [`EngineHandle::submit`] with a per-batch deadline: once
+    /// `deadline` has elapsed, the ticket resolves every still-pending
+    /// job to [`JobError::DeadlineExceeded`] instead of blocking (late
+    /// completions are discarded). The deadline clock starts at
+    /// acceptance.
+    pub fn submit_with_deadline(&self, jobs: Vec<Job>, deadline: Duration) -> Submit {
+        self.submit_inner(jobs, Some(deadline))
+    }
+
+    fn submit_inner(&self, jobs: Vec<Job>, deadline: Option<Duration>) -> Submit {
         for (i, job) in jobs.iter().enumerate() {
             assert!(
                 job.scheme < self.schemes.len(),
@@ -360,26 +516,39 @@ impl EngineHandle {
         // behind it in the same item.
         let shards = self.senders.len();
         for (_, group) in groups {
-            for job in group {
+            for (slot, job) in group {
                 let w = self.next_worker.fetch_add(1, Ordering::Relaxed) % shards;
-                self.senders[w]
-                    .send(WorkItem {
-                        jobs: vec![job],
-                        results: tx.clone(),
-                    })
-                    .expect("worker shard died");
+                let unit = WorkUnit {
+                    slot,
+                    attempts: 0,
+                    job,
+                    results: tx.clone(),
+                };
+                if let Err(failed) = self.senders[w].send(unit) {
+                    // The shard's supervisor is gone (it exits only when
+                    // its channel disconnects, so this means teardown or a
+                    // supervisor death): resolve the job instead of
+                    // panicking or leaking queue capacity.
+                    let unit = failed.0;
+                    self.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    let _ = unit.results.send((unit.slot, Err(JobError::ShardLost)));
+                }
             }
         }
         Submit::Accepted(BatchTicket {
             rx,
             total: n,
+            resolved: vec![false; n],
             received: 0,
+            deadline: deadline.map(|d| Instant::now() + d),
         })
     }
 
-    /// Stop the engine: disconnect and join every shard. Equivalent to
-    /// dropping the handle, spelled out for call sites that want the join
-    /// to be explicit.
+    /// Stop the engine gracefully: disconnect the shards — each drains
+    /// every job already queued to it (mpsc delivers queued messages
+    /// before reporting disconnection), resolving them all — then join
+    /// them. Equivalent to dropping the handle, spelled out for call
+    /// sites that want the drain + join to be explicit.
     pub fn shutdown(self) {}
 }
 
@@ -392,35 +561,138 @@ impl Drop for EngineHandle {
     }
 }
 
-/// Shard body: drain work items, computing each job with this worker's
-/// private arena at the engine's resolved cutoff — the identical code
-/// path to `multiply_scheme`, so outputs are bitwise equal to the
-/// sequential engine regardless of which shard runs the job.
-fn worker_loop(
-    rx: Receiver<WorkItem>,
+/// Render a worker panic payload for [`JobError::WorkerPanicked`].
+fn panic_payload_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Shard supervisor: runs [`shard_body`] under `catch_unwind` and
+/// respawns it — with a **fresh arena** — whenever it panics. The job
+/// that was in flight at the panic is either requeued locally (up to
+/// `max_job_retries` retries on the respawned incarnation) or resolved to
+/// [`JobError::WorkerPanicked`]; either way its slot resolves, so the
+/// owning ticket never hangs. The supervisor itself exits only when the
+/// dispatch channel disconnects (engine teardown), after the body has
+/// drained it.
+fn shard_supervisor(
+    rx: Receiver<WorkUnit>,
     schemes: Arc<Vec<BilinearScheme>>,
     cutoff: usize,
     max_retained_words: usize,
+    max_job_retries: u32,
     in_flight: Arc<AtomicUsize>,
 ) {
-    let mut arena = ScratchArena::new();
-    while let Ok(item) = rx.recv() {
-        for (slot, job) in item.jobs {
-            let scheme = &schemes[job.scheme];
-            let mut c = Matrix::zeros(job.a.rows(), job.b.cols());
-            multiply_into(
-                scheme,
-                job.a.view(),
-                job.b.view(),
-                &mut c.view_mut(),
+    // Both survive body incarnations: `current` is the unit being
+    // executed (recovered after a panic via the poisoned lock), `retries`
+    // the local requeue the next incarnation drains first.
+    let current: Mutex<Option<WorkUnit>> = Mutex::new(None);
+    let retries: Mutex<VecDeque<WorkUnit>> = Mutex::new(VecDeque::new());
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shard_body(
+                &rx,
+                &current,
+                &retries,
+                &schemes,
                 cutoff,
-                &mut arena,
-            );
-            in_flight.fetch_sub(1, Ordering::SeqCst);
-            // The ticket may have been dropped; completing is still correct.
-            let _ = item.results.send((slot, c));
+                max_retained_words,
+                &in_flight,
+            )
+        }));
+        match outcome {
+            Ok(()) => return, // channel disconnected and drained: clean exit
+            Err(payload) => {
+                let crashed = current
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .take();
+                if let Some(mut unit) = crashed {
+                    unit.attempts += 1;
+                    if unit.attempts > max_job_retries {
+                        in_flight.fetch_sub(1, Ordering::SeqCst);
+                        let err = JobError::WorkerPanicked {
+                            attempts: unit.attempts,
+                            payload: panic_payload_string(payload.as_ref()),
+                        };
+                        let _ = unit.results.send((unit.slot, Err(err)));
+                    } else {
+                        retries
+                            .lock()
+                            .unwrap_or_else(|poisoned| poisoned.into_inner())
+                            .push_back(unit);
+                    }
+                }
+            }
         }
-        // Between batches: bound what an idle shard keeps warm.
+    }
+}
+
+/// One incarnation of a shard: drain retried then fresh work units,
+/// computing each job with this incarnation's private arena at the
+/// engine's resolved cutoff — the identical code path to
+/// `multiply_scheme`, so outputs are bitwise equal to the sequential
+/// engine regardless of which shard (or which incarnation of it) runs the
+/// job.
+fn shard_body(
+    rx: &Receiver<WorkUnit>,
+    current: &Mutex<Option<WorkUnit>>,
+    retries: &Mutex<VecDeque<WorkUnit>>,
+    schemes: &[BilinearScheme],
+    cutoff: usize,
+    max_retained_words: usize,
+    in_flight: &AtomicUsize,
+) {
+    let mut arena = ScratchArena::new();
+    loop {
+        let unit = {
+            let requeued = retries
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .pop_front();
+            match requeued {
+                Some(u) => u,
+                None => match rx.recv() {
+                    Ok(u) => u,
+                    Err(_) => return, // disconnected and drained
+                },
+            }
+        };
+        // Park the unit where the supervisor can recover it if we panic.
+        // The guard is held across the multiply on purpose: a panic
+        // poisons the lock, and the supervisor takes the unit through the
+        // poison.
+        let mut cur = current.lock().unwrap_or_else(|p| p.into_inner());
+        *cur = Some(unit);
+        let u = cur.as_ref().expect("just parked");
+        if u.attempts < u.job.injected_panics {
+            panic!(
+                "injected worker panic (attempt {} of job slot {})",
+                u.attempts + 1,
+                u.slot
+            );
+        }
+        let scheme = &schemes[u.job.scheme];
+        let mut c = Matrix::zeros(u.job.a.rows(), u.job.b.cols());
+        multiply_into(
+            scheme,
+            u.job.a.view(),
+            u.job.b.view(),
+            &mut c.view_mut(),
+            cutoff,
+            &mut arena,
+        );
+        let unit = cur.take().expect("still parked");
+        drop(cur);
+        in_flight.fetch_sub(1, Ordering::SeqCst);
+        // The ticket may have been dropped; completing is still correct.
+        let _ = unit.results.send((unit.slot, Ok(c)));
+        // Between units: bound what an idle shard keeps warm.
         arena.trim(max_retained_words);
     }
 }

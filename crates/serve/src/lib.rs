@@ -20,7 +20,10 @@
 //!   class so one worker's arena serves a whole class back-to-back, and
 //!   applies **bounded-queue backpressure**: a submit that would exceed
 //!   the queue capacity returns [`Submit::Rejected`] with the observed
-//!   depth instead of buffering without bound.
+//!   depth instead of buffering without bound. Shards are **supervised**:
+//!   a worker panic respawns the shard with a fresh arena, the in-flight
+//!   job is retried up to [`EngineConfig::with_max_job_retries`] times and
+//!   then surfaced as a typed [`JobError`] — a ticket never hangs.
 //! * [`ser`] — the length-prefixed binary wire format: versioned header,
 //!   checked deserialization. Malformed frames return typed
 //!   [`ser::WireError`]s — never panic — and zero-dimension operands are
@@ -37,7 +40,10 @@
 pub mod engine;
 pub mod ser;
 
-pub use engine::{BatchTicket, EngineConfig, EngineHandle, Job, ShapeClass, Submit};
+pub use engine::{
+    BatchTicket, EngineConfig, EngineHandle, Job, JobError, JobResult, ShapeClass, Submit,
+    DEFAULT_MAX_JOB_RETRIES,
+};
 pub use ser::{
     decode_request, decode_response, encode_request, encode_response, FrameKind, WireError,
     WIRE_VERSION,

@@ -54,7 +54,7 @@ fn batched_results_match_multiply_scheme_across_worker_counts() {
             .iter()
             .map(|j| multiply_scheme(&schemes[j.scheme], &j.a, &j.b, engine.cutoff()))
             .collect();
-        let results = engine.submit(shuffled_jobs).unwrap_ticket().wait();
+        let results = engine.submit(shuffled_jobs).unwrap_ticket().wait_products();
         assert_eq!(results.len(), expected.len());
         for (i, (got, want)) in results.iter().zip(&expected).enumerate() {
             assert!(
@@ -87,7 +87,7 @@ fn wire_round_trip_through_the_engine_is_bitwise() {
     let engine = EngineHandle::start(EngineConfig::new(2).with_cutoff(8));
     let wire = encode_request(&jobs, &schemes);
     let decoded = fastmm_serve::decode_request(&wire, engine.schemes()).expect("valid frame");
-    let results = engine.submit(decoded).unwrap_ticket().wait();
+    let results = engine.submit(decoded).unwrap_ticket().wait_products();
     let response = fastmm_serve::encode_response(&results);
     let delivered = decode_response(&response).expect("valid response");
     for (i, job) in jobs.iter().enumerate() {
@@ -132,7 +132,7 @@ fn full_queue_rejects_instead_of_growing() {
         }
         Submit::Accepted(_) => panic!("overflow past capacity must be rejected"),
     }
-    let results = ticket.wait();
+    let results = ticket.wait_products();
     assert_eq!(results.len(), 2);
     assert_eq!(engine.queue_depth(), 0, "queue drains to zero");
     // Once drained, capacity is available again.
@@ -142,7 +142,7 @@ fn full_queue_rejects_instead_of_growing() {
 #[test]
 fn empty_batch_completes_immediately() {
     let engine = EngineHandle::start(EngineConfig::new(2).with_cutoff(8));
-    let results = engine.submit(Vec::new()).unwrap_ticket().wait();
+    let results = engine.submit(Vec::new()).unwrap_ticket().wait_products();
     assert!(results.is_empty());
     assert_eq!(engine.queue_depth(), 0);
 }
