@@ -16,7 +16,7 @@ fn bench_expansion(c: &mut Criterion) {
         let csr = dec.graph.undirected_csr();
         let d = dec.graph.max_degree();
         group.bench_with_input(BenchmarkId::new("spectral", k), &k, |b, _| {
-            b.iter(|| spectral_bounds(&csr, d, 200))
+            b.iter(|| spectral_bounds(csr, d, 200))
         });
         let n = dec.graph.n_vertices();
         group.bench_with_input(BenchmarkId::new("best_cut", k), &k, |b, _| {
@@ -24,7 +24,7 @@ fn bench_expansion(c: &mut Criterion) {
                 let mut o = SearchOptions::with_max_size(n / 2);
                 o.restarts = 2;
                 o.spectral_iters = 100;
-                find_best_cut(&csr, d, o)
+                find_best_cut(csr, d, o)
             })
         });
     }

@@ -43,4 +43,11 @@ fn main() {
             Some(&fastmm_bench::bench_artifact_path("BENCH_faults.json"))
         )
     );
+    println!(
+        "{}",
+        fastmm_bench::e15_graph_scale(
+            &[5, 6, 7],
+            Some(&fastmm_bench::bench_artifact_path("BENCH_graph.json"))
+        )
+    );
 }

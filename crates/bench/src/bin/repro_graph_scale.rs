@@ -1,0 +1,25 @@
+//! E15 — million-vertex decode graphs on the flat CSR core (build +
+//! layering throughput for `Dec_ℓ C`, `⟨2;7⟩`, up to ℓ = 7) and the
+//! arXiv:2107.09834 rank-expansion I/O lower bounds evaluated next to
+//! Theorem 1.1 for every registry scheme. Emits `BENCH_graph.json` at the
+//! repo root.
+//!
+//! Usage: `repro_graph_scale [l...]` — decode-graph levels, default 5 6 7.
+fn main() {
+    let levels: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let levels = if levels.is_empty() {
+        vec![5, 6, 7]
+    } else {
+        levels
+    };
+    println!(
+        "{}",
+        fastmm_bench::e15_graph_scale(
+            &levels,
+            Some(&fastmm_bench::bench_artifact_path("BENCH_graph.json"))
+        )
+    );
+}

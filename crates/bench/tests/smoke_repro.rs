@@ -489,6 +489,32 @@ fn rank_failure_report_renders_organic_failures_too() {
 }
 
 #[test]
+fn e15_graph_scale_smoke() {
+    // debug builds stay at small l; the binary's release default is 5 6 7
+    let out = exp::e15_graph_scale(&[2, 3], None);
+    assert_report("e15", &out, "Graph scale", 10);
+    assert_report("e15", &out, "rank-expansion", 10);
+    // one Dec row per requested level, each with nonzero throughput
+    for l in [2usize, 3] {
+        assert!(
+            out.lines()
+                .any(|ln| ln.trim_start().starts_with(&format!("{l} "))),
+            "e15: missing Dec row for l={l}:\n{out}"
+        );
+    }
+    // every registry scheme shows up in the bound table
+    for name in ["strassen", "classical2", "strassen⊗strassen"] {
+        assert!(out.contains(name), "e15: scheme {name} missing:\n{out}");
+    }
+    // the headline crossover: at l=5/M=4096 the rank bound binds for strassen
+    assert!(
+        out.lines()
+            .any(|ln| ln.contains("strassen ") && ln.contains("4096") && ln.ends_with("rank")),
+        "e15: expected a rank-binding strassen row at M=4096:\n{out}"
+    );
+}
+
+#[test]
 fn e9_reported_omega0_matches_closed_forms() {
     // Golden check: the ω₀ column of repro_rectangular must equal the
     // closed forms 3·log_{mkn} r to 1e-9 (the experiment prints 9 decimals,

@@ -1,5 +1,7 @@
 //! A fixed-size bit set over vertex ids, used to represent the subsets `S`
-//! of the partition/expansion arguments.
+//! of the partition/expansion arguments, plus sorted-`u32`-slice set
+//! algebra (merge / intersect / distinct counting) for the flat read/write
+//! operand sets of the partition argument.
 
 /// Fixed-capacity bit set.
 #[derive(Clone, PartialEq, Eq)]
@@ -116,6 +118,66 @@ impl BitSet {
     }
 }
 
+/// Number of distinct values in a sorted slice (duplicates allowed).
+pub fn count_distinct_sorted(xs: &[u32]) -> usize {
+    debug_assert!(xs.is_sorted());
+    let mut c = 0;
+    let mut prev = None;
+    for &x in xs {
+        if prev != Some(x) {
+            c += 1;
+            prev = Some(x);
+        }
+    }
+    c
+}
+
+/// Number of distinct values in the union of two sorted slices, by merge
+/// (duplicates allowed inside and across the slices).
+pub fn union_count_sorted(a: &[u32], b: &[u32]) -> usize {
+    debug_assert!(a.is_sorted() && b.is_sorted());
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() || j < b.len() {
+        let x = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => unreachable!(),
+        };
+        c += 1;
+        while i < a.len() && a[i] == x {
+            i += 1;
+        }
+        while j < b.len() && b[j] == x {
+            j += 1;
+        }
+    }
+    c
+}
+
+/// Number of distinct values common to two sorted slices.
+pub fn intersect_count_sorted(a: &[u32], b: &[u32]) -> usize {
+    debug_assert!(a.is_sorted() && b.is_sorted());
+    let (mut i, mut j, mut c) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let x = a[i];
+                c += 1;
+                while i < a.len() && a[i] == x {
+                    i += 1;
+                }
+                while j < b.len() && b[j] == x {
+                    j += 1;
+                }
+            }
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +203,24 @@ mod tests {
         let s = BitSet::from_iter(300, [5u32, 100, 299, 64, 63]);
         let v: Vec<u32> = s.iter().collect();
         assert_eq!(v, vec![5, 63, 64, 100, 299]);
+    }
+
+    #[test]
+    fn sorted_slice_set_algebra() {
+        assert_eq!(count_distinct_sorted(&[]), 0);
+        assert_eq!(count_distinct_sorted(&[1, 1, 2, 5, 5, 5, 9]), 4);
+        assert_eq!(union_count_sorted(&[], &[]), 0);
+        assert_eq!(union_count_sorted(&[1, 2, 2, 4], &[2, 3, 4, 4, 8]), 5);
+        assert_eq!(union_count_sorted(&[7], &[]), 1);
+        assert_eq!(intersect_count_sorted(&[1, 2, 2, 4], &[2, 3, 4, 4, 8]), 2);
+        assert_eq!(intersect_count_sorted(&[1, 3], &[2, 4]), 0);
+        // inclusion-exclusion on random-ish fixed data
+        let a = [0u32, 2, 2, 5, 9, 9, 12];
+        let b = [1u32, 2, 5, 5, 7, 12, 13];
+        assert_eq!(
+            union_count_sorted(&a, &b) + intersect_count_sorted(&a, &b),
+            count_distinct_sorted(&a) + count_distinct_sorted(&b)
+        );
     }
 
     #[test]

@@ -6,8 +6,21 @@
 //! operations, but the *flat* decode graphs (Comment 4.1) use higher
 //! in-degree sum vertices, which [`Cdag::expand_high_in_degree`] rewrites
 //! into binary trees (chains) when bounded degree is needed (Fact 4.2).
+//!
+//! # Flat-array core
+//!
+//! The graph is stored structure-of-arrays: a `kinds` vector plus a CSR
+//! successor array (`row_ptr`/`col_idx`, rows sorted ascending) and its
+//! transpose (predecessors), built once per mutation epoch by a three-pass
+//! counting sort — no per-row comparison sorts, no per-node `Vec<Vec<u32>>`.
+//! Consumers read adjacency through [`Cdag::succs`]/[`Cdag::preds`] slices;
+//! the raw `(src, dst)` tuple log survives only as the internal build buffer
+//! behind the deprecated [`Cdag::edges`] compatibility shim. This is what
+//! lets layering, pebbling, and expansion certificates run on the ℓ≥7
+//! million-vertex decode graphs (see the e15 `repro_graph_scale` experiment).
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
 /// The role of a vertex in the computation.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -20,12 +33,25 @@ pub enum VKind {
     Mul,
 }
 
+/// Directed adjacency in CSR form: sorted successor rows plus the transpose.
+#[derive(Clone, Debug, Default)]
+struct AdjCache {
+    /// `succ_ptr[v]..succ_ptr[v+1]` indexes `succ_idx`, row sorted ascending.
+    succ_ptr: Vec<u32>,
+    succ_idx: Vec<u32>,
+    /// Transpose: predecessor rows, also sorted ascending.
+    pred_ptr: Vec<u32>,
+    pred_idx: Vec<u32>,
+}
+
 /// A computation DAG with directed edges `(src, dst)` meaning "dst consumes
 /// the value produced by src".
 #[derive(Clone, Debug, Default)]
 pub struct Cdag {
     kinds: Vec<VKind>,
     edges: Vec<(u32, u32)>,
+    adj: OnceLock<AdjCache>,
+    und: OnceLock<Csr>,
     /// Vertices designated as program inputs.
     pub inputs: Vec<u32>,
     /// Vertices designated as program outputs.
@@ -40,6 +66,7 @@ impl Cdag {
 
     /// Add a vertex of the given kind, returning its id.
     pub fn add_vertex(&mut self, kind: VKind) -> u32 {
+        self.invalidate_adj();
         self.kinds.push(kind);
         (self.kinds.len() - 1) as u32
     }
@@ -48,7 +75,75 @@ impl Cdag {
     pub fn add_edge(&mut self, src: u32, dst: u32) {
         debug_assert!((src as usize) < self.kinds.len());
         debug_assert!((dst as usize) < self.kinds.len());
+        self.invalidate_adj();
         self.edges.push((src, dst));
+    }
+
+    fn invalidate_adj(&mut self) {
+        if self.adj.get().is_some() {
+            self.adj = OnceLock::new();
+        }
+        if self.und.get().is_some() {
+            self.und = OnceLock::new();
+        }
+    }
+
+    /// The CSR adjacency for the current edge set, built lazily by a
+    /// three-pass counting sort (O(V+E), no comparison sorts):
+    /// 1. counting-sort the edge log by source (rows in insertion order),
+    /// 2. scatter sources ascending into the transpose → sorted pred rows,
+    /// 3. scatter destinations ascending back → sorted succ rows.
+    fn adj(&self) -> &AdjCache {
+        self.adj.get_or_init(|| {
+            let n = self.n_vertices();
+            let ne = self.edges.len();
+            debug_assert!(ne <= u32::MAX as usize, "edge count exceeds u32 index");
+            let mut succ_ptr = vec![0u32; n + 1];
+            for &(u, _) in &self.edges {
+                succ_ptr[u as usize + 1] += 1;
+            }
+            for i in 0..n {
+                succ_ptr[i + 1] += succ_ptr[i];
+            }
+            let mut by_src = vec![0u32; ne];
+            let mut cur: Vec<u32> = succ_ptr[..n].to_vec();
+            for &(u, v) in &self.edges {
+                let c = &mut cur[u as usize];
+                by_src[*c as usize] = v;
+                *c += 1;
+            }
+            let mut pred_ptr = vec![0u32; n + 1];
+            for &(_, v) in &self.edges {
+                pred_ptr[v as usize + 1] += 1;
+            }
+            for i in 0..n {
+                pred_ptr[i + 1] += pred_ptr[i];
+            }
+            let mut pred_idx = vec![0u32; ne];
+            cur.copy_from_slice(&pred_ptr[..n]);
+            for u in 0..n {
+                for &v in &by_src[succ_ptr[u] as usize..succ_ptr[u + 1] as usize] {
+                    let c = &mut cur[v as usize];
+                    pred_idx[*c as usize] = u as u32;
+                    *c += 1;
+                }
+            }
+            let mut succ_idx = by_src;
+            cur.copy_from_slice(&succ_ptr[..n]);
+            for v in 0..n {
+                for &u in &pred_idx[pred_ptr[v] as usize..pred_ptr[v + 1] as usize] {
+                    let c = &mut cur[u as usize];
+                    succ_idx[*c as usize] = v as u32;
+                    *c += 1;
+                }
+            }
+            AdjCache {
+                succ_ptr,
+                succ_idx,
+                pred_ptr,
+                pred_idx,
+            }
+        })
     }
 
     /// Number of vertices.
@@ -66,7 +161,23 @@ impl Cdag {
         self.kinds[v as usize]
     }
 
-    /// All edges.
+    /// Successors of `v` (sorted ascending).
+    #[inline]
+    pub fn succs(&self, v: u32) -> &[u32] {
+        let a = self.adj();
+        &a.succ_idx[a.succ_ptr[v as usize] as usize..a.succ_ptr[v as usize + 1] as usize]
+    }
+
+    /// Predecessors of `v` (sorted ascending).
+    #[inline]
+    pub fn preds(&self, v: u32) -> &[u32] {
+        let a = self.adj();
+        &a.pred_idx[a.pred_ptr[v as usize] as usize..a.pred_ptr[v as usize + 1] as usize]
+    }
+
+    /// All edges as the raw `(src, dst)` insertion log.
+    #[deprecated(note = "iterate `succs(v)` / `preds(v)` over the CSR core instead; \
+                the tuple log is now an internal build buffer")]
     pub fn edges(&self) -> &[(u32, u32)] {
         &self.edges
     }
@@ -84,32 +195,28 @@ impl Cdag {
         c
     }
 
-    /// In-degrees of all vertices.
+    /// In-degrees of all vertices (a row-pointer difference, no edge scan).
     pub fn in_degrees(&self) -> Vec<u32> {
-        let mut d = vec![0u32; self.n_vertices()];
-        for &(_, v) in &self.edges {
-            d[v as usize] += 1;
-        }
-        d
+        let a = self.adj();
+        (0..self.n_vertices())
+            .map(|v| a.pred_ptr[v + 1] - a.pred_ptr[v])
+            .collect()
     }
 
     /// Out-degrees of all vertices.
     pub fn out_degrees(&self) -> Vec<u32> {
-        let mut d = vec![0u32; self.n_vertices()];
-        for &(u, _) in &self.edges {
-            d[u as usize] += 1;
-        }
-        d
+        let a = self.adj();
+        (0..self.n_vertices())
+            .map(|v| a.succ_ptr[v + 1] - a.succ_ptr[v])
+            .collect()
     }
 
     /// Total (undirected) degrees.
     pub fn degrees(&self) -> Vec<u32> {
-        let mut d = vec![0u32; self.n_vertices()];
-        for &(u, v) in &self.edges {
-            d[u as usize] += 1;
-            d[v as usize] += 1;
-        }
-        d
+        let a = self.adj();
+        (0..self.n_vertices())
+            .map(|v| (a.succ_ptr[v + 1] - a.succ_ptr[v]) + (a.pred_ptr[v + 1] - a.pred_ptr[v]))
+            .collect()
     }
 
     /// Maximum total degree (the `d` against which expansion is normalized
@@ -118,9 +225,10 @@ impl Cdag {
         self.degrees().into_iter().max().unwrap_or(0)
     }
 
-    /// Undirected adjacency in CSR form.
-    pub fn undirected_csr(&self) -> Csr {
-        Csr::from_undirected(self.n_vertices(), &self.edges)
+    /// Undirected adjacency in CSR form, built once and cached.
+    pub fn undirected_csr(&self) -> &Csr {
+        self.und
+            .get_or_init(|| Csr::from_undirected(self.n_vertices(), &self.edges))
     }
 
     /// Is the underlying undirected graph connected?
@@ -162,12 +270,11 @@ impl Cdag {
     pub fn topological_order(&self) -> Vec<u32> {
         let n = self.n_vertices();
         let mut indeg = self.in_degrees();
-        let succ = Csr::from_directed(n, &self.edges);
         let mut queue: VecDeque<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);
-            for &w in succ.neighbors(u) {
+            for &w in self.succs(u) {
                 indeg[w as usize] -= 1;
                 if indeg[w as usize] == 0 {
                     queue.push_back(w);
@@ -178,26 +285,64 @@ impl Cdag {
         order
     }
 
+    /// Vectorized Kahn / Coffman–Graham layering over the flat CSR arrays:
+    /// level 0 is the sources, and every other vertex sits one past its
+    /// deepest predecessor (longest-path layering). One sweep over the
+    /// topological order assigns levels; a counting sort groups vertices
+    /// into the flat [`Layering`] (within a level, ids ascend). Panics on a
+    /// cycle.
+    pub fn kahn_layers(&self) -> Layering {
+        let n = self.n_vertices();
+        let topo = self.topological_order();
+        let mut level = vec![0u32; n];
+        let mut n_levels = if n == 0 { 0 } else { 1 };
+        for &v in &topo {
+            let lv = level[v as usize] + 1;
+            for &w in self.succs(v) {
+                if level[w as usize] < lv {
+                    level[w as usize] = lv;
+                    if (lv + 1) as usize > n_levels {
+                        n_levels = (lv + 1) as usize;
+                    }
+                }
+            }
+        }
+        let mut level_ptr = vec![0u32; n_levels + 1];
+        for &l in &level {
+            level_ptr[l as usize + 1] += 1;
+        }
+        for i in 0..n_levels {
+            level_ptr[i + 1] += level_ptr[i];
+        }
+        let mut order = vec![0u32; n];
+        let mut cur: Vec<u32> = level_ptr[..n_levels].to_vec();
+        for (v, &l) in level.iter().enumerate() {
+            let c = &mut cur[l as usize];
+            order[*c as usize] = v as u32;
+            *c += 1;
+        }
+        Layering { level_ptr, order }
+    }
+
     /// Rewrite every vertex of in-degree `> 2` into a chain of binary Add
     /// vertices (Comment 4.1: a high in-degree vertex "represents a full
     /// binary (not necessarily balanced) tree"). Returns the new graph; the
     /// vertex ids of the original graph are preserved, chain-internal
     /// vertices are appended at the end. Input/output designations carry
-    /// over.
+    /// over. Predecessors are consumed in ascending-id order (identical to
+    /// the historical edge-insertion order on the layered decode graphs).
     pub fn expand_high_in_degree(&self) -> Cdag {
         let n = self.n_vertices();
-        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for &(u, v) in &self.edges {
-            preds[v as usize].push(u);
-        }
         let mut out = Cdag {
             kinds: self.kinds.clone(),
             edges: Vec::with_capacity(self.edges.len()),
+            adj: OnceLock::new(),
+            und: OnceLock::new(),
             inputs: self.inputs.clone(),
             outputs: self.outputs.clone(),
         };
         for v in 0..n as u32 {
-            let ps = &preds[v as usize];
+            let ps = self.preds(v);
             if ps.len() <= 2 {
                 for &p in ps {
                     out.add_edge(p, v);
@@ -248,7 +393,47 @@ impl Cdag {
     }
 }
 
+/// A level assignment in flat CSR-of-levels form: `order` lists vertices
+/// grouped by level (ids ascending within a level), `level_ptr[j]..level_ptr
+/// [j+1]` delimits level `j`. Produced by [`Cdag::kahn_layers`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Layering {
+    /// `n_levels + 1` offsets into `order`.
+    pub level_ptr: Vec<u32>,
+    /// All vertices, grouped by level.
+    pub order: Vec<u32>,
+}
+
+impl Layering {
+    /// Number of levels.
+    pub fn n_levels(&self) -> usize {
+        self.level_ptr.len().saturating_sub(1)
+    }
+
+    /// Vertices at level `j` (ascending ids).
+    pub fn level(&self, j: usize) -> &[u32] {
+        &self.order[self.level_ptr[j] as usize..self.level_ptr[j + 1] as usize]
+    }
+
+    /// Total vertex count.
+    pub fn n_vertices(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Per-vertex level indices (inverse of the grouping).
+    pub fn level_of(&self) -> Vec<u32> {
+        let mut lv = vec![0u32; self.order.len()];
+        for j in 0..self.n_levels() {
+            for &v in self.level(j) {
+                lv[v as usize] = j as u32;
+            }
+        }
+        lv
+    }
+}
+
 /// Compressed sparse row adjacency.
+#[derive(Clone, Debug, Default)]
 pub struct Csr {
     offsets: Vec<usize>,
     neighbors: Vec<u32>,
@@ -340,6 +525,28 @@ mod tests {
     }
 
     #[test]
+    fn csr_accessors_are_sorted_views() {
+        let g = diamond();
+        assert_eq!(g.succs(0), &[2]);
+        assert_eq!(g.succs(1), &[2, 3]);
+        assert_eq!(g.succs(2), &[3]);
+        assert_eq!(g.succs(3), &[] as &[u32]);
+        assert_eq!(g.preds(2), &[0, 1]);
+        assert_eq!(g.preds(3), &[1, 2]);
+        assert_eq!(g.preds(0), &[] as &[u32]);
+    }
+
+    #[test]
+    fn csr_cache_invalidated_on_mutation() {
+        let mut g = diamond();
+        assert_eq!(g.succs(3), &[] as &[u32]);
+        let c = g.add_vertex(VKind::Add);
+        g.add_edge(3, c);
+        assert_eq!(g.succs(3), &[c]);
+        assert_eq!(g.preds(c), &[3]);
+    }
+
+    #[test]
     fn connectivity() {
         let g = diamond();
         assert!(g.is_connected());
@@ -357,11 +564,37 @@ mod tests {
         let pos: Vec<usize> = (0..4u32)
             .map(|v| order.iter().position(|&x| x == v).unwrap())
             .collect();
-        for &(u, v) in g.edges() {
-            assert!(
-                pos[u as usize] < pos[v as usize],
-                "edge {u}->{v} out of order"
-            );
+        for v in 0..g.n_vertices() as u32 {
+            for &w in g.succs(v) {
+                assert!(
+                    pos[v as usize] < pos[w as usize],
+                    "edge {v}->{w} out of order"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kahn_layers_match_longest_paths() {
+        let g = diamond();
+        let l = g.kahn_layers();
+        assert_eq!(l.n_levels(), 3);
+        assert_eq!(l.level(0), &[0, 1]);
+        assert_eq!(l.level(1), &[2]);
+        assert_eq!(l.level(2), &[3]);
+        assert_eq!(l.n_vertices(), 4);
+        assert_eq!(l.level_of(), vec![0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn kahn_layers_every_vertex_past_its_preds() {
+        let g = diamond().expand_high_in_degree();
+        let l = g.kahn_layers();
+        let lv = l.level_of();
+        for v in 0..g.n_vertices() as u32 {
+            for &p in g.preds(v) {
+                assert!(lv[p as usize] < lv[v as usize], "pred {p} not below {v}");
+            }
         }
     }
 
@@ -380,7 +613,6 @@ mod tests {
         // them, so 3 fresh chain vertices appear.
         assert_eq!(e.n_vertices(), g.n_vertices() + 3);
         // value dependency preserved: all inputs still reach `sum`
-        let csr = Csr::from_directed(e.n_vertices(), e.edges());
         let mut reach = vec![false; e.n_vertices()];
         let mut stack = vec![ins[0]];
         while let Some(u) = stack.pop() {
@@ -388,7 +620,7 @@ mod tests {
                 continue;
             }
             reach[u as usize] = true;
-            stack.extend(csr.neighbors(u));
+            stack.extend(e.succs(u));
         }
         assert!(reach[sum as usize]);
     }

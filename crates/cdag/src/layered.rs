@@ -440,14 +440,20 @@ pub fn build_h(shape: &SchemeShape, k: usize) -> HGraph {
     for v in 0..dec.graph.n_vertices() as u32 {
         graph.add_vertex(dec.graph.kind(v));
     }
-    for &(u, v) in enc_a.graph.edges() {
-        graph.add_edge(u, v);
+    for u in 0..enc_a.graph.n_vertices() as u32 {
+        for &v in enc_a.graph.succs(u) {
+            graph.add_edge(u, v);
+        }
     }
-    for &(u, v) in enc_b.graph.edges() {
-        graph.add_edge(off_b + u, off_b + v);
+    for u in 0..enc_b.graph.n_vertices() as u32 {
+        for &v in enc_b.graph.succs(u) {
+            graph.add_edge(off_b + u, off_b + v);
+        }
     }
-    for &(u, v) in dec.graph.edges() {
-        graph.add_edge(off_dec + u, off_dec + v);
+    for u in 0..dec.graph.n_vertices() as u32 {
+        for &v in dec.graph.succs(u) {
+            graph.add_edge(off_dec + u, off_dec + v);
+        }
     }
     // Wire encoded operand m (of both sides) into multiplication vertex m,
     // which is decode level-k vertex m.
@@ -567,11 +573,13 @@ mod tests {
                 }
             }
         }
-        for &(u, v) in dec.graph.edges() {
-            assert!(
-                seen.contains(&(u, v)),
-                "edge ({u},{v}) outside all components"
-            );
+        for u in 0..dec.graph.n_vertices() as u32 {
+            for &v in dec.graph.succs(u) {
+                assert!(
+                    seen.contains(&(u, v)),
+                    "edge ({u},{v}) outside all components"
+                );
+            }
         }
     }
 
@@ -615,12 +623,16 @@ mod tests {
         // Edge-disjointness: count edges with both endpoints in a copy and
         // adjacent levels; they must sum to the total edge count.
         use std::collections::HashSet;
-        let mut edge_set: HashSet<(u32, u32)> = dec.graph.edges().iter().copied().collect();
+        let g = &dec.graph;
+        let all_edges: Vec<(u32, u32)> = (0..g.n_vertices() as u32)
+            .flat_map(|u| g.succs(u).iter().map(move |&v| (u, v)))
+            .collect();
+        let mut edge_set: HashSet<(u32, u32)> = all_edges.iter().copied().collect();
         let mut covered = 0usize;
         for c in &copies {
             let verts: HashSet<u32> = c.iter().copied().collect();
             let mut local = 0;
-            for &(u, v) in dec.graph.edges() {
+            for &(u, v) in &all_edges {
                 if verts.contains(&u) && verts.contains(&v) && edge_set.remove(&(u, v)) {
                     local += 1;
                 }

@@ -26,7 +26,7 @@ pub mod trace;
 pub mod tree;
 
 pub use bitset::BitSet;
-pub use graph::{Cdag, Csr, VKind};
+pub use graph::{Cdag, Csr, Layering, VKind};
 pub use layered::{
     build_dec, build_enc, build_h, DecGraph, EncGraph, EncSide, HGraph, SchemeShape,
 };

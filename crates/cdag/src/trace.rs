@@ -87,6 +87,16 @@ struct Tracer {
 }
 
 impl Tracer {
+    /// Insert the two in-edges of a binary vertex in ascending source order —
+    /// the canonical CSR adjacency order, so the edge log of a traced graph
+    /// groups each vertex's predecessors exactly as `Cdag::preds` reports
+    /// them.
+    fn add_edges2(&mut self, x: u32, y: u32, v: u32) {
+        let (lo, hi) = if x <= y { (x, y) } else { (y, x) };
+        self.g.add_edge(lo, v);
+        self.g.add_edge(hi, v);
+    }
+
     /// Apply an SLP element-wise over block id-matrices.
     fn apply_slp(&mut self, slp: &Slp, inputs: &[IdMat]) -> Vec<IdMat> {
         assert_eq!(inputs.len(), slp.n_inputs);
@@ -96,11 +106,11 @@ impl Tracer {
             let mut ids = Vec::with_capacity(br * bc);
             for e in 0..br * bc {
                 let v = self.g.add_vertex(VKind::Add);
-                if op.ca != 0 {
-                    self.g.add_edge(tape[op.a].ids[e], v);
-                }
-                if op.cb != 0 {
-                    self.g.add_edge(tape[op.b].ids[e], v);
+                match (op.ca != 0, op.cb != 0) {
+                    (true, true) => self.add_edges2(tape[op.a].ids[e], tape[op.b].ids[e], v),
+                    (true, false) => self.g.add_edge(tape[op.a].ids[e], v),
+                    (false, true) => self.g.add_edge(tape[op.b].ids[e], v),
+                    (false, false) => {}
                 }
                 ids.push(v);
             }
@@ -124,14 +134,12 @@ impl Tracer {
                 for l in 0..kk {
                     let m = self.g.add_vertex(VKind::Mul);
                     self.n_mults += 1;
-                    self.g.add_edge(a.ids[i * kk + l], m);
-                    self.g.add_edge(b.ids[l * nn + j], m);
+                    self.add_edges2(a.ids[i * kk + l], b.ids[l * nn + j], m);
                     acc = Some(match acc {
                         None => m,
                         Some(prev) => {
                             let s = self.g.add_vertex(VKind::Add);
-                            self.g.add_edge(prev, s);
-                            self.g.add_edge(m, s);
+                            self.add_edges2(prev, m, s);
                             s
                         }
                     });
@@ -320,7 +328,6 @@ mod tests {
     fn outputs_depend_on_inputs() {
         // every output must be reachable from at least one input
         let t = trace_multiply(&strassen(), 4, 1);
-        let csr = crate::graph::Csr::from_directed(t.graph.n_vertices(), t.graph.edges());
         let mut reach = vec![false; t.graph.n_vertices()];
         let mut stack: Vec<u32> = t.graph.inputs.clone();
         while let Some(u) = stack.pop() {
@@ -328,7 +335,7 @@ mod tests {
                 continue;
             }
             reach[u as usize] = true;
-            stack.extend(csr.neighbors(u));
+            stack.extend(t.graph.succs(u));
         }
         for &o in &t.graph.outputs {
             assert!(reach[o as usize], "output {o} unreachable");

@@ -1,0 +1,190 @@
+//! Regression suite for the flat-array CSR redesign of [`Cdag`].
+//!
+//! The pre-redesign graph exposed only the raw edge log (`edges()`); every
+//! consumer rebuilt `Vec<Vec<u32>>` adjacency per call. These tests replay
+//! the historical constructions verbatim from the (now deprecated) edge log
+//! and assert the CSR accessors — and the algorithms rewritten on top of
+//! them — produce identical results on every registry scheme's graphs.
+
+#![allow(deprecated)] // the whole point is comparing against `edges()`
+
+use fastmm_cdag::graph::{Cdag, VKind};
+use fastmm_cdag::layered::{build_dec, SchemeShape};
+use fastmm_cdag::trace::trace_multiply_mkn;
+use fastmm_matrix::scheme::all_schemes;
+
+/// Insertion-order predecessor lists, exactly as the pre-redesign pebble
+/// executor and `expand_high_in_degree` built them.
+fn legacy_preds(g: &Cdag) -> Vec<Vec<u32>> {
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); g.n_vertices()];
+    for &(u, v) in g.edges() {
+        preds[v as usize].push(u);
+    }
+    preds
+}
+
+/// Insertion-order successor lists from the edge log.
+fn legacy_succs(g: &Cdag) -> Vec<Vec<u32>> {
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); g.n_vertices()];
+    for &(u, v) in g.edges() {
+        succs[u as usize].push(v);
+    }
+    succs
+}
+
+/// The pre-redesign `expand_high_in_degree`, verbatim: predecessors in edge
+/// *insertion* order (the CSR rewrite consumes them in ascending-id order).
+fn legacy_expand(g: &Cdag) -> Cdag {
+    let preds = legacy_preds(g);
+    let mut out = Cdag::new();
+    for v in 0..g.n_vertices() as u32 {
+        out.add_vertex(g.kind(v));
+    }
+    out.inputs = g.inputs.clone();
+    out.outputs = g.outputs.clone();
+    for v in 0..g.n_vertices() as u32 {
+        let ps = &preds[v as usize];
+        if ps.len() <= 2 {
+            for &p in ps {
+                out.add_edge(p, v);
+            }
+        } else {
+            let mut acc = out.add_vertex(VKind::Add);
+            out.add_edge(ps[0], acc);
+            out.add_edge(ps[1], acc);
+            for &p in &ps[2..ps.len() - 1] {
+                let nxt = out.add_vertex(VKind::Add);
+                out.add_edge(acc, nxt);
+                out.add_edge(p, nxt);
+                acc = nxt;
+            }
+            out.add_edge(acc, v);
+            out.add_edge(ps[ps.len() - 1], v);
+        }
+    }
+    out
+}
+
+fn assert_same_graph(a: &Cdag, b: &Cdag, what: &str) {
+    assert_eq!(a.n_vertices(), b.n_vertices(), "{what}: vertex count");
+    assert_eq!(a.n_edges(), b.n_edges(), "{what}: edge count");
+    assert_eq!(a.inputs, b.inputs, "{what}: inputs");
+    assert_eq!(a.outputs, b.outputs, "{what}: outputs");
+    for v in 0..a.n_vertices() as u32 {
+        assert_eq!(a.kind(v), b.kind(v), "{what}: kind of {v}");
+        assert_eq!(a.succs(v), b.succs(v), "{what}: succs of {v}");
+        assert_eq!(a.preds(v), b.preds(v), "{what}: preds of {v}");
+    }
+}
+
+/// Every registry graph this suite replays: Dec_C at ℓ ∈ {1, 2} plus a
+/// one-level trace of the scheme's own block shape.
+fn registry_graphs() -> Vec<(String, Cdag)> {
+    let mut out = Vec::new();
+    for s in all_schemes() {
+        let shape = SchemeShape::from_scheme(&s);
+        for l in 1..=2usize {
+            out.push((format!("{} dec l={l}", s.name), build_dec(&shape, l).graph));
+        }
+        let t = trace_multiply_mkn(&s, s.bm, s.bk, s.bn, 1);
+        out.push((format!("{} trace", s.name), t.graph));
+    }
+    out
+}
+
+#[test]
+fn csr_accessors_match_the_edge_log_on_every_registry_graph() {
+    for (name, g) in registry_graphs() {
+        let mut succs = legacy_succs(&g);
+        let mut preds = legacy_preds(&g);
+        for v in 0..g.n_vertices() as u32 {
+            succs[v as usize].sort_unstable();
+            preds[v as usize].sort_unstable();
+            assert_eq!(g.succs(v), succs[v as usize], "{name}: succs of {v}");
+            assert_eq!(g.preds(v), preds[v as usize], "{name}: preds of {v}");
+        }
+        let indeg = g.in_degrees();
+        let outdeg = g.out_degrees();
+        for v in 0..g.n_vertices() {
+            assert_eq!(indeg[v] as usize, preds[v].len(), "{name}: indeg {v}");
+            assert_eq!(outdeg[v] as usize, succs[v].len(), "{name}: outdeg {v}");
+        }
+    }
+}
+
+/// The layered builders and the tracer insert each vertex's in-edges in
+/// ascending source order, so the sorted CSR rows coincide with the
+/// historical insertion order — which is what makes the rewritten pebble
+/// executor (pin/fault loops over `preds(v)`) bitwise-identical to the
+/// pre-redesign `Vec<Vec<u32>>` version on these graphs.
+#[test]
+fn csr_preds_preserve_historical_insertion_order() {
+    for (name, g) in registry_graphs() {
+        let preds = legacy_preds(&g);
+        for v in 0..g.n_vertices() as u32 {
+            assert_eq!(
+                g.preds(v),
+                preds[v as usize],
+                "{name}: insertion order of preds({v}) is not ascending"
+            );
+        }
+    }
+}
+
+#[test]
+fn expand_high_in_degree_matches_the_legacy_rewrite() {
+    for (name, g) in registry_graphs() {
+        assert_same_graph(
+            &g.expand_high_in_degree(),
+            &legacy_expand(&g),
+            &format!("{name} expanded"),
+        );
+    }
+    // And on a synthetic wide fan-in star (64 inputs → 1 sum), the shape
+    // the partition tests exercise.
+    let mut g = Cdag::new();
+    let ins: Vec<u32> = (0..64).map(|_| g.add_vertex(VKind::Input)).collect();
+    let sum = g.add_vertex(VKind::Add);
+    for &i in &ins {
+        g.add_edge(i, sum);
+    }
+    g.inputs = ins;
+    g.outputs = vec![sum];
+    assert_same_graph(
+        &g.expand_high_in_degree(),
+        &legacy_expand(&g),
+        "star expanded",
+    );
+}
+
+#[test]
+fn kahn_layers_match_longest_path_relaxation_over_the_edge_log() {
+    for (name, g) in registry_graphs() {
+        // Reference: longest-path levels by repeated relaxation over the raw
+        // edge log (quadratic, but independent of the CSR machinery).
+        let n = g.n_vertices();
+        let mut level = vec![0u32; n];
+        loop {
+            let mut changed = false;
+            for &(u, v) in g.edges() {
+                if level[v as usize] < level[u as usize] + 1 {
+                    level[v as usize] = level[u as usize] + 1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let lay = g.kahn_layers();
+        assert_eq!(lay.level_of(), level, "{name}: levels");
+        assert_eq!(lay.n_vertices(), n, "{name}: layering covers all vertices");
+        // ids ascending within each level
+        for j in 0..lay.n_levels() {
+            assert!(
+                lay.level(j).windows(2).all(|w| w[0] < w[1]),
+                "{name}: level {j} not ascending"
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based equivalence suite for the CSR core: on random registry
+//! graphs and random DAGs, the flat accessors must agree with the raw edge
+//! log, and the vectorized layering must be a topological partition.
+
+#![allow(deprecated)] // properties are stated against the legacy `edges()` log
+
+use fastmm_cdag::graph::{Cdag, VKind};
+use fastmm_cdag::layered::{build_dec, SchemeShape};
+use fastmm_matrix::scheme::all_schemes;
+use proptest::prelude::*;
+
+/// A registry decode graph, depth capped so the big tensor-square schemes
+/// (r = 27, 49) stay at test size.
+fn registry_dec(idx: usize, l: usize) -> Cdag {
+    let schemes = all_schemes();
+    let s = &schemes[idx % schemes.len()];
+    let l = if s.r > 20 { l.min(2) } else { l };
+    build_dec(&SchemeShape::from_scheme(s), l).graph
+}
+
+/// Random DAG on `n` vertices: bit `i*(n)+j`-ish flattened upper-triangular
+/// mask, edges always `u < v` so the graph is acyclic by construction.
+fn random_dag(n: usize, bits: &[bool]) -> Cdag {
+    let mut g = Cdag::new();
+    for _ in 0..n {
+        g.add_vertex(VKind::Add);
+    }
+    let mut b = bits.iter().cycle();
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            if *b.next().unwrap() {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+fn sorted_rows_from_log(g: &Cdag) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+    let n = g.n_vertices();
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(u, v) in g.edges() {
+        succs[u as usize].push(v);
+        preds[v as usize].push(u);
+    }
+    for r in succs.iter_mut().chain(preds.iter_mut()) {
+        r.sort_unstable();
+    }
+    (succs, preds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csr_views_agree_with_edge_log(idx in 0..8usize, l in 1..=3usize) {
+        let g = registry_dec(idx, l);
+        let (succs, preds) = sorted_rows_from_log(&g);
+        let indeg = g.in_degrees();
+        let outdeg = g.out_degrees();
+        let deg = g.degrees();
+        for v in 0..g.n_vertices() as u32 {
+            prop_assert_eq!(g.succs(v), &succs[v as usize][..]);
+            prop_assert_eq!(g.preds(v), &preds[v as usize][..]);
+            prop_assert_eq!(outdeg[v as usize] as usize, succs[v as usize].len());
+            prop_assert_eq!(indeg[v as usize] as usize, preds[v as usize].len());
+            prop_assert_eq!(deg[v as usize], indeg[v as usize] + outdeg[v as usize]);
+        }
+    }
+
+    #[test]
+    fn layering_is_a_topological_partition(idx in 0..8usize, l in 1..=3usize) {
+        let g = registry_dec(idx, l);
+        let lay = g.kahn_layers();
+        prop_assert_eq!(lay.n_vertices(), g.n_vertices());
+        let level = lay.level_of();
+        // every vertex sits exactly one level past its deepest predecessor
+        for v in 0..g.n_vertices() as u32 {
+            let ps = g.preds(v);
+            if ps.is_empty() {
+                prop_assert_eq!(level[v as usize], 0);
+            } else {
+                let deepest = ps.iter().map(|&p| level[p as usize]).max().unwrap();
+                prop_assert_eq!(level[v as usize], deepest + 1);
+            }
+        }
+        // levels partition 0..n with ascending ids inside each level
+        let mut seen = vec![false; g.n_vertices()];
+        for j in 0..lay.n_levels() {
+            let lv = lay.level(j);
+            prop_assert!(!lv.is_empty());
+            prop_assert!(lv.windows(2).all(|w| w[0] < w[1]));
+            for &v in lv {
+                prop_assert_eq!(level[v as usize] as usize, j);
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn random_dags_survive_incremental_rebuilds(
+        n in 4..40usize,
+        bits in proptest::collection::vec(any::<bool>(), 128),
+        extra in proptest::collection::vec(any::<bool>(), 16),
+    ) {
+        // Build, query (forcing the CSR cache), then mutate and re-query:
+        // the cache must be invalidated and rebuilt consistently.
+        let mut g = random_dag(n, &bits);
+        let before: usize = (0..n as u32).map(|v| g.succs(v).len()).sum();
+        prop_assert_eq!(before, g.n_edges());
+        let v0 = g.add_vertex(VKind::Mul) ;
+        for (i, &b) in extra.iter().enumerate() {
+            if b {
+                g.add_edge((i % n) as u32, v0);
+            }
+        }
+        let (succs, preds) = sorted_rows_from_log(&g);
+        for v in 0..g.n_vertices() as u32 {
+            prop_assert_eq!(g.succs(v), &succs[v as usize][..]);
+            prop_assert_eq!(g.preds(v), &preds[v as usize][..]);
+        }
+        // topological order remains valid on the mutated graph
+        let order = g.topological_order();
+        let mut pos = vec![0usize; g.n_vertices()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for &(u, v) in g.edges() {
+            prop_assert!(pos[u as usize] < pos[v as usize]);
+        }
+    }
+}

@@ -364,6 +364,47 @@ pub fn fault_exec_report<R, S>(
     }
 }
 
+/// The rank-expansion I/O lower bound (arXiv:2107.09834, via
+/// [`fastmm_expansion::rank_bound`]) evaluated next to the paper's
+/// Theorem 1.1 bound for the same `⟨m,k,n;r⟩^{⊗ℓ}` problem, so experiments
+/// can report which bound binds at each memory size.
+#[derive(Clone, Debug)]
+pub struct RankBoundReport {
+    /// Scheme display name.
+    pub name: String,
+    /// Recursion depth ℓ (problem is the ℓ-fold Kronecker power).
+    pub levels: u32,
+    /// Fast-memory words `M`.
+    pub m: usize,
+    /// The rank-expansion segment bound.
+    pub rank: fastmm_expansion::RankIoBound,
+    /// Theorem 1.1 evaluated at the same flop count
+    /// ([`crate::bounds::rect_seq_bandwidth_lower_bound`]).
+    pub thm11_words: f64,
+}
+
+impl RankBoundReport {
+    /// Does the rank-expansion bound dominate Theorem 1.1 here?
+    pub fn rank_dominates(&self) -> bool {
+        self.rank.io_words as f64 >= self.thm11_words
+    }
+}
+
+/// Evaluate both the rank-expansion and Theorem 1.1 I/O lower bounds for
+/// `scheme^{⊗levels}` with fast memory `m`.
+pub fn rank_bound_report(scheme: &BilinearScheme, levels: u32, m: usize) -> RankBoundReport {
+    let mut sre = fastmm_expansion::scheme_rank_expansion(scheme);
+    let rank = fastmm_expansion::rank_io_bound(&mut sre, levels, m);
+    let params = SchemeParams::rect("rank-report", scheme.bm, scheme.bk, scheme.bn, scheme.r);
+    RankBoundReport {
+        name: scheme.name.clone(),
+        levels,
+        m,
+        rank,
+        thm11_words: crate::bounds::rect_seq_bandwidth_lower_bound(params, levels, m),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +413,39 @@ mod tests {
     /// The Main Lemma's guarantee shape with an explicit constant.
     fn h_lemma(k: usize) -> f64 {
         0.05 * (4.0f64 / 7.0).powi(k as i32)
+    }
+
+    #[test]
+    fn rank_bound_dominates_thm11_at_large_memory() {
+        use fastmm_matrix::scheme::strassen;
+        // Thm 1.1 decays like M^{1-ω₀/2} while the rank-expansion segment
+        // bound holds a near-constant 3·rank(W)^ℓ·R/k − 3M·R/k profile, so
+        // for Strassen at ℓ=7 the rank bound takes over around M ≈ 2¹¹.
+        let tight = rank_bound_report(&strassen(), 7, 4096);
+        assert!(
+            tight.rank_dominates(),
+            "rank {} vs thm11 {}",
+            tight.rank.io_words,
+            tight.thm11_words
+        );
+        let loose = rank_bound_report(&strassen(), 7, 64);
+        assert!(!loose.rank_dominates(), "Thm 1.1 must bind at small M");
+        // And the rank bound itself decreases with memory.
+        assert!(tight.rank.io_words <= loose.rank.io_words);
+    }
+
+    #[test]
+    fn rank_bound_report_covers_registry_schemes() {
+        for s in fastmm_matrix::scheme::all_schemes() {
+            let levels = if s.r > 20 { 3 } else { 5 };
+            let rep = rank_bound_report(&s, levels, 256);
+            assert!(rep.thm11_words > 0.0, "{}", s.name);
+            assert!(
+                rep.rank.expansion_at_k <= 3 * (s.r as u64).pow(levels),
+                "{}: expansion exceeds trivial rank",
+                s.name
+            );
+        }
     }
 
     #[test]

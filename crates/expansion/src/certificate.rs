@@ -64,9 +64,12 @@ pub fn lemma43_certificate(dec: &DecGraph, s: &BitSet) -> Lemma43Certificate {
         .collect();
 
     let mut cut_edges = 0usize;
-    for &(u, v) in dec.graph.edges() {
-        if s.contains(u) != s.contains(v) {
-            cut_edges += 1;
+    for u in 0..dec.graph.n_vertices() as u32 {
+        let u_in = s.contains(u);
+        for &v in dec.graph.succs(u) {
+            if u_in != s.contains(v) {
+                cut_edges += 1;
+            }
         }
     }
 

@@ -52,8 +52,8 @@ proptest! {
             }
         }
         prop_assume!(s.count() > 0 && comp.count() > 0);
-        let cut_s = evaluate_cut(&csr, d, s);
-        let cut_c = evaluate_cut(&csr, d, comp);
+        let cut_s = evaluate_cut(csr, d, s);
+        let cut_c = evaluate_cut(csr, d, comp);
         prop_assert_eq!(cut_s.cut_edges, cut_c.cut_edges);
     }
 
@@ -69,9 +69,9 @@ proptest! {
             }
         }
         prop_assume!(s.count() >= 1 && s.count() <= 46);
-        let before = evaluate_cut(&csr, d, s);
+        let before = evaluate_cut(csr, d, s);
         let h0 = before.expansion;
-        let after = refine(&csr, d, before, 46, passes);
+        let after = refine(csr, d, before, 46, passes);
         prop_assert!(after.expansion <= h0 + 1e-12);
         prop_assert!(after.set.count() <= 46);
     }
@@ -83,11 +83,11 @@ proptest! {
         let dec = build_dec(&SchemeShape::from_scheme(&strassen()), 1);
         let csr = dec.graph.undirected_csr();
         let d = dec.graph.max_degree();
-        let exact = exact_h(&csr, d);
-        let grown = greedy_grow(&csr, d, seed % 11, 5);
+        let exact = exact_h(csr, d);
+        let grown = greedy_grow(csr, d, seed % 11, 5);
         prop_assert!(grown.expansion >= exact.expansion - 1e-12);
         let order: Vec<u32> = (0..11).map(|i| (i + seed) % 11).collect();
-        let swept = sweep_cut(&csr, d, &order, 5);
+        let swept = sweep_cut(csr, d, &order, 5);
         prop_assert!(swept.expansion >= exact.expansion - 1e-12);
     }
 
@@ -97,8 +97,56 @@ proptest! {
         let dec = build_dec(&SchemeShape::from_scheme(&strassen()), 1);
         let csr = dec.graph.undirected_csr();
         let d = dec.graph.max_degree();
-        let h_small = exact_expansion(&csr, d, cap).expansion;
-        let h_bigger = exact_expansion(&csr, d, cap + 1).expansion;
+        let h_small = exact_expansion(csr, d, cap).expansion;
+        let h_bigger = exact_expansion(csr, d, cap + 1).expansion;
         prop_assert!(h_bigger <= h_small + 1e-12);
+    }
+
+    #[test]
+    fn certificate_cut_matches_the_edge_log(bits in proptest::collection::vec(any::<bool>(), 93)) {
+        // the certificate's CSR-based cut count must equal a recount over
+        // the raw (deprecated) edge log
+        let dec = dec2();
+        let mut s = BitSet::new(93);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                s.insert(i as u32);
+            }
+        }
+        if s.count() == 0 {
+            s.insert(0);
+        }
+        let cert = lemma43_certificate(&dec, &s);
+        #[allow(deprecated)]
+        let recount = dec
+            .graph
+            .edges()
+            .iter()
+            .filter(|&&(u, v)| s.contains(u) != s.contains(v))
+            .count();
+        prop_assert_eq!(cert.cut_edges, recount);
+    }
+
+    #[test]
+    fn rank_expansion_respects_trivial_caps(idx in 0..8usize, levels in 1u32..4, k_seed in 1u64..10_000) {
+        let schemes = fastmm_matrix::scheme::all_schemes();
+        let s = &schemes[idx % schemes.len()];
+        let levels = if s.r > 20 { levels.min(2) } else { levels };
+        let mut sre = fastmm_expansion::scheme_rank_expansion(s);
+        let total = (s.r as u64).pow(levels);
+        let k = 1 + k_seed % total;
+        let e = sre.expansion(levels, k);
+        // never exceeds the trivial rank: each of the three encodings
+        // contributes at most min(k, #rows-of-its-matrix) independent rows
+        prop_assert!(e <= 3 * k);
+        prop_assert!(e >= 1, "a nonempty set has positive rank on all three encodings");
+    }
+
+    #[test]
+    fn rank_io_bound_monotone_in_memory(m_exp in 2u32..12) {
+        let mut sre = fastmm_expansion::scheme_rank_expansion(&strassen());
+        let small = fastmm_expansion::rank_io_bound(&mut sre, 5, 1 << m_exp).io_words;
+        let big = fastmm_expansion::rank_io_bound(&mut sre, 5, 1 << (m_exp + 1)).io_words;
+        prop_assert!(big <= small);
     }
 }

@@ -62,20 +62,29 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
         assert!(pos[v as usize] == u32::MAX, "duplicate vertex in order");
         pos[v as usize] = i as u32;
     }
-    // predecessor lists and per-vertex sorted use positions
-    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut uses: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for &(u, v) in g.edges() {
-        assert!(
-            pos[u as usize] < pos[v as usize],
-            "order is not topological"
-        );
-        preds[v as usize].push(u);
-        uses[u as usize].push(pos[v as usize]);
+    // Predecessors come straight from the graph's CSR views; only the
+    // per-vertex sorted use positions need materializing, and those live in
+    // one flat CSR-shaped buffer (no per-call `Vec<Vec<u32>>` rebuilds).
+    let mut uses_ptr = vec![0u32; n + 1];
+    for v in 0..n {
+        uses_ptr[v + 1] = uses_ptr[v] + g.succs(v as u32).len() as u32;
     }
-    for u in uses.iter_mut() {
-        u.sort_unstable();
+    let mut uses_vals = vec![0u32; uses_ptr[n] as usize];
+    for v in 0..n as u32 {
+        let row = &mut uses_vals[uses_ptr[v as usize] as usize..uses_ptr[v as usize + 1] as usize];
+        for (slot, &w) in g.succs(v).iter().enumerate() {
+            assert!(
+                pos[v as usize] < pos[w as usize],
+                "order is not topological"
+            );
+            row[slot] = pos[w as usize];
+        }
+        row.sort_unstable();
     }
+    let uses = Uses {
+        ptr: uses_ptr,
+        vals: uses_vals,
+    };
     let is_output = {
         let mut f = vec![false; n];
         for &o in &g.outputs {
@@ -105,7 +114,7 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
     for (t, &v) in order.iter().enumerate() {
         let t = t as u64;
         // 1. pin + fault in operands
-        for &p in &preds[v as usize] {
+        for &p in g.preds(v) {
             if resident[p as usize].is_none() {
                 ctx.evict_until_free(
                     &mut resident,
@@ -131,9 +140,8 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
             }
             // advance the use cursor past t
             if let Some(r) = resident[p as usize].as_mut() {
-                while r.next_use_idx < uses[p as usize].len()
-                    && (uses[p as usize][r.next_use_idx] as u64) <= t
-                {
+                let row = uses.row(p);
+                while r.next_use_idx < row.len() && (row[r.next_use_idx] as u64) <= t {
                     r.next_use_idx += 1;
                 }
             }
@@ -158,7 +166,7 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
             resident_list.push(v);
         }
         // 3. unpin operands
-        for &p in &preds[v as usize] {
+        for &p in g.preds(v) {
             if let Some(r) = resident[p as usize].as_mut() {
                 r.pinned = false;
             }
@@ -174,6 +182,19 @@ pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> Exe
     stats
 }
 
+/// Flat CSR-shaped `vertex -> sorted schedule positions of its uses`.
+struct Uses {
+    ptr: Vec<u32>,
+    vals: Vec<u32>,
+}
+
+impl Uses {
+    #[inline]
+    fn row(&self, v: u32) -> &[u32] {
+        &self.vals[self.ptr[v as usize] as usize..self.ptr[v as usize + 1] as usize]
+    }
+}
+
 struct EvictCtx<'a> {
     m: usize,
     policy: Evict,
@@ -187,7 +208,7 @@ impl EvictCtx<'_> {
         resident_list: &mut Vec<u32>,
         stored: &mut [bool],
         stats: &mut ExecStats,
-        uses: &[Vec<u32>],
+        uses: &Uses,
     ) {
         while resident_list.len() >= self.m {
             // choose a victim among unpinned residents
@@ -199,7 +220,8 @@ impl EvictCtx<'_> {
                 }
                 let key = match self.policy {
                     Evict::Lru => u64::MAX - r.last_use, // oldest use = biggest key
-                    Evict::Belady => uses[v as usize]
+                    Evict::Belady => uses
+                        .row(v)
                         .get(r.next_use_idx)
                         .map_or(u64::MAX, |&p| p as u64),
                 };
@@ -211,7 +233,7 @@ impl EvictCtx<'_> {
             let v = resident_list.swap_remove(idx);
             let r = resident[v as usize].take().expect("victim resident");
             // live (or an output that must persist) and never stored -> write back
-            let has_future_use = r.next_use_idx < uses[v as usize].len();
+            let has_future_use = r.next_use_idx < uses.row(v).len();
             if !stored[v as usize] && (has_future_use || self.is_output[v as usize]) {
                 stats.stores += 1;
                 stored[v as usize] = true;

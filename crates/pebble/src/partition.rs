@@ -9,8 +9,8 @@
 //! `|R_S| + |W_S| - 2M`, giving
 //! `IO ≥ max_P Σ_{S∈P} (|R_S| + |W_S| - 2M)` — Equation (6).
 
+use fastmm_cdag::bitset::{count_distinct_sorted, union_count_sorted};
 use fastmm_cdag::graph::Cdag;
-use std::collections::HashSet;
 
 /// Read/write operand counts of one segment.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -32,14 +32,40 @@ pub fn segment_operands(g: &Cdag, order: &[u32], seg_size: usize) -> Vec<Segment
         pos[v as usize] = i;
     }
     let n_segs = n.div_ceil(seg_size);
-    let mut reads: Vec<HashSet<u32>> = vec![HashSet::new(); n_segs];
-    let mut writes: Vec<HashSet<u32>> = vec![HashSet::new(); n_segs];
-    for &(u, v) in g.edges() {
+    // Crossing-edge sources, bucketed by segment into two flat CSR-shaped
+    // buffers (counting pass + scatter pass). Scattering in ascending source
+    // order leaves every bucket sorted, so distinct counting is a linear
+    // scan and the output union is a sorted merge — no hash sets.
+    let mut read_ptr = vec![0u32; n_segs + 1];
+    let mut write_ptr = vec![0u32; n_segs + 1];
+    for u in 0..n as u32 {
         let su = pos[u as usize] / seg_size;
-        let sv = pos[v as usize] / seg_size;
-        if su != sv {
-            reads[sv].insert(u);
-            writes[su].insert(u);
+        for &v in g.succs(u) {
+            let sv = pos[v as usize] / seg_size;
+            if su != sv {
+                read_ptr[sv + 1] += 1;
+                write_ptr[su + 1] += 1;
+            }
+        }
+    }
+    for i in 0..n_segs {
+        read_ptr[i + 1] += read_ptr[i];
+        write_ptr[i + 1] += write_ptr[i];
+    }
+    let mut read_src = vec![0u32; read_ptr[n_segs] as usize];
+    let mut write_src = vec![0u32; write_ptr[n_segs] as usize];
+    let mut read_cur: Vec<u32> = read_ptr[..n_segs].to_vec();
+    let mut write_cur: Vec<u32> = write_ptr[..n_segs].to_vec();
+    for u in 0..n as u32 {
+        let su = pos[u as usize] / seg_size;
+        for &v in g.succs(u) {
+            let sv = pos[v as usize] / seg_size;
+            if su != sv {
+                read_src[read_cur[sv] as usize] = u;
+                read_cur[sv] += 1;
+                write_src[write_cur[su] as usize] = u;
+                write_cur[su] += 1;
+            }
         }
     }
     // Inputs consumed within their own segment still have to be read from
@@ -47,14 +73,21 @@ pub fn segment_operands(g: &Cdag, order: &[u32], seg_size: usize) -> Vec<Segment
     // inside the segment it is produced nowhere, so crossing edges from it
     // are what counts — the paper's definition, kept as-is. Outputs, however,
     // must be written out even with no outgoing edges:
+    let mut outs: Vec<Vec<u32>> = vec![Vec::new(); n_segs];
     for &o in &g.outputs {
-        let so = pos[o as usize] / seg_size;
-        writes[so].insert(o);
+        outs[pos[o as usize] / seg_size].push(o);
+    }
+    for os in outs.iter_mut() {
+        os.sort_unstable();
     }
     (0..n_segs)
-        .map(|i| SegmentOperands {
-            reads: reads[i].len(),
-            writes: writes[i].len(),
+        .map(|i| {
+            let reads = &read_src[read_ptr[i] as usize..read_ptr[i + 1] as usize];
+            let writes = &write_src[write_ptr[i] as usize..write_ptr[i + 1] as usize];
+            SegmentOperands {
+                reads: count_distinct_sorted(reads),
+                writes: union_count_sorted(writes, &outs[i]),
+            }
         })
         .collect()
 }

@@ -7,7 +7,7 @@
 //! DFS schedule; this module adds breadth-first (Kahn) and randomized
 //! topological orders for the schedule-sensitivity experiments.
 
-use fastmm_cdag::graph::{Cdag, Csr};
+use fastmm_cdag::graph::Cdag;
 use rand::Rng;
 
 /// The identity order `0..n` — valid for graphs whose builders append
@@ -32,14 +32,13 @@ pub fn bfs_order(g: &Cdag) -> Vec<u32> {
 pub fn random_topological(g: &Cdag, rng: &mut impl Rng) -> Vec<u32> {
     let n = g.n_vertices();
     let mut indeg = g.in_degrees();
-    let succ = Csr::from_directed(n, g.edges());
     let mut ready: Vec<u32> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
     let mut order = Vec::with_capacity(n);
     while !ready.is_empty() {
         let i = rng.gen_range(0..ready.len());
         let v = ready.swap_remove(i);
         order.push(v);
-        for &w in succ.neighbors(v) {
+        for &w in g.succs(v) {
             indeg[w as usize] -= 1;
             if indeg[w as usize] == 0 {
                 ready.push(w);
@@ -62,9 +61,11 @@ pub fn is_topological(g: &Cdag, order: &[u32]) -> bool {
         }
         pos[v as usize] = i;
     }
-    g.edges()
-        .iter()
-        .all(|&(u, v)| pos[u as usize] < pos[v as usize])
+    (0..g.n_vertices() as u32).all(|u| {
+        g.succs(u)
+            .iter()
+            .all(|&v| pos[u as usize] < pos[v as usize])
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,236 @@
+//! Regression suite for the flat-array executor rewrite: the pre-redesign
+//! executor (predecessor `Vec<Vec<u32>>` + use lists rebuilt from the raw
+//! edge log on every call) is resurrected here verbatim and raced against
+//! the CSR-backed implementation on every registry scheme's graphs.
+
+use fastmm_cdag::graph::Cdag;
+use fastmm_cdag::layered::{build_dec, SchemeShape};
+use fastmm_cdag::trace::trace_multiply;
+use fastmm_matrix::scheme::{all_schemes, strassen};
+use fastmm_pebble::{execute_schedule, Evict, ExecStats};
+
+/// The executor exactly as shipped before the CSR redesign, consuming the
+/// deprecated edge log. Kept bit-for-bit (including tie-breaking order) so
+/// any behavioral drift in the rewrite shows up as a stats mismatch.
+mod legacy {
+    #![allow(deprecated)]
+
+    use super::{Cdag, Evict, ExecStats};
+
+    struct Resident {
+        last_use: u64,
+        next_use_idx: usize,
+        pinned: bool,
+    }
+
+    pub fn execute_schedule(g: &Cdag, order: &[u32], m: usize, policy: Evict) -> ExecStats {
+        let n = g.n_vertices();
+        assert!(m >= 3, "need at least 3 words of fast memory");
+        assert_eq!(order.len(), n);
+        let mut pos = vec![u32::MAX; n];
+        for (i, &v) in order.iter().enumerate() {
+            assert!(pos[v as usize] == u32::MAX, "duplicate vertex in order");
+            pos[v as usize] = i as u32;
+        }
+        // predecessor lists and per-vertex sorted use positions
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut uses: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(u, v) in g.edges() {
+            assert!(
+                pos[u as usize] < pos[v as usize],
+                "order is not topological"
+            );
+            preds[v as usize].push(u);
+            uses[u as usize].push(pos[v as usize]);
+        }
+        for u in uses.iter_mut() {
+            u.sort_unstable();
+        }
+        let is_output = {
+            let mut f = vec![false; n];
+            for &o in &g.outputs {
+                f[o as usize] = true;
+            }
+            f
+        };
+        let is_input = {
+            let mut f = vec![false; n];
+            for &i in &g.inputs {
+                f[i as usize] = true;
+            }
+            f
+        };
+
+        let mut resident: Vec<Option<Resident>> = (0..n).map(|_| None).collect();
+        let mut resident_list: Vec<u32> = Vec::with_capacity(m);
+        let mut stored = is_input.clone();
+        let mut stats = ExecStats::default();
+        let mut ctx = EvictCtx {
+            m,
+            policy,
+            is_output: &is_output,
+        };
+
+        for (t, &v) in order.iter().enumerate() {
+            let t = t as u64;
+            // 1. pin + fault in operands
+            for &p in &preds[v as usize] {
+                if resident[p as usize].is_none() {
+                    ctx.evict_until_free(
+                        &mut resident,
+                        &mut resident_list,
+                        &mut stored,
+                        &mut stats,
+                        &uses,
+                    );
+                    assert!(
+                        stored[p as usize],
+                        "no recomputation: operand must be in slow memory"
+                    );
+                    stats.loads += 1;
+                    resident[p as usize] = Some(Resident {
+                        last_use: t,
+                        next_use_idx: 0,
+                        pinned: true,
+                    });
+                    resident_list.push(p);
+                } else if let Some(r) = resident[p as usize].as_mut() {
+                    r.last_use = t;
+                    r.pinned = true;
+                }
+                if let Some(r) = resident[p as usize].as_mut() {
+                    while r.next_use_idx < uses[p as usize].len()
+                        && (uses[p as usize][r.next_use_idx] as u64) <= t
+                    {
+                        r.next_use_idx += 1;
+                    }
+                }
+            }
+            // 2. make room for v itself
+            if resident[v as usize].is_none() {
+                ctx.evict_until_free(
+                    &mut resident,
+                    &mut resident_list,
+                    &mut stored,
+                    &mut stats,
+                    &uses,
+                );
+                if is_input[v as usize] {
+                    stats.loads += 1;
+                }
+                resident[v as usize] = Some(Resident {
+                    last_use: t,
+                    next_use_idx: 0,
+                    pinned: false,
+                });
+                resident_list.push(v);
+            }
+            // 3. unpin operands
+            for &p in &preds[v as usize] {
+                if let Some(r) = resident[p as usize].as_mut() {
+                    r.pinned = false;
+                }
+            }
+        }
+        for &o in &g.outputs {
+            if !stored[o as usize] {
+                stats.stores += 1;
+                stored[o as usize] = true;
+            }
+        }
+        stats
+    }
+
+    struct EvictCtx<'a> {
+        m: usize,
+        policy: Evict,
+        is_output: &'a [bool],
+    }
+
+    impl EvictCtx<'_> {
+        fn evict_until_free(
+            &mut self,
+            resident: &mut [Option<Resident>],
+            resident_list: &mut Vec<u32>,
+            stored: &mut [bool],
+            stats: &mut ExecStats,
+            uses: &[Vec<u32>],
+        ) {
+            while resident_list.len() >= self.m {
+                let mut victim: Option<(usize, u64)> = None;
+                for (i, &v) in resident_list.iter().enumerate() {
+                    let r = resident[v as usize].as_ref().expect("list entry resident");
+                    if r.pinned {
+                        continue;
+                    }
+                    let key = match self.policy {
+                        Evict::Lru => u64::MAX - r.last_use,
+                        Evict::Belady => uses[v as usize]
+                            .get(r.next_use_idx)
+                            .map_or(u64::MAX, |&p| p as u64),
+                    };
+                    if victim.is_none_or(|(_, bk)| key > bk) {
+                        victim = Some((i, key));
+                    }
+                }
+                let (idx, _) = victim.expect("capacity exhausted by pinned operands; M too small");
+                let v = resident_list.swap_remove(idx);
+                let r = resident[v as usize].take().expect("victim resident");
+                let has_future_use = r.next_use_idx < uses[v as usize].len();
+                if !stored[v as usize] && (has_future_use || self.is_output[v as usize]) {
+                    stats.stores += 1;
+                    stored[v as usize] = true;
+                }
+            }
+        }
+    }
+}
+
+fn race(name: &str, g: &Cdag) {
+    let order = g.topological_order();
+    // the executor needs all operands of one step pinned at once
+    let floor = g
+        .in_degrees()
+        .iter()
+        .map(|&d| d as usize + 1)
+        .max()
+        .unwrap_or(3)
+        .max(3);
+    let caps = [floor, floor + 1, floor + 5, floor * 8, g.n_vertices() + 1];
+    for m in caps {
+        for policy in [Evict::Lru, Evict::Belady] {
+            let old = legacy::execute_schedule(g, &order, m, policy);
+            let new = execute_schedule(g, &order, m, policy);
+            assert_eq!(
+                old, new,
+                "{name}: stats diverged at m={m} policy={policy:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn executor_matches_legacy_on_every_registry_dec_graph() {
+    for s in all_schemes() {
+        let shape = SchemeShape::from_scheme(&s);
+        for l in 1..=2usize {
+            race(
+                &format!("{} dec l={l}", s.name),
+                &build_dec(&shape, l).graph,
+            );
+        }
+    }
+}
+
+#[test]
+fn executor_matches_legacy_on_traced_multiplies() {
+    for s in all_schemes() {
+        if s.bm == s.bk && s.bk == s.bn {
+            let t = trace_multiply(&s, s.bm * s.bm, 1);
+            race(&format!("{} trace", s.name), &t.graph);
+        }
+    }
+    // deeper recursion for the flagship scheme
+    let t = trace_multiply(&strassen(), 16, 1);
+    race("strassen trace n=16", &t.graph);
+}

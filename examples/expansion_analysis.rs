@@ -20,7 +20,7 @@ fn main() {
     println!("-- Dec_1 C (Figure 2, top-left) --");
     let dec1 = build_dec(&shape, 1);
     println!("{}", dec1.graph.to_dot("Dec1C"));
-    let exact = exact_h(&dec1.graph.undirected_csr(), dec1.graph.max_degree());
+    let exact = exact_h(dec1.graph.undirected_csr(), dec1.graph.max_degree());
     println!(
         "exact h(Dec_1 C) = {:.4} (cut {} edges at |U| = {})",
         exact.expansion, exact.cut_edges, exact.size
@@ -34,9 +34,9 @@ fn main() {
         let d = dec.graph.max_degree();
         let n = dec.graph.n_vertices();
         let cut = if n <= 24 {
-            let e = exact_h(&csr, d);
+            let e = exact_h(csr, d);
             fastmm_expansion::search::evaluate_cut(
-                &csr,
+                csr,
                 d,
                 fastmm_cdag::BitSet::from_iter(
                     n,
@@ -44,9 +44,9 @@ fn main() {
                 ),
             )
         } else {
-            find_best_cut(&csr, d, SearchOptions::with_max_size(n / 2))
+            find_best_cut(csr, d, SearchOptions::with_max_size(n / 2))
         };
-        let (spec, _) = spectral_bounds(&csr, d, 400);
+        let (spec, _) = spectral_bounds(csr, d, 400);
         let guar = lemma43_min_expansion(&dec, d);
         println!(
             "{k} | {:.5} | {:.4} | {:.5} | {:.6}",

@@ -25,9 +25,9 @@ fn every_found_cut_respects_the_lemma_guarantee() {
         let csr = dec.graph.undirected_csr();
         let n = dec.graph.n_vertices();
         let best = if n <= 24 {
-            exact_h(&csr, d).expansion
+            exact_h(csr, d).expansion
         } else {
-            find_best_cut(&csr, d, SearchOptions::with_max_size(n / 2)).expansion
+            find_best_cut(csr, d, SearchOptions::with_max_size(n / 2)).expansion
         };
         let guarantee = lemma43_min_expansion(&dec, d);
         assert!(
@@ -44,11 +44,11 @@ fn cheeger_brackets_the_best_cut() {
         let d = dec.graph.max_degree();
         let csr = dec.graph.undirected_csr();
         let n = dec.graph.n_vertices();
-        let (spec, _) = spectral_bounds(&csr, d, 800);
+        let (spec, _) = spectral_bounds(csr, d, 800);
         let best = if n <= 24 {
-            exact_h(&csr, d).expansion
+            exact_h(csr, d).expansion
         } else {
-            find_best_cut(&csr, d, SearchOptions::with_max_size(n / 2)).expansion
+            find_best_cut(csr, d, SearchOptions::with_max_size(n / 2)).expansion
         };
         // the found cut is an upper bound on h, so it must exceed the
         // spectral lower bound
@@ -66,7 +66,7 @@ fn certificate_chain_on_best_cuts() {
     let d = dec.graph.max_degree();
     let csr = dec.graph.undirected_csr();
     let cut = find_best_cut(
-        &csr,
+        csr,
         d,
         SearchOptions::with_max_size(dec.graph.n_vertices() / 2),
     );
